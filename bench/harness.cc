@@ -1,0 +1,173 @@
+#include "bench/harness.h"
+
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+
+namespace gnmr {
+namespace bench {
+
+ExperimentEnv BuildEnv(const data::SyntheticConfig& config,
+                       int64_t num_negatives, uint64_t eval_seed) {
+  ExperimentEnv env;
+  env.dataset_name = config.name;
+  data::Dataset full = data::GenerateSynthetic(config);
+  util::Rng split_rng(eval_seed ^ 0xabcdef12345ULL);
+  env.split = data::LeaveLatestOut(full, /*min_target_interactions=*/2,
+                                   /*aux_holdout_prob=*/0.75, &split_rng);
+  util::Rng rng(eval_seed);
+  env.candidates = data::BuildEvalCandidates(env.split.train, env.split.test,
+                                             num_negatives, &rng);
+  return env;
+}
+
+RunSettings SettingsFromFlags(const util::Flags& flags) {
+  RunSettings s;
+  if (flags.GetBool("fast", false)) {
+    s.scale = 0.25;
+    s.gnmr_epochs = 10;
+    s.baseline_epochs = 12;
+    // Small catalogues cannot support 99 negatives per user.
+    s.num_negatives = 50;
+  } else if (flags.GetBool("full", false)) {
+    s.scale = 1.0;
+    s.gnmr_epochs = 35;
+    s.baseline_epochs = 40;
+  }
+  s.scale = flags.GetDouble("scale", s.scale);
+  s.gnmr_epochs = flags.GetInt("gnmr-epochs", s.gnmr_epochs);
+  s.baseline_epochs = flags.GetInt("epochs", s.baseline_epochs);
+  s.seed = static_cast<uint64_t>(flags.GetInt("seed", 123));
+  s.num_negatives = flags.GetInt("negatives", s.num_negatives);
+  s.early_stop = flags.GetBool("earlystop", true);
+  if (flags.GetBool("fast", false)) s.num_seeds = 1;
+  s.num_seeds = flags.GetInt("seeds", s.num_seeds);
+  return s;
+}
+
+baselines::BaselineConfig MakeBaselineConfig(const RunSettings& settings) {
+  baselines::BaselineConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.epochs = settings.baseline_epochs;
+  cfg.learning_rate = 1e-2;
+  cfg.batch_size = 512;
+  cfg.samples_per_user = 2;
+  cfg.weight_decay = 5e-5;
+  cfg.hidden_dims = {32, 16};
+  cfg.seed = settings.seed;
+  return cfg;
+}
+
+core::GnmrConfig MakeGnmrConfig(const RunSettings& settings) {
+  core::GnmrConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.num_channels = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  cfg.epochs = settings.gnmr_epochs;
+  cfg.learning_rate = 1e-2;
+  cfg.lr_decay = 0.97;
+  cfg.batch_users = 256;
+  cfg.positives_per_user = 2;
+  cfg.seed = settings.seed;
+  cfg.use_pretrain = true;
+  cfg.pretrain_epochs = 2;
+  return cfg;
+}
+
+eval::RankingMetrics RunBaseline(const std::string& name,
+                                 const baselines::BaselineConfig& config,
+                                 const ExperimentEnv& env,
+                                 const std::vector<int64_t>& cutoffs,
+                                 double* seconds_out) {
+  util::Stopwatch timer;
+  auto model = baselines::MakeBaseline(name, config);
+  model->Fit(env.split.train);
+  if (seconds_out != nullptr) *seconds_out = timer.ElapsedSeconds();
+  return eval::EvaluateRanking(model.get(), env.candidates, cutoffs);
+}
+
+eval::RankingMetrics RunGnmr(const core::GnmrConfig& config,
+                             const ExperimentEnv& env,
+                             const std::vector<int64_t>& cutoffs,
+                             double* seconds_out) {
+  return RunGnmrWithValidation(config, env, cutoffs, /*early_stop=*/true,
+                               seconds_out);
+}
+
+eval::RankingMetrics RunGnmrWithValidation(const core::GnmrConfig& config,
+                                           const ExperimentEnv& env,
+                                           const std::vector<int64_t>& cutoffs,
+                                           bool early_stop,
+                                           double* seconds_out) {
+  util::Stopwatch timer;
+  if (!early_stop) {
+    core::GnmrTrainer trainer(config, env.split.train);
+    trainer.Train();
+    auto scorer = trainer.MakeScorer();
+    if (seconds_out != nullptr) *seconds_out = timer.ElapsedSeconds();
+    return eval::EvaluateRanking(scorer.get(), env.candidates, cutoffs);
+  }
+  // Inner validation split: hold the (now-)latest target event of each
+  // user out of the training split to select the best epoch.
+  util::Rng val_rng(config.seed ^ 0x5151515151ULL);
+  data::TrainTestSplit inner =
+      data::LeaveLatestOut(env.split.train, /*min_target_interactions=*/2);
+  std::vector<data::EvalCandidates> val_cands = data::BuildEvalCandidates(
+      inner.train, inner.test,
+      std::min<int64_t>(49, env.split.train.num_items / 3), &val_rng);
+
+  core::GnmrTrainer trainer(config, inner.train);
+  double best_hr = -1.0;
+  tensor::Tensor best_cache;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    trainer.TrainEpoch();
+    bool last = (epoch + 1 == config.epochs);
+    if (epoch % 2 == 1 || last) {
+      auto scorer = trainer.MakeScorer();
+      eval::RankingMetrics val =
+          eval::EvaluateRanking(scorer.get(), val_cands, {10});
+      if (val.hr[10] > best_hr) {
+        best_hr = val.hr[10];
+        best_cache = trainer.model().inference_cache().Clone();
+      }
+    }
+  }
+  trainer.model().RestoreInferenceCache(std::move(best_cache));
+  if (seconds_out != nullptr) *seconds_out = timer.ElapsedSeconds();
+  auto scorer = trainer.model().MakeScorer();
+  return eval::EvaluateRanking(scorer.get(), env.candidates, cutoffs);
+}
+
+eval::RankingMetrics RunGnmrAveraged(const core::GnmrConfig& config,
+                                     const ExperimentEnv& env,
+                                     const std::vector<int64_t>& cutoffs,
+                                     int64_t num_seeds) {
+  eval::RankingMetrics mean;
+  for (int64_t n : cutoffs) {
+    mean.hr[n] = 0.0;
+    mean.ndcg[n] = 0.0;
+  }
+  for (int64_t i = 0; i < num_seeds; ++i) {
+    core::GnmrConfig cfg = config;
+    cfg.seed = config.seed + static_cast<uint64_t>(i) * 7919;
+    eval::RankingMetrics m = RunGnmr(cfg, env, cutoffs);
+    for (int64_t n : cutoffs) {
+      mean.hr[n] += m.hr[n];
+      mean.ndcg[n] += m.ndcg[n];
+    }
+    mean.num_users = m.num_users;
+  }
+  for (int64_t n : cutoffs) {
+    mean.hr[n] /= static_cast<double>(num_seeds);
+    mean.ndcg[n] /= static_cast<double>(num_seeds);
+  }
+  return mean;
+}
+
+std::vector<data::SyntheticConfig> PaperDatasets(double scale) {
+  return {data::MovieLensLike(scale), data::YelpLike(scale),
+          data::TaobaoLike(scale)};
+}
+
+}  // namespace bench
+}  // namespace gnmr

@@ -1,0 +1,95 @@
+// Shared experiment harness for the table/figure reproduction binaries.
+// Each bench binary builds synthetic datasets shaped like the paper's
+// (MovieLens / Yelp / Taobao), trains the requested models, runs the
+// 99-negative leave-one-out protocol and prints a paper-style table.
+#ifndef GNMR_BENCH_HARNESS_H_
+#define GNMR_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/recommender.h"
+#include "src/core/gnmr_config.h"
+#include "src/core/gnmr_trainer.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/util/flags.h"
+
+namespace gnmr {
+namespace bench {
+
+/// A ready-to-run experiment environment: train split + eval candidates.
+struct ExperimentEnv {
+  std::string dataset_name;
+  data::TrainTestSplit split;
+  std::vector<data::EvalCandidates> candidates;
+};
+
+/// Generates the dataset, splits leave-latest-out and samples the
+/// 99-negative candidates (deterministic in `eval_seed`).
+ExperimentEnv BuildEnv(const data::SyntheticConfig& config,
+                       int64_t num_negatives = 99, uint64_t eval_seed = 1234);
+
+/// Scale/epoch settings shared by all bench binaries, controlled by
+/// --fast / --full / --scale= / --epochs= / --seed=.
+struct RunSettings {
+  double scale = 0.6;
+  int64_t gnmr_epochs = 25;
+  int64_t baseline_epochs = 30;
+  uint64_t seed = 123;
+  int64_t num_negatives = 99;
+  /// Validation-based epoch selection for GNMR (an inner leave-latest-out
+  /// split of train selects the best checkpoint; --no-earlystop disables).
+  bool early_stop = true;
+  /// Model seeds averaged per configuration in the ablation benches
+  /// (paired across variants on the same data); --seeds=N overrides.
+  int64_t num_seeds = 3;
+};
+
+/// Parses run settings from command-line flags.
+RunSettings SettingsFromFlags(const util::Flags& flags);
+
+/// Baseline config matching the paper's shared hyperparameters (d = 16).
+baselines::BaselineConfig MakeBaselineConfig(const RunSettings& settings);
+
+/// GNMR config matching Section IV-A4 (d = 16, C = 8, lr 1e-3 decay 0.96).
+core::GnmrConfig MakeGnmrConfig(const RunSettings& settings);
+
+/// Trains the named baseline on env.split.train and evaluates it.
+/// `seconds_out` (optional) receives the wall-clock training time.
+eval::RankingMetrics RunBaseline(const std::string& name,
+                                 const baselines::BaselineConfig& config,
+                                 const ExperimentEnv& env,
+                                 const std::vector<int64_t>& cutoffs,
+                                 double* seconds_out = nullptr);
+
+/// Trains GNMR (with the given config) and evaluates it, selecting the
+/// best epoch on an inner validation split (leave-latest-out of train).
+eval::RankingMetrics RunGnmr(const core::GnmrConfig& config,
+                             const ExperimentEnv& env,
+                             const std::vector<int64_t>& cutoffs,
+                             double* seconds_out = nullptr);
+
+/// Runs GNMR `num_seeds` times with different model seeds on the same
+/// environment and returns the metric means. Variant comparisons on the
+/// same env are paired, cutting comparison noise.
+eval::RankingMetrics RunGnmrAveraged(const core::GnmrConfig& config,
+                                     const ExperimentEnv& env,
+                                     const std::vector<int64_t>& cutoffs,
+                                     int64_t num_seeds);
+
+/// As RunGnmr with explicit control over validation-based selection.
+eval::RankingMetrics RunGnmrWithValidation(const core::GnmrConfig& config,
+                                           const ExperimentEnv& env,
+                                           const std::vector<int64_t>& cutoffs,
+                                           bool early_stop,
+                                           double* seconds_out = nullptr);
+
+/// The three paper-shaped dataset configs at the given scale.
+std::vector<data::SyntheticConfig> PaperDatasets(double scale);
+
+}  // namespace bench
+}  // namespace gnmr
+
+#endif  // GNMR_BENCH_HARNESS_H_

@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks of the kernels underneath GNMR:
+// dense matmul, sparse SpMM, graph construction, negative sampling, one
+// GNMR layer forward and a full training step. These back the scalability
+// claims in DESIGN.md and catch kernel-level performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "src/core/gnmr_model.h"
+#include "src/core/gnmr_trainer.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/graph/negative_sampler.h"
+#include "src/tensor/ad_ops.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace {
+
+using namespace gnmr;
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  util::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::RandomNormal({n, n}, &rng);
+  tensor::Tensor b = tensor::Tensor::RandomNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SpmmPerNnz(benchmark::State& state) {
+  int64_t rows = 2000, cols = 2000, d = 16;
+  double density = static_cast<double>(state.range(0)) / 1000.0;
+  util::Rng rng(2);
+  std::vector<tensor::Coo> entries;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) entries.push_back({i, j, 1.0f});
+    }
+  }
+  tensor::CsrMatrix m = tensor::CsrMatrix::FromCoo(rows, cols, entries);
+  tensor::Tensor x = tensor::Tensor::RandomNormal({cols, d}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::ops::Spmm(m, x));
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * d);
+}
+BENCHMARK(BM_SpmmPerNnz)->Arg(5)->Arg(20)->Arg(80);
+
+void BM_GraphBuild(benchmark::State& state) {
+  data::Dataset d = data::GenerateSynthetic(
+      data::TaobaoLike(static_cast<double>(state.range(0)) / 100.0));
+  for (auto _ : state) {
+    auto graph = d.BuildGraph();
+    benchmark::DoNotOptimize(graph->NumEdgesTotal());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(d.interactions.size()));
+}
+BENCHMARK(BM_GraphBuild)->Arg(25)->Arg(100);
+
+void BM_NegativeSampling(benchmark::State& state) {
+  data::Dataset d = data::GenerateSynthetic(data::TaobaoLike(0.5));
+  auto graph = d.BuildGraph();
+  graph::NegativeSampler sampler(graph.get(), d.target_behavior);
+  util::Rng rng(3);
+  int64_t u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleOne(u, &rng));
+    u = (u + 1) % d.num_users;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NegativeSampling);
+
+void BM_GnmrLayerForward(benchmark::State& state) {
+  data::Dataset d = data::GenerateSynthetic(
+      data::TaobaoLike(static_cast<double>(state.range(0)) / 100.0));
+  core::GnmrConfig cfg;
+  cfg.use_pretrain = false;
+  core::GnmrModel model(cfg, d);
+  for (auto _ : state) {
+    auto layers = model.Propagate();
+    benchmark::DoNotOptimize(layers.back().value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * model.graph().num_nodes());
+}
+BENCHMARK(BM_GnmrLayerForward)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_GnmrTrainEpoch(benchmark::State& state) {
+  data::Dataset full = data::GenerateSynthetic(data::MovieLensLike(0.4));
+  data::TrainTestSplit split = data::LeaveLatestOut(full);
+  core::GnmrConfig cfg;
+  cfg.use_pretrain = false;
+  cfg.batch_users = 256;
+  core::GnmrTrainer trainer(cfg, split.train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainEpoch().mean_loss);
+  }
+  state.SetItemsProcessed(state.iterations() * split.train.num_users);
+}
+BENCHMARK(BM_GnmrTrainEpoch);
+
+void BM_EvalProtocol(benchmark::State& state) {
+  data::Dataset full = data::GenerateSynthetic(data::MovieLensLike(0.4));
+  data::TrainTestSplit split = data::LeaveLatestOut(full);
+  util::Rng rng(4);
+  auto cands = data::BuildEvalCandidates(split.train, split.test, 99, &rng);
+  core::GnmrConfig cfg;
+  cfg.use_pretrain = false;
+  cfg.epochs = 1;
+  core::GnmrTrainer trainer(cfg, split.train);
+  trainer.Train();
+  auto scorer = trainer.MakeScorer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval::EvaluateRanking(scorer.get(), cands, {1, 5, 10}).num_users);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cands.size()) * 100);
+}
+BENCHMARK(BM_EvalProtocol);
+
+}  // namespace
+
+BENCHMARK_MAIN();

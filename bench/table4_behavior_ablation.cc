@@ -1,0 +1,90 @@
+// Reproduces Table IV: GNMR with different behavior subsets on the
+// MovieLens-shaped and Yelp-shaped datasets — "w/o <behavior>" variants
+// drop one auxiliary behavior; "only like" keeps the target alone.
+// Expected shape: full GNMR best; every removal hurts; only-like worst.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/data/dataset.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace gnmr;
+
+// Trains GNMR on a behavior-filtered copy of the environment's train split
+// (the eval candidates are unchanged: same users, same positives).
+eval::RankingMetrics RunFiltered(const bench::ExperimentEnv& env,
+                                 const core::GnmrConfig& config,
+                                 const std::vector<bool>& keep,
+                                 int64_t num_seeds) {
+  data::Dataset filtered = data::FilterBehaviors(env.split.train, keep);
+  bench::ExperimentEnv filtered_env;
+  filtered_env.dataset_name = env.dataset_name;
+  filtered_env.split.train = filtered;
+  filtered_env.split.test = env.split.test;
+  filtered_env.candidates = env.candidates;
+  return bench::RunGnmrAveraged(config, filtered_env, {10}, num_seeds);
+}
+
+void RunDataset(const data::SyntheticConfig& dataset_cfg,
+                const bench::RunSettings& settings) {
+  bench::ExperimentEnv env =
+      bench::BuildEnv(dataset_cfg, settings.num_negatives);
+  const data::Dataset& train = env.split.train;
+  core::GnmrConfig config = bench::MakeGnmrConfig(settings);
+
+  util::TablePrinter table({"Variant", "HR@10", "NDCG@10"});
+  int64_t num_k = train.num_behaviors();
+  // w/o <each auxiliary behavior>
+  for (int64_t k = 0; k < num_k; ++k) {
+    if (k == train.target_behavior) continue;
+    std::vector<bool> keep(static_cast<size_t>(num_k), true);
+    keep[static_cast<size_t>(k)] = false;
+    eval::RankingMetrics m =
+        RunFiltered(env, config, keep, settings.num_seeds);
+    table.AddRow({"w/o " + train.behavior_names[static_cast<size_t>(k)],
+                  util::TablePrinter::Num(m.hr[10], 3),
+                  util::TablePrinter::Num(m.ndcg[10], 3)});
+    std::printf("done: w/o %s\n",
+                train.behavior_names[static_cast<size_t>(k)].c_str());
+    std::fflush(stdout);
+  }
+  // only target
+  {
+    std::vector<bool> keep(static_cast<size_t>(num_k), false);
+    keep[static_cast<size_t>(train.target_behavior)] = true;
+    eval::RankingMetrics m =
+        RunFiltered(env, config, keep, settings.num_seeds);
+    table.AddRow(
+        {"only " +
+             train.behavior_names[static_cast<size_t>(train.target_behavior)],
+         util::TablePrinter::Num(m.hr[10], 3),
+         util::TablePrinter::Num(m.ndcg[10], 3)});
+  }
+  // full GNMR
+  {
+    eval::RankingMetrics m =
+        bench::RunGnmrAveraged(config, env, {10}, settings.num_seeds);
+    table.AddSeparator();
+    table.AddRow({"GNMR (all behaviors)",
+                  util::TablePrinter::Num(m.hr[10], 3),
+                  util::TablePrinter::Num(m.ndcg[10], 3)});
+  }
+  std::printf("\n--- %s ---\n%s\n", env.dataset_name.c_str(),
+              table.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::RunSettings settings = bench::SettingsFromFlags(flags);
+  std::printf("=== Table IV: behavior-type ablation, scale=%.2f ===\n",
+              settings.scale);
+  RunDataset(data::MovieLensLike(settings.scale), settings);
+  RunDataset(data::YelpLike(settings.scale), settings);
+  std::printf("Paper Table IV (shape): every removal hurts; only-like "
+              "worst; e.g. ML full 0.857 vs only-like 0.835.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Scenario: e-commerce engagement funnel (Taobao-style page-view ->
+// favorite -> cart -> purchase). Compares GNMR against the strongest
+// multi-behavior baseline (NMTR) and a popularity anchor on purchase
+// prediction — the hardest setting of the paper's Table II.
+//
+//   ./build/examples/taobao_funnel [--scale=0.4] [--epochs=25]
+#include <algorithm>
+#include <cstdio>
+
+#include "src/baselines/recommender.h"
+#include "src/core/gnmr_trainer.h"
+#include "src/data/split.h"
+#include "src/data/statistics.h"
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/util/flags.h"
+#include "src/util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace gnmr;
+  util::Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.4);
+  int64_t epochs = flags.GetInt("epochs", 25);
+
+  data::Dataset full = data::GenerateSynthetic(data::TaobaoLike(scale));
+  std::printf("%s\n\n", data::StatsToString(data::ComputeStats(full)).c_str());
+
+  util::Rng split_rng(13);
+  data::TrainTestSplit split =
+      data::LeaveLatestOut(full, 2, /*aux_holdout_prob=*/0.75, &split_rng);
+  util::Rng rng(13);
+  // The paper's protocol uses 99 negatives; shrink on toy catalogues.
+  int64_t negatives = std::min<int64_t>(99, full.num_items / 3);
+  auto candidates =
+      data::BuildEvalCandidates(split.train, split.test, negatives, &rng);
+
+  util::TablePrinter table({"Model", "HR@10", "NDCG@10"});
+
+  for (const char* name : {"MostPop", "NMTR", "DIPN"}) {
+    baselines::BaselineConfig cfg;
+    cfg.epochs = epochs;
+    cfg.learning_rate = 1e-2;
+    auto model = baselines::MakeBaseline(name, cfg);
+    std::printf("training %s...\n", name);
+    model->Fit(split.train);
+    eval::RankingMetrics m =
+        eval::EvaluateRanking(model.get(), candidates, {10});
+    table.AddRow({name, util::TablePrinter::Num(m.hr[10], 3),
+                  util::TablePrinter::Num(m.ndcg[10], 3)});
+  }
+
+  {
+    core::GnmrConfig cfg;
+    cfg.epochs = epochs;
+    cfg.learning_rate = 1e-2;
+    std::printf("training GNMR...\n");
+    core::GnmrTrainer trainer(cfg, split.train);
+    trainer.Train();
+    auto scorer = trainer.MakeScorer();
+    eval::RankingMetrics m =
+        eval::EvaluateRanking(scorer.get(), candidates, {10});
+    table.AddSeparator();
+    table.AddRow({"GNMR", util::TablePrinter::Num(m.hr[10], 3),
+                  util::TablePrinter::Num(m.ndcg[10], 3)});
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("The funnel's page-view/cart signals are what make purchase "
+              "prediction tractable; GNMR aggregates them with learned "
+              "cross-behavior attention.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "src/baselines/autoencoders.h"
+
+#include <algorithm>
+
+#include "src/baselines/common.h"
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+namespace {
+
+// Shared user-row autoencoder training. `user_embedding` switches CDAE's
+// additive per-user bottleneck term; `corruption` its input denoising.
+tensor::Tensor TrainRowAutoencoder(const data::Dataset& train,
+                                   const BaselineConfig& config,
+                                   bool user_embedding, double corruption) {
+  util::Rng rng(config.seed);
+  auto graph = train.BuildGraph();
+  int64_t target = train.target_behavior;
+  int64_t num_users = train.num_users;
+  int64_t num_items = train.num_items;
+  int64_t hidden = config.hidden_dims.empty() ? 32 : config.hidden_dims[0];
+
+  nn::Linear encoder(num_items, hidden, /*use_bias=*/true, &rng);
+  nn::Linear decoder(hidden, num_items, /*use_bias=*/true, &rng);
+  std::unique_ptr<nn::Embedding> user_emb;
+  std::vector<ad::Var> params = encoder.Parameters();
+  {
+    auto p = decoder.Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  if (user_embedding) {
+    user_emb = std::make_unique<nn::Embedding>(num_users, hidden, &rng);
+    params.push_back(user_emb->table());
+  }
+  nn::Adam opt(config.learning_rate, 0.9, 0.999, 1e-8, config.weight_decay);
+
+  std::vector<int64_t> order = AllIds(num_users);
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config.batch_size));
+      std::vector<int64_t> ids(order.begin() + static_cast<int64_t>(start),
+                               order.begin() + static_cast<int64_t>(end));
+      tensor::Tensor rows = UserRows(*graph, ids, target);
+      tensor::Tensor input = rows;
+      if (corruption > 0.0) {
+        float scale = 1.0f / (1.0f - static_cast<float>(corruption));
+        float* d = input.data();
+        for (int64_t i = 0; i < input.numel(); ++i) {
+          if (d[i] != 0.0f) {
+            d[i] = rng.Bernoulli(corruption) ? 0.0f : scale;
+          }
+        }
+      }
+      ad::Var x = ad::Var::Constant(std::move(input));
+      ad::Var h = encoder.Forward(x);
+      if (user_emb) h = ad::Add(h, user_emb->Lookup(ids));
+      h = ad::Sigmoid(h);
+      ad::Var logits = decoder.Forward(h);
+      ad::Var target_rows = ad::Var::Constant(std::move(rows));
+      // BCE over the full row: observed entries pulled to 1, the rest to 0
+      // (implicit-feedback variant of the reconstruction objective).
+      ad::Var loss = ad::BceWithLogitsLoss(logits, target_rows);
+      ad::Backward(loss);
+      opt.Step(params);
+    }
+  }
+
+  // Cache reconstructions for all users.
+  tensor::Tensor recon({num_users, num_items});
+  for (int64_t start = 0; start < num_users;
+       start += config.batch_size) {
+    int64_t end = std::min(num_users, start + config.batch_size);
+    std::vector<int64_t> ids;
+    for (int64_t i = start; i < end; ++i) ids.push_back(i);
+    tensor::Tensor rows = UserRows(*graph, ids, target);
+    ad::Var h = encoder.Forward(ad::Var::Constant(std::move(rows)));
+    if (user_emb) h = ad::Add(h, user_emb->Lookup(ids));
+    h = ad::Sigmoid(h);
+    ad::Var logits = decoder.Forward(h);
+    std::copy(logits.value().data(),
+              logits.value().data() + logits.value().numel(),
+              recon.data() + start * num_items);
+  }
+  return recon;
+}
+
+void ScoreFromReconstruction(const tensor::Tensor& recon, int64_t user,
+                             const std::vector<int64_t>& items, float* out) {
+  GNMR_CHECK(!recon.empty()) << "Fit() before ScoreItems()";
+  GNMR_CHECK(user >= 0 && user < recon.rows());
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = recon.at(user, items[i]);
+  }
+}
+
+}  // namespace
+
+void AutoRec::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  reconstructions_ = TrainRowAutoencoder(train, config_,
+                                         /*user_embedding=*/false,
+                                         /*corruption=*/0.0);
+}
+
+void AutoRec::ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                         float* out) {
+  ScoreFromReconstruction(reconstructions_, user, items, out);
+}
+
+void CDAE::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  reconstructions_ = TrainRowAutoencoder(train, config_,
+                                         /*user_embedding=*/true,
+                                         /*corruption=*/0.2);
+}
+
+void CDAE::ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                      float* out) {
+  ScoreFromReconstruction(reconstructions_, user, items, out);
+}
+
+}  // namespace baselines
+}  // namespace gnmr

@@ -1,0 +1,48 @@
+// Autoencoder-based collaborative filtering baselines:
+//
+//   AutoRec [Sedhain et al., WWW 2015] — user-based autoencoder over the
+//   target-behavior interaction row; the reconstruction is the score.
+//
+//   CDAE [Wu et al., WSDM 2016] — denoising autoencoder with an additive
+//   per-user embedding in the bottleneck and input corruption.
+#ifndef GNMR_BASELINES_AUTOENCODERS_H_
+#define GNMR_BASELINES_AUTOENCODERS_H_
+
+#include <memory>
+
+#include "src/baselines/recommender.h"
+#include "src/tensor/tensor.h"
+
+namespace gnmr {
+namespace baselines {
+
+class AutoRec : public Recommender {
+ public:
+  explicit AutoRec(const BaselineConfig& config) : config_(config) {}
+  std::string name() const override { return "AutoRec"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  BaselineConfig config_;
+  tensor::Tensor reconstructions_;  // [I, J] cached after training
+};
+
+class CDAE : public Recommender {
+ public:
+  explicit CDAE(const BaselineConfig& config) : config_(config) {}
+  std::string name() const override { return "CDAE"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  BaselineConfig config_;
+  tensor::Tensor reconstructions_;  // [I, J] cached after training
+};
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_AUTOENCODERS_H_

@@ -1,0 +1,244 @@
+#include "src/baselines/autoregressive.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/baselines/common.h"
+#include "src/graph/negative_sampler.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+namespace {
+
+// Builds a [rows.size(), table_rows] mean-bag CSR operator: row r averages
+// the entries listed in rows[r]. Returned ops must outlive Backward().
+std::unique_ptr<graph::SparseOp> MeanBag(
+    const std::vector<std::vector<int64_t>>& rows, int64_t table_rows) {
+  std::vector<tensor::Coo> entries;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].empty()) continue;
+    float w = 1.0f / static_cast<float>(rows[r].size());
+    for (int64_t id : rows[r]) {
+      entries.push_back({static_cast<int64_t>(r), id, w});
+    }
+  }
+  auto op = std::make_unique<graph::SparseOp>();
+  op->forward = tensor::CsrMatrix::FromCoo(
+      static_cast<int64_t>(rows.size()), table_rows, entries);
+  op->backward = op->forward.Transposed();
+  return op;
+}
+
+// History of `user` under `behavior`, excluding one item (-1 = keep all).
+std::vector<int64_t> HistoryExcluding(const graph::MultiBehaviorGraph& g,
+                                      int64_t user, int64_t behavior,
+                                      int64_t excluded) {
+  std::vector<int64_t> items = g.ItemsOf(user, behavior);
+  if (excluded >= 0) {
+    items.erase(std::remove(items.begin(), items.end(), excluded),
+                items.end());
+  }
+  return items;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- NADE ----
+
+void NADE::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  util::Rng rng(config_.seed);
+  graph_ = train.BuildGraph();
+  target_behavior_ = train.target_behavior;
+  graph::NegativeSampler sampler(graph_.get(), target_behavior_);
+  int64_t d = config_.embedding_dim;
+
+  history_emb_ =
+      std::make_unique<nn::Embedding>(train.num_items, d, &rng);
+  output_emb_ = std::make_unique<nn::Embedding>(train.num_items, d, &rng);
+  output_bias_ =
+      std::make_unique<nn::Embedding>(train.num_items, 1, &rng, 0.0f);
+  hidden_ = std::make_unique<nn::Linear>(d, d, /*use_bias=*/true, &rng);
+
+  std::vector<ad::Var> params = {history_emb_->table(), output_emb_->table(),
+                                 output_bias_->table()};
+  {
+    auto p = hidden_->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  nn::Adam opt(config_.learning_rate, 0.9, 0.999, 1e-8, config_.weight_decay);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batches = SampleTripletEpoch(*graph_, sampler, target_behavior_,
+                                      config_.batch_size,
+                                      config_.negatives_per_positive, &rng,
+                                      config_.samples_per_user);
+    for (const TripletBatch& b : batches) {
+      // Encode each user's history with the hidden positive removed (the
+      // autoregressive conditional p(pos | rest)).
+      std::vector<std::vector<int64_t>> bags(b.size());
+      for (size_t r = 0; r < b.size(); ++r) {
+        bags[r] = HistoryExcluding(*graph_, b.users[r], target_behavior_,
+                                   b.pos_items[r]);
+      }
+      auto bag_op = MeanBag(bags, graph_->num_items());
+      ad::Var mean_hist = ad::Spmm(&bag_op->forward, &bag_op->backward,
+                                   history_emb_->table());
+      ad::Var h = ad::Tanh(hidden_->Forward(mean_hist));  // [B, d]
+      auto score = [&](const std::vector<int64_t>& items) {
+        return ad::Add(ad::RowDot(h, output_emb_->Lookup(items)),
+                       output_bias_->Lookup(items));
+      };
+      ad::Var loss = ad::BprLoss(score(b.pos_items), score(b.neg_items));
+      ad::Backward(loss);
+      opt.Step(params);
+    }
+  }
+}
+
+void NADE::ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                      float* out) {
+  GNMR_CHECK(hidden_ != nullptr) << "Fit() before ScoreItems()";
+  std::vector<std::vector<int64_t>> bags = {
+      HistoryExcluding(*graph_, user, target_behavior_, -1)};
+  auto bag_op = MeanBag(bags, graph_->num_items());
+  ad::Var mean_hist = ad::Spmm(&bag_op->forward, &bag_op->backward,
+                               history_emb_->table());
+  ad::Var h = ad::Tanh(hidden_->Forward(mean_hist));  // [1, d]
+  const tensor::Tensor& hv = h.value();
+  const tensor::Tensor& q = output_emb_->table().value();
+  const tensor::Tensor& bias = output_bias_->table().value();
+  int64_t d = q.cols();
+  for (size_t i = 0; i < items.size(); ++i) {
+    double acc = bias.at(items[i], 0);
+    for (int64_t c = 0; c < d; ++c) {
+      acc += static_cast<double>(hv.at(0, c)) * q.at(items[i], c);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+// ---------------------------------------------------------------- CF-UIcA ----
+
+void CFUIcA::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  util::Rng rng(config_.seed);
+  graph_ = train.BuildGraph();
+  target_behavior_ = train.target_behavior;
+  graph::NegativeSampler sampler(graph_.get(), target_behavior_);
+  int64_t d = config_.embedding_dim;
+
+  item_hist_emb_ = std::make_unique<nn::Embedding>(train.num_items, d, &rng);
+  user_hidden_ = std::make_unique<nn::Linear>(d, d, true, &rng);
+  item_out_emb_ = std::make_unique<nn::Embedding>(train.num_items, d, &rng);
+  user_hist_emb_ = std::make_unique<nn::Embedding>(train.num_users, d, &rng);
+  item_hidden_ = std::make_unique<nn::Linear>(d, d, true, &rng);
+  user_out_emb_ = std::make_unique<nn::Embedding>(train.num_users, d, &rng);
+  item_bias_ = std::make_unique<nn::Embedding>(train.num_items, 1, &rng, 0.0f);
+
+  std::vector<ad::Var> params = {
+      item_hist_emb_->table(), item_out_emb_->table(),
+      user_hist_emb_->table(), user_out_emb_->table(), item_bias_->table()};
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(user_hidden_.get()),
+        static_cast<const nn::Module*>(item_hidden_.get())}) {
+    auto p = m->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  nn::Adam opt(config_.learning_rate, 0.9, 0.999, 1e-8, config_.weight_decay);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batches = SampleTripletEpoch(*graph_, sampler, target_behavior_,
+                                      config_.batch_size,
+                                      config_.negatives_per_positive, &rng,
+                                      config_.samples_per_user);
+    for (const TripletBatch& b : batches) {
+      // User-side encoding (positive hidden).
+      std::vector<std::vector<int64_t>> user_bags(b.size());
+      for (size_t r = 0; r < b.size(); ++r) {
+        user_bags[r] = HistoryExcluding(*graph_, b.users[r], target_behavior_,
+                                        b.pos_items[r]);
+      }
+      auto user_bag_op = MeanBag(user_bags, graph_->num_items());
+      ad::Var hu = ad::Tanh(user_hidden_->Forward(
+          ad::Spmm(&user_bag_op->forward, &user_bag_op->backward,
+                   item_hist_emb_->table())));
+
+      // Item-side encodings for positives (user hidden) and negatives.
+      auto item_side = [&](const std::vector<int64_t>& items,
+                           bool exclude_user) {
+        std::vector<std::vector<int64_t>> bags(items.size());
+        for (size_t r = 0; r < items.size(); ++r) {
+          std::vector<int64_t> users =
+              graph_->UsersOf(items[r], target_behavior_);
+          if (exclude_user) {
+            users.erase(
+                std::remove(users.begin(), users.end(), b.users[r]),
+                users.end());
+          }
+          bags[r] = std::move(users);
+        }
+        auto op = MeanBag(bags, graph_->num_users());
+        ad::Var g = ad::Tanh(item_hidden_->Forward(
+            ad::Spmm(&op->forward, &op->backward, user_hist_emb_->table())));
+        return std::make_pair(std::move(op), g);
+      };
+      auto [pos_op, g_pos] = item_side(b.pos_items, /*exclude_user=*/true);
+      auto [neg_op, g_neg] = item_side(b.neg_items, /*exclude_user=*/false);
+
+      auto score = [&](const std::vector<int64_t>& items, const ad::Var& g) {
+        ad::Var s = ad::RowDot(hu, item_out_emb_->Lookup(items));
+        s = ad::Add(s, ad::RowDot(g, user_out_emb_->Lookup(b.users)));
+        return ad::Add(s, item_bias_->Lookup(items));
+      };
+      ad::Var loss = ad::BprLoss(score(b.pos_items, g_pos),
+                                 score(b.neg_items, g_neg));
+      ad::Backward(loss);
+      opt.Step(params);
+    }
+  }
+}
+
+void CFUIcA::ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                        float* out) {
+  GNMR_CHECK(user_hidden_ != nullptr) << "Fit() before ScoreItems()";
+  // User-side encoding with full history.
+  std::vector<std::vector<int64_t>> user_bags = {
+      HistoryExcluding(*graph_, user, target_behavior_, -1)};
+  auto user_bag_op = MeanBag(user_bags, graph_->num_items());
+  ad::Var hu = ad::Tanh(user_hidden_->Forward(
+      ad::Spmm(&user_bag_op->forward, &user_bag_op->backward,
+               item_hist_emb_->table())));
+  // Item-side encodings.
+  std::vector<std::vector<int64_t>> item_bags(items.size());
+  for (size_t r = 0; r < items.size(); ++r) {
+    item_bags[r] = graph_->UsersOf(items[r], target_behavior_);
+  }
+  auto item_bag_op = MeanBag(item_bags, graph_->num_users());
+  ad::Var g = ad::Tanh(item_hidden_->Forward(
+      ad::Spmm(&item_bag_op->forward, &item_bag_op->backward,
+               user_hist_emb_->table())));
+
+  const tensor::Tensor& hu_v = hu.value();
+  const tensor::Tensor& g_v = g.value();
+  const tensor::Tensor& q = item_out_emb_->table().value();
+  const tensor::Tensor& p = user_out_emb_->table().value();
+  const tensor::Tensor& bias = item_bias_->table().value();
+  int64_t d = q.cols();
+  for (size_t i = 0; i < items.size(); ++i) {
+    double acc = bias.at(items[i], 0);
+    for (int64_t c = 0; c < d; ++c) {
+      acc += static_cast<double>(hu_v.at(0, c)) * q.at(items[i], c);
+      acc += static_cast<double>(g_v.at(static_cast<int64_t>(i), c)) *
+             p.at(user, c);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace baselines
+}  // namespace gnmr

@@ -1,0 +1,71 @@
+#include "src/baselines/bias_mf.h"
+
+#include "src/baselines/common.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+void BiasMF::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  util::Rng rng(config_.seed);
+  auto graph = train.BuildGraph();
+  graph::NegativeSampler sampler(graph.get(), train.target_behavior);
+
+  user_emb_ = std::make_unique<nn::Embedding>(train.num_users,
+                                              config_.embedding_dim, &rng);
+  item_emb_ = std::make_unique<nn::Embedding>(train.num_items,
+                                              config_.embedding_dim, &rng);
+  user_bias_ = std::make_unique<nn::Embedding>(train.num_users, 1, &rng, 0.0f);
+  item_bias_ = std::make_unique<nn::Embedding>(train.num_items, 1, &rng, 0.0f);
+
+  std::vector<ad::Var> params = {user_emb_->table(), item_emb_->table(),
+                                 user_bias_->table(), item_bias_->table()};
+  nn::Adam opt(config_.learning_rate, 0.9, 0.999, 1e-8,
+               config_.weight_decay);
+
+  auto score = [&](const std::vector<int64_t>& users,
+                   const std::vector<int64_t>& items) {
+    ad::Var p = user_emb_->Lookup(users);
+    ad::Var q = item_emb_->Lookup(items);
+    ad::Var s = ad::RowDot(p, q);
+    s = ad::Add(s, user_bias_->Lookup(users));
+    s = ad::Add(s, item_bias_->Lookup(items));
+    return s;
+  };
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batches = SampleTripletEpoch(*graph, sampler, train.target_behavior,
+                                      config_.batch_size,
+                                      config_.negatives_per_positive, &rng,
+                                      config_.samples_per_user);
+    for (const TripletBatch& b : batches) {
+      ad::Var loss = ad::BprLoss(score(b.users, b.pos_items),
+                                 score(b.users, b.neg_items));
+      ad::Backward(loss);
+      opt.Step(params);
+    }
+  }
+}
+
+void BiasMF::ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                        float* out) {
+  GNMR_CHECK(user_emb_ != nullptr) << "Fit() before ScoreItems()";
+  const tensor::Tensor& p = user_emb_->table().value();
+  const tensor::Tensor& q = item_emb_->table().value();
+  const tensor::Tensor& bu = user_bias_->table().value();
+  const tensor::Tensor& bi = item_bias_->table().value();
+  int64_t d = p.cols();
+  for (size_t i = 0; i < items.size(); ++i) {
+    double acc = bu.at(user, 0) + bi.at(items[i], 0);
+    for (int64_t c = 0; c < d; ++c) {
+      acc += static_cast<double>(p.at(user, c)) * q.at(items[i], c);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace baselines
+}  // namespace gnmr

@@ -1,0 +1,32 @@
+// BiasMF [Koren et al. 2009]: matrix factorisation with user and item bias
+// terms, trained with the pairwise BPR objective on the target behavior.
+#ifndef GNMR_BASELINES_BIAS_MF_H_
+#define GNMR_BASELINES_BIAS_MF_H_
+
+#include <memory>
+
+#include "src/baselines/recommender.h"
+#include "src/nn/embedding.h"
+
+namespace gnmr {
+namespace baselines {
+
+/// score(u, i) = b_u + b_i + p_u . q_i
+class BiasMF : public Recommender {
+ public:
+  explicit BiasMF(const BaselineConfig& config) : config_(config) {}
+  std::string name() const override { return "BiasMF"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  BaselineConfig config_;
+  std::unique_ptr<nn::Embedding> user_emb_, item_emb_;
+  std::unique_ptr<nn::Embedding> user_bias_, item_bias_;
+};
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_BIAS_MF_H_

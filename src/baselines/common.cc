@@ -1,0 +1,139 @@
+#include "src/baselines/common.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+namespace {
+
+// Users with at least one target positive and one eligible negative,
+// shuffled.
+std::vector<int64_t> TrainableUsers(const graph::MultiBehaviorGraph& graph,
+                                    const graph::NegativeSampler& sampler,
+                                    int64_t target_behavior, util::Rng* rng) {
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < graph.num_users(); ++u) {
+    if (graph.UserDegree(u, target_behavior) > 0 &&
+        sampler.NumEligible(u) > 0) {
+      users.push_back(u);
+    }
+  }
+  rng->Shuffle(&users);
+  return users;
+}
+
+int64_t RandomPositive(const graph::MultiBehaviorGraph& graph, int64_t user,
+                       int64_t behavior, util::Rng* rng) {
+  std::vector<int64_t> items = graph.ItemsOf(user, behavior);
+  GNMR_CHECK(!items.empty());
+  return items[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+}
+
+}  // namespace
+
+std::vector<TripletBatch> SampleTripletEpoch(
+    const graph::MultiBehaviorGraph& graph,
+    const graph::NegativeSampler& sampler, int64_t target_behavior,
+    int64_t batch_size, int64_t negatives_per_positive, util::Rng* rng,
+    int64_t samples_per_user) {
+  GNMR_CHECK_GT(batch_size, 0);
+  GNMR_CHECK_GT(samples_per_user, 0);
+  std::vector<int64_t> users =
+      TrainableUsers(graph, sampler, target_behavior, rng);
+  std::vector<TripletBatch> batches;
+  TripletBatch current;
+  for (int64_t u : users) {
+    for (int64_t s = 0; s < samples_per_user; ++s) {
+      int64_t pos = RandomPositive(graph, u, target_behavior, rng);
+      for (int64_t n = 0; n < negatives_per_positive; ++n) {
+        current.users.push_back(u);
+        current.pos_items.push_back(pos);
+        current.neg_items.push_back(sampler.SampleOne(u, rng));
+        if (static_cast<int64_t>(current.size()) >= batch_size) {
+          batches.push_back(std::move(current));
+          current = TripletBatch();
+        }
+      }
+    }
+  }
+  if (!current.users.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+std::vector<PointBatch> SamplePointEpoch(
+    const graph::MultiBehaviorGraph& graph,
+    const graph::NegativeSampler& sampler, int64_t target_behavior,
+    int64_t batch_size, int64_t negatives_per_positive, util::Rng* rng,
+    int64_t samples_per_user) {
+  GNMR_CHECK_GT(batch_size, 0);
+  GNMR_CHECK_GT(samples_per_user, 0);
+  std::vector<int64_t> users =
+      TrainableUsers(graph, sampler, target_behavior, rng);
+  std::vector<PointBatch> batches;
+  PointBatch current;
+  auto flush_if_full = [&]() {
+    if (static_cast<int64_t>(current.size()) >= batch_size) {
+      batches.push_back(std::move(current));
+      current = PointBatch();
+    }
+  };
+  for (int64_t u : users) {
+    for (int64_t s = 0; s < samples_per_user; ++s) {
+      int64_t pos = RandomPositive(graph, u, target_behavior, rng);
+      current.users.push_back(u);
+      current.items.push_back(pos);
+      current.labels.push_back(1.0f);
+      flush_if_full();
+      for (int64_t n = 0; n < negatives_per_positive; ++n) {
+        current.users.push_back(u);
+        current.items.push_back(sampler.SampleOne(u, rng));
+        current.labels.push_back(0.0f);
+        flush_if_full();
+      }
+    }
+  }
+  if (!current.users.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+tensor::Tensor UserRows(const graph::MultiBehaviorGraph& graph,
+                        const std::vector<int64_t>& users, int64_t behavior) {
+  tensor::Tensor rows(
+      {static_cast<int64_t>(users.size()), graph.num_items()});
+  float* rd = rows.data();
+  int64_t width = graph.num_items();
+  for (size_t r = 0; r < users.size(); ++r) {
+    for (int64_t j : graph.ItemsOf(users[r], behavior)) {
+      rd[static_cast<int64_t>(r) * width + j] = 1.0f;
+    }
+  }
+  return rows;
+}
+
+tensor::Tensor ItemRows(const graph::MultiBehaviorGraph& graph,
+                        const std::vector<int64_t>& items, int64_t behavior) {
+  tensor::Tensor rows(
+      {static_cast<int64_t>(items.size()), graph.num_users()});
+  float* rd = rows.data();
+  int64_t width = graph.num_users();
+  for (size_t r = 0; r < items.size(); ++r) {
+    for (int64_t u : graph.UsersOf(items[r], behavior)) {
+      rd[static_cast<int64_t>(r) * width + u] = 1.0f;
+    }
+  }
+  return rows;
+}
+
+std::vector<int64_t> AllIds(int64_t n) {
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace gnmr

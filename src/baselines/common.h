@@ -1,0 +1,67 @@
+// Shared helpers for baseline implementations: triplet/pointwise sampling
+// and dense interaction-row construction.
+#ifndef GNMR_BASELINES_COMMON_H_
+#define GNMR_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/graph/interaction_graph.h"
+#include "src/graph/negative_sampler.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace baselines {
+
+/// A (user, positive, negative) training triplet batch in struct-of-arrays
+/// layout, ready for embedding gathers.
+struct TripletBatch {
+  std::vector<int64_t> users;
+  std::vector<int64_t> pos_items;
+  std::vector<int64_t> neg_items;
+  size_t size() const { return users.size(); }
+};
+
+/// A pointwise batch: (user, item, label) with label 1 for observed target
+/// interactions and 0 for sampled negatives.
+struct PointBatch {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  std::vector<float> labels;
+  size_t size() const { return users.size(); }
+};
+
+/// Samples one epoch of triplets: for each user with positives,
+/// `samples_per_user` random positives with `negatives_per_positive`
+/// sampled negatives each. Order is shuffled.
+std::vector<TripletBatch> SampleTripletEpoch(
+    const graph::MultiBehaviorGraph& graph,
+    const graph::NegativeSampler& sampler, int64_t target_behavior,
+    int64_t batch_size, int64_t negatives_per_positive, util::Rng* rng,
+    int64_t samples_per_user = 1);
+
+/// Samples one epoch of pointwise batches with the same positive coverage.
+std::vector<PointBatch> SamplePointEpoch(
+    const graph::MultiBehaviorGraph& graph,
+    const graph::NegativeSampler& sampler, int64_t target_behavior,
+    int64_t batch_size, int64_t negatives_per_positive, util::Rng* rng,
+    int64_t samples_per_user = 1);
+
+/// Dense multi-hot rows over items for the given users under one behavior:
+/// out[r][j] = 1 iff users[r] interacted with item j. Used by row-input
+/// models (DMF, AutoRec, CDAE, NADE).
+tensor::Tensor UserRows(const graph::MultiBehaviorGraph& graph,
+                        const std::vector<int64_t>& users, int64_t behavior);
+
+/// Dense multi-hot rows over users for the given items under one behavior.
+tensor::Tensor ItemRows(const graph::MultiBehaviorGraph& graph,
+                        const std::vector<int64_t>& items, int64_t behavior);
+
+/// All user ids [0, n) as a vector (convenience for full-table passes).
+std::vector<int64_t> AllIds(int64_t n);
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_COMMON_H_

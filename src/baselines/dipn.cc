@@ -1,0 +1,214 @@
+#include "src/baselines/dipn.h"
+
+#include <algorithm>
+
+#include "src/baselines/common.h"
+#include "src/graph/negative_sampler.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+// -------------------------------------------------------------------- GRU ----
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : hidden_dim_(hidden_dim) {
+  xz_ = std::make_unique<nn::Linear>(input_dim, hidden_dim, true, rng);
+  hz_ = std::make_unique<nn::Linear>(hidden_dim, hidden_dim, false, rng);
+  xr_ = std::make_unique<nn::Linear>(input_dim, hidden_dim, true, rng);
+  hr_ = std::make_unique<nn::Linear>(hidden_dim, hidden_dim, false, rng);
+  xh_ = std::make_unique<nn::Linear>(input_dim, hidden_dim, true, rng);
+  hh_ = std::make_unique<nn::Linear>(hidden_dim, hidden_dim, false, rng);
+}
+
+ad::Var GruCell::Step(const ad::Var& x, const ad::Var& h) const {
+  ad::Var z = ad::Sigmoid(ad::Add(xz_->Forward(x), hz_->Forward(h)));
+  ad::Var r = ad::Sigmoid(ad::Add(xr_->Forward(x), hr_->Forward(h)));
+  ad::Var candidate =
+      ad::Tanh(ad::Add(xh_->Forward(x), hh_->Forward(ad::Mul(r, h))));
+  // h' = (1 - z) * h + z * candidate
+  ad::Var keep = ad::Mul(ad::AddScalar(ad::Neg(z), 1.0f), h);
+  return ad::Add(keep, ad::Mul(z, candidate));
+}
+
+std::vector<ad::Var> GruCell::Parameters() const {
+  std::vector<ad::Var> out;
+  for (const nn::Linear* l : {xz_.get(), hz_.get(), xr_.get(), hr_.get(),
+                              xh_.get(), hh_.get()}) {
+    auto p = l->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- DIPN ----
+
+ad::Var DIPN::UserIntent(const std::vector<int64_t>& users) const {
+  int64_t batch = static_cast<int64_t>(users.size());
+  int64_t d = config_.embedding_dim;
+  int64_t max_t = config_.max_sequence_length;
+
+  ad::Var p_u = user_emb_->Lookup(users);  // [B, d]
+
+  // Encode each behavior's sequence with its GRU (oldest -> newest),
+  // masking padded steps so short sequences keep their last real state.
+  std::vector<ad::Var> states;
+  states.reserve(static_cast<size_t>(num_behaviors_));
+  for (int64_t k = 0; k < num_behaviors_; ++k) {
+    ad::Var h = ad::Var::Constant(tensor::Tensor({batch, d}));
+    for (int64_t t = 0; t < max_t; ++t) {
+      std::vector<int64_t> step_items(static_cast<size_t>(batch), 0);
+      tensor::Tensor mask({batch, 1});
+      bool any = false;
+      for (int64_t b = 0; b < batch; ++b) {
+        const auto& seq =
+            sequences_[static_cast<size_t>(k)]
+                      [static_cast<size_t>(users[static_cast<size_t>(b)])];
+        if (t < static_cast<int64_t>(seq.size())) {
+          step_items[static_cast<size_t>(b)] = seq[static_cast<size_t>(t)];
+          mask.at(b, 0) = 1.0f;
+          any = true;
+        }
+      }
+      if (!any) break;
+      ad::Var x = item_emb_->Lookup(step_items);
+      ad::Var h_new = grus_[static_cast<size_t>(k)]->Step(x, h);
+      ad::Var m = ad::Var::Constant(std::move(mask));
+      // h = m * h_new + (1 - m) * h
+      ad::Var keep = ad::Mul(ad::AddScalar(ad::Neg(m), 1.0f), h);
+      h = ad::Add(ad::Mul(m, h_new), keep);
+    }
+    states.push_back(h);
+  }
+
+  // Inter-behavior attention queried by the user embedding.
+  std::vector<ad::Var> logits;
+  logits.reserve(states.size());
+  for (const ad::Var& h : states) {
+    ad::Var e = ad::Tanh(ad::Add(attn_state_->Forward(h),
+                                 attn_user_->Forward(p_u)));
+    logits.push_back(attn_out_->Forward(e));  // [B, 1]
+  }
+  ad::Var attn = ad::SoftmaxRows(ad::ConcatCols(logits));  // [B, K]
+  ad::Var pooled;
+  for (size_t k = 0; k < states.size(); ++k) {
+    ad::Var w = ad::SliceCols(attn, static_cast<int64_t>(k), 1);
+    ad::Var term = ad::Mul(states[k], w);
+    pooled = pooled.defined() ? ad::Add(pooled, term) : term;
+  }
+  return ad::Add(pooled, p_u);
+}
+
+std::vector<ad::Var> DIPN::Parameters() const {
+  std::vector<ad::Var> out = {item_emb_->table(), user_emb_->table(),
+                              item_bias_->table()};
+  for (const auto& gru : grus_) {
+    auto p = gru->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  for (const nn::Linear* l :
+       {attn_state_.get(), attn_user_.get(), attn_out_.get()}) {
+    auto p = l->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void DIPN::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  util::Rng rng(config_.seed);
+  auto graph = train.BuildGraph();
+  graph::NegativeSampler sampler(graph.get(), train.target_behavior);
+  num_behaviors_ = train.num_behaviors();
+  int64_t d = config_.embedding_dim;
+
+  // Build per-(behavior, user) time-ordered sequences, truncated to the
+  // most recent max_sequence_length events.
+  sequences_.assign(
+      static_cast<size_t>(num_behaviors_),
+      std::vector<std::vector<int64_t>>(static_cast<size_t>(train.num_users)));
+  {
+    std::vector<graph::Interaction> sorted = train.interactions;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const graph::Interaction& a,
+                        const graph::Interaction& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    for (const graph::Interaction& e : sorted) {
+      sequences_[static_cast<size_t>(e.behavior)]
+                [static_cast<size_t>(e.user)].push_back(e.item);
+    }
+    for (auto& per_behavior : sequences_) {
+      for (auto& seq : per_behavior) {
+        if (static_cast<int64_t>(seq.size()) > config_.max_sequence_length) {
+          seq.erase(seq.begin(),
+                    seq.end() - config_.max_sequence_length);
+        }
+      }
+    }
+  }
+
+  item_emb_ = std::make_unique<nn::Embedding>(train.num_items, d, &rng);
+  user_emb_ = std::make_unique<nn::Embedding>(train.num_users, d, &rng);
+  item_bias_ = std::make_unique<nn::Embedding>(train.num_items, 1, &rng, 0.0f);
+  for (int64_t k = 0; k < num_behaviors_; ++k) {
+    grus_.push_back(std::make_unique<GruCell>(d, d, &rng));
+  }
+  attn_state_ = std::make_unique<nn::Linear>(d, d, true, &rng);
+  attn_user_ = std::make_unique<nn::Linear>(d, d, false, &rng);
+  attn_out_ = std::make_unique<nn::Linear>(d, 1, false, &rng);
+
+  std::vector<ad::Var> params = Parameters();
+  nn::Adam opt(config_.learning_rate, 0.9, 0.999, 1e-8, config_.weight_decay);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batches = SampleTripletEpoch(*graph, sampler, train.target_behavior,
+                                      config_.batch_size,
+                                      config_.negatives_per_positive, &rng,
+                                      config_.samples_per_user);
+    for (const TripletBatch& b : batches) {
+      ad::Var intent = UserIntent(b.users);  // [B, d]
+      auto score = [&](const std::vector<int64_t>& items) {
+        return ad::Add(ad::RowDot(intent, item_emb_->Lookup(items)),
+                       item_bias_->Lookup(items));
+      };
+      ad::Var loss = ad::BprLoss(score(b.pos_items), score(b.neg_items));
+      ad::Backward(loss);
+      opt.Step(params);
+    }
+  }
+
+  // Cache the intent representation of every user for fast scoring.
+  cached_intent_ = tensor::Tensor({train.num_users, d});
+  int64_t batch = 256;
+  for (int64_t start = 0; start < train.num_users; start += batch) {
+    int64_t end = std::min(train.num_users, start + batch);
+    std::vector<int64_t> ids;
+    for (int64_t u = start; u < end; ++u) ids.push_back(u);
+    ad::Var intent = UserIntent(ids);
+    std::copy(intent.value().data(),
+              intent.value().data() + intent.value().numel(),
+              cached_intent_.data() + start * d);
+  }
+}
+
+void DIPN::ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                      float* out) {
+  GNMR_CHECK(!cached_intent_.empty()) << "Fit() before ScoreItems()";
+  int64_t d = cached_intent_.cols();
+  const float* u = cached_intent_.data() + user * d;
+  const tensor::Tensor& q = item_emb_->table().value();
+  const tensor::Tensor& bias = item_bias_->table().value();
+  for (size_t i = 0; i < items.size(); ++i) {
+    double acc = bias.at(items[i], 0);
+    for (int64_t c = 0; c < d; ++c) {
+      acc += static_cast<double>(u[c]) * q.at(items[i], c);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace baselines
+}  // namespace gnmr

@@ -1,0 +1,36 @@
+// DMF [Xue et al., IJCAI 2017]: deep matrix factorisation. Two MLP towers
+// embed the user's interaction row and the item's interaction column; the
+// match score is their cosine similarity. Pointwise BCE training on the
+// target behavior (the paper's normalised cross-entropy reduces to BCE for
+// binary implicit feedback).
+#ifndef GNMR_BASELINES_DMF_H_
+#define GNMR_BASELINES_DMF_H_
+
+#include <memory>
+
+#include "src/baselines/recommender.h"
+#include "src/nn/mlp.h"
+#include "src/tensor/tensor.h"
+
+namespace gnmr {
+namespace baselines {
+
+class DMF : public Recommender {
+ public:
+  explicit DMF(const BaselineConfig& config) : config_(config) {}
+  std::string name() const override { return "DMF"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  BaselineConfig config_;
+  // Cached tower outputs for all users/items after training.
+  tensor::Tensor user_repr_;  // [I, d]
+  tensor::Tensor item_repr_;  // [J, d]
+};
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_DMF_H_

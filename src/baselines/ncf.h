@@ -1,0 +1,50 @@
+// NCF [He et al., WWW 2017] in its three variants (Table II):
+//   NCF-G (GMF)  — generalised matrix factorisation: w^T (p_u ⊙ q_i)
+//   NCF-M (MLP)  — multi-layer perceptron over [p_u ; q_i]
+//   NCF-N (NeuMF)— fusion of both with a joint prediction layer
+// Pointwise BCE training with sampled negatives on the target behavior.
+#ifndef GNMR_BASELINES_NCF_H_
+#define GNMR_BASELINES_NCF_H_
+
+#include <memory>
+
+#include "src/baselines/recommender.h"
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+#include "src/nn/mlp.h"
+
+namespace gnmr {
+namespace baselines {
+
+enum class NcfVariant { kGmf, kMlp, kNeuMf };
+
+class NCF : public Recommender {
+ public:
+  NCF(NcfVariant variant, const BaselineConfig& config)
+      : variant_(variant), config_(config) {}
+  std::string name() const override;
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  /// Prediction logits for aligned (user, item) id lists.
+  ad::Var Predict(const std::vector<int64_t>& users,
+                  const std::vector<int64_t>& items) const;
+  std::vector<ad::Var> Parameters() const;
+
+  NcfVariant variant_;
+  BaselineConfig config_;
+  // GMF side.
+  std::unique_ptr<nn::Embedding> gmf_user_, gmf_item_;
+  // MLP side.
+  std::unique_ptr<nn::Embedding> mlp_user_, mlp_item_;
+  std::unique_ptr<nn::Mlp> mlp_;
+  // Joint prediction layer (maps concatenated features to one logit).
+  std::unique_ptr<nn::Linear> output_;
+};
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_NCF_H_

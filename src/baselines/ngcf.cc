@@ -1,0 +1,102 @@
+#include "src/baselines/ngcf.h"
+
+#include "src/baselines/common.h"
+#include "src/graph/negative_sampler.h"
+#include "src/nn/optimizer.h"
+#include "src/tensor/ad_ops.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+std::vector<ad::Var> NGCF::Propagate() const {
+  const graph::SparseOp* adj =
+      graph_->MergedAdjacency(graph::NeighborNorm::kSqrtDegree);
+  std::vector<ad::Var> layers = {node_emb_->table()};
+  for (size_t l = 0; l < w1_.size(); ++l) {
+    ad::Var h = layers.back();
+    ad::Var agg = ad::Spmm(&adj->forward, &adj->backward, h);
+    // Bi-interaction: first-order term plus element-wise interaction with
+    // the node's own embedding.
+    ad::Var next = ad::Add(w1_[l]->Forward(agg),
+                           w2_[l]->Forward(ad::Mul(agg, h)));
+    layers.push_back(ad::LeakyRelu(next, 0.2f));
+  }
+  return layers;
+}
+
+void NGCF::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  // Single-behavior baseline: keep only the target behavior's edges.
+  data::Dataset target_only = data::OnlyTargetBehavior(train);
+  util::Rng rng(config_.seed);
+  graph_ = target_only.BuildGraph();
+  graph::NegativeSampler sampler(graph_.get(), target_only.target_behavior);
+
+  int64_t d = config_.embedding_dim;
+  node_emb_ = std::make_unique<nn::Embedding>(graph_->num_nodes(), d, &rng);
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    w1_.push_back(std::make_unique<nn::Linear>(d, d, true, &rng));
+    w2_.push_back(std::make_unique<nn::Linear>(d, d, true, &rng));
+  }
+  std::vector<ad::Var> params = node_emb_->Parameters();
+  for (size_t l = 0; l < w1_.size(); ++l) {
+    for (const nn::Module* m :
+         {static_cast<const nn::Module*>(w1_[l].get()),
+          static_cast<const nn::Module*>(w2_[l].get())}) {
+      auto p = m->Parameters();
+      params.insert(params.end(), p.begin(), p.end());
+    }
+  }
+  nn::Adam opt(config_.learning_rate, 0.9, 0.999, 1e-8, config_.weight_decay);
+
+  int64_t offset = graph_->num_users();
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batches = SampleTripletEpoch(*graph_, sampler,
+                                      target_only.target_behavior,
+                                      config_.batch_size,
+                                      config_.negatives_per_positive, &rng,
+                                      config_.samples_per_user);
+    for (const TripletBatch& b : batches) {
+      std::vector<ad::Var> layers = Propagate();
+      ad::Var multi = layers.size() == 1 ? layers[0] : ad::ConcatCols(layers);
+      std::vector<int64_t> pos_nodes, neg_nodes;
+      for (size_t i = 0; i < b.size(); ++i) {
+        pos_nodes.push_back(offset + b.pos_items[i]);
+        neg_nodes.push_back(offset + b.neg_items[i]);
+      }
+      ad::Var u = ad::GatherRows(multi, b.users);
+      ad::Var pos = ad::RowDot(u, ad::GatherRows(multi, pos_nodes));
+      ad::Var neg = ad::RowDot(u, ad::GatherRows(multi, neg_nodes));
+      ad::Var loss = ad::BprLoss(pos, neg);
+      ad::Backward(loss);
+      opt.Step(params);
+    }
+  }
+
+  // Cache multi-order embeddings for inference.
+  std::vector<ad::Var> layers = Propagate();
+  std::vector<const tensor::Tensor*> values;
+  for (const ad::Var& l : layers) values.push_back(&l.value());
+  inference_cache_ = tensor::ops::ConcatCols(values);
+}
+
+void NGCF::ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                      float* out) {
+  GNMR_CHECK(!inference_cache_.empty()) << "Fit() before ScoreItems()";
+  int64_t width = inference_cache_.cols();
+  const float* u = inference_cache_.data() + user * width;
+  int64_t offset = graph_->num_users();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const float* v = inference_cache_.data() + (offset + items[i]) * width;
+    double acc = 0.0;
+    for (int64_t c = 0; c < width; ++c) {
+      acc += static_cast<double>(u[c]) * v[c];
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace baselines
+}  // namespace gnmr

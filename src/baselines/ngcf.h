@@ -1,0 +1,46 @@
+// NGCF [Wang et al., SIGIR 2019]: neural graph collaborative filtering.
+// L propagation layers over the (single-behavior) user-item graph with
+// symmetric sqrt-degree normalisation:
+//
+//   H^{l+1} = LeakyReLU( (A_hat H^l) W1 + ((A_hat H^l) o H^l) W2 )
+//
+// where o is the element-wise (bi-interaction) term; scoring is the dot
+// product of the concatenated multi-order embeddings, trained with BPR.
+// As a single-behavior baseline it consumes only the target behavior.
+#ifndef GNMR_BASELINES_NGCF_H_
+#define GNMR_BASELINES_NGCF_H_
+
+#include <memory>
+
+#include "src/baselines/recommender.h"
+#include "src/graph/interaction_graph.h"
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+#include "src/tensor/tensor.h"
+
+namespace gnmr {
+namespace baselines {
+
+class NGCF : public Recommender {
+ public:
+  explicit NGCF(const BaselineConfig& config) : config_(config) {}
+  std::string name() const override { return "NGCF"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  std::vector<ad::Var> Propagate() const;
+
+  BaselineConfig config_;
+  std::shared_ptr<graph::MultiBehaviorGraph> graph_;
+  std::unique_ptr<nn::Embedding> node_emb_;           // [I+J, d]
+  std::vector<std::unique_ptr<nn::Linear>> w1_;       // per layer
+  std::vector<std::unique_ptr<nn::Linear>> w2_;       // per layer
+  tensor::Tensor inference_cache_;                    // [I+J, (L+1)d]
+};
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_NGCF_H_

@@ -1,0 +1,52 @@
+// NMTR [Gao et al., ICDE 2019]: neural multi-task recommendation from
+// multi-behavior data. Users and items share one embedding pair across all
+// behavior types; each behavior k gets its own GMF-style interaction
+// function, and predictions CASCADE along the engagement chain:
+//
+//   logit_k(u,i) = h_k^T (p_u o q_i) + b_k + w_k * logit_{k-1}(u,i)
+//
+// (behaviors ordered with the target last; w_k is a learnable coupling so
+// weakly-related behaviors, e.g. "dislike", can decouple). Training is
+// multi-task BCE: every behavior contributes its own positives and
+// sampled negatives.
+#ifndef GNMR_BASELINES_NMTR_H_
+#define GNMR_BASELINES_NMTR_H_
+
+#include <memory>
+
+#include "src/baselines/recommender.h"
+#include "src/graph/interaction_graph.h"
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+
+namespace gnmr {
+namespace baselines {
+
+class NMTR : public Recommender {
+ public:
+  explicit NMTR(const BaselineConfig& config) : config_(config) {}
+  std::string name() const override { return "NMTR"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  /// Cascaded logits up to and including cascade position `upto`.
+  ad::Var CascadeLogit(const std::vector<int64_t>& users,
+                       const std::vector<int64_t>& items, size_t upto) const;
+
+  BaselineConfig config_;
+  std::shared_ptr<graph::MultiBehaviorGraph> graph_;
+  std::unique_ptr<nn::Embedding> user_emb_, item_emb_;
+  /// Per cascade position: the GMF head (d -> 1 with bias).
+  std::vector<std::unique_ptr<nn::Linear>> heads_;
+  /// Learnable cascade couplings w_k (position k couples to k-1).
+  std::vector<ad::Var> couplings_;
+  /// Behavior ids in cascade order (target last).
+  std::vector<int64_t> cascade_order_;
+};
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_NMTR_H_

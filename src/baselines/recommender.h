@@ -1,0 +1,68 @@
+// Common interface for every baseline of Table II, plus shared training
+// configuration. All models train on a Dataset and then answer the
+// eval::Scorer protocol.
+//
+// Behavior-data convention (matching the paper's comparison): baselines
+// designed for a single interaction type (BiasMF, DMF, NCF-*, AutoRec,
+// CDAE, NADE, CF-UIcA, NGCF) consume ONLY the target behavior; the
+// multi-behavior baselines (NMTR, DIPN) and GNMR consume all behaviors.
+#ifndef GNMR_BASELINES_RECOMMENDER_H_
+#define GNMR_BASELINES_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/eval/evaluator.h"
+
+namespace gnmr {
+namespace baselines {
+
+/// Shared hyperparameters for baseline training.
+struct BaselineConfig {
+  int64_t embedding_dim = 16;
+  int64_t epochs = 20;
+  double learning_rate = 5e-3;
+  double weight_decay = 1e-5;
+  /// Training examples (triplets or points) per optimisation step.
+  int64_t batch_size = 256;
+  /// Negative samples per positive for pointwise/pairwise objectives.
+  int64_t negatives_per_positive = 2;
+  /// Positives sampled per user per epoch (training-volume knob).
+  int64_t samples_per_user = 1;
+  /// Hidden widths for MLP-based models.
+  std::vector<int64_t> hidden_dims = {32, 16};
+  /// Propagation depth for graph models (NGCF).
+  int64_t num_layers = 2;
+  /// Sequence truncation length for sequence models (DIPN).
+  int64_t max_sequence_length = 10;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// A trainable top-N recommender that can score candidate items.
+class Recommender : public eval::Scorer {
+ public:
+  ~Recommender() override = default;
+
+  /// Model name as used in the paper's tables (e.g. "NCF-N").
+  virtual std::string name() const = 0;
+
+  /// Trains on `train`. Must be called exactly once before ScoreItems.
+  virtual void Fit(const data::Dataset& train) = 0;
+};
+
+/// Factory for every registered baseline. Names (case-sensitive) follow
+/// Table II: Random, MostPop, BiasMF, DMF, NCF-M, NCF-G, NCF-N, AutoRec,
+/// CDAE, NADE, CF-UIcA, NGCF, NMTR, DIPN.
+std::unique_ptr<Recommender> MakeBaseline(const std::string& name,
+                                          const BaselineConfig& config);
+
+/// All registered baseline names in Table II order.
+std::vector<std::string> AllBaselineNames();
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_RECOMMENDER_H_

@@ -1,0 +1,51 @@
+#include "src/baselines/autoencoders.h"
+#include "src/baselines/autoregressive.h"
+#include "src/baselines/bias_mf.h"
+#include "src/baselines/dipn.h"
+#include "src/baselines/dmf.h"
+#include "src/baselines/ncf.h"
+#include "src/baselines/ngcf.h"
+#include "src/baselines/nmtr.h"
+#include "src/baselines/recommender.h"
+#include "src/baselines/trivial.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+std::unique_ptr<Recommender> MakeBaseline(const std::string& name,
+                                          const BaselineConfig& config) {
+  if (name == "Random") return std::make_unique<RandomRecommender>(config);
+  if (name == "MostPop") {
+    return std::make_unique<MostPopularRecommender>(config);
+  }
+  if (name == "BiasMF") return std::make_unique<BiasMF>(config);
+  if (name == "DMF") return std::make_unique<DMF>(config);
+  if (name == "NCF-M") {
+    return std::make_unique<NCF>(NcfVariant::kMlp, config);
+  }
+  if (name == "NCF-G") {
+    return std::make_unique<NCF>(NcfVariant::kGmf, config);
+  }
+  if (name == "NCF-N") {
+    return std::make_unique<NCF>(NcfVariant::kNeuMf, config);
+  }
+  if (name == "AutoRec") return std::make_unique<AutoRec>(config);
+  if (name == "CDAE") return std::make_unique<CDAE>(config);
+  if (name == "NADE") return std::make_unique<NADE>(config);
+  if (name == "CF-UIcA") return std::make_unique<CFUIcA>(config);
+  if (name == "NGCF") return std::make_unique<NGCF>(config);
+  if (name == "NMTR") return std::make_unique<NMTR>(config);
+  if (name == "DIPN") return std::make_unique<DIPN>(config);
+  GNMR_CHECK(false) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> AllBaselineNames() {
+  // Table II order.
+  return {"BiasMF", "DMF",  "NCF-M",   "NCF-G", "NCF-N", "AutoRec",
+          "CDAE",   "NADE", "CF-UIcA", "NGCF",  "NMTR",  "DIPN"};
+}
+
+}  // namespace baselines
+}  // namespace gnmr

@@ -1,0 +1,49 @@
+#include "src/baselines/trivial.h"
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace baselines {
+
+void RandomRecommender::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+}
+
+void RandomRecommender::ScoreItems(int64_t user,
+                                   const std::vector<int64_t>& items,
+                                   float* out) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    // SplitMix64-style hash of (seed, user, item) -> [0, 1).
+    uint64_t x = seed_ ^ (static_cast<uint64_t>(user) * 0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<uint64_t>(items[i]) + 0xbf58476d1ce4e5b9ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    out[i] = static_cast<float>(x >> 40) / static_cast<float>(1 << 24);
+  }
+}
+
+void MostPopularRecommender::Fit(const data::Dataset& train) {
+  GNMR_CHECK(train.Validate().ok());
+  popularity_.assign(static_cast<size_t>(train.num_items), 0.0f);
+  for (const graph::Interaction& e : train.interactions) {
+    if (e.behavior == train.target_behavior) {
+      popularity_[static_cast<size_t>(e.item)] += 1.0f;
+    }
+  }
+}
+
+void MostPopularRecommender::ScoreItems(int64_t /*user*/,
+                                        const std::vector<int64_t>& items,
+                                        float* out) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    GNMR_CHECK(items[i] >= 0 &&
+               items[i] < static_cast<int64_t>(popularity_.size()));
+    out[i] = popularity_[static_cast<size_t>(items[i])];
+  }
+}
+
+}  // namespace baselines
+}  // namespace gnmr

@@ -1,0 +1,44 @@
+// Sanity-anchor recommenders: Random and MostPopular. Not in the paper's
+// tables, but every evaluation harness needs them — a learned model that
+// fails to beat MostPop is broken.
+#ifndef GNMR_BASELINES_TRIVIAL_H_
+#define GNMR_BASELINES_TRIVIAL_H_
+
+#include <vector>
+
+#include "src/baselines/recommender.h"
+
+namespace gnmr {
+namespace baselines {
+
+/// Scores items with a deterministic pseudo-random hash of (user, item).
+class RandomRecommender : public Recommender {
+ public:
+  explicit RandomRecommender(const BaselineConfig& config)
+      : seed_(config.seed) {}
+  std::string name() const override { return "Random"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Scores every item by its target-behavior interaction count.
+class MostPopularRecommender : public Recommender {
+ public:
+  explicit MostPopularRecommender(const BaselineConfig&) {}
+  std::string name() const override { return "MostPop"; }
+  void Fit(const data::Dataset& train) override;
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override;
+
+ private:
+  std::vector<float> popularity_;
+};
+
+}  // namespace baselines
+}  // namespace gnmr
+
+#endif  // GNMR_BASELINES_TRIVIAL_H_

@@ -1,0 +1,217 @@
+#include "src/core/gnmr_layers.h"
+
+#include <cmath>
+
+#include "src/nn/init.h"
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace core {
+
+// ------------------------------------------------------ TypeBehaviorEmbedding
+
+TypeBehaviorEmbedding::TypeBehaviorEmbedding(int64_t dim, int64_t channels,
+                                             util::Rng* rng)
+    : channels_(channels) {
+  GNMR_CHECK_GT(channels, 0);
+  w1_ = ad::Var::Param(nn::XavierUniform(dim, channels, rng));
+  b1_ = ad::Var::Param(tensor::Tensor({1, channels}));
+  w2_.reserve(static_cast<size_t>(channels));
+  for (int64_t c = 0; c < channels; ++c) {
+    w2_.push_back(ad::Var::Param(nn::XavierUniform(dim, dim, rng)));
+  }
+}
+
+ad::Var TypeBehaviorEmbedding::Forward(const ad::Var& s) const {
+  // alpha = ReLU(s W1 + b1): [N, C]
+  ad::Var alpha = ad::Relu(ad::Add(ad::MatMul(s, w1_), b1_));
+  ad::Var out;
+  for (int64_t c = 0; c < channels_; ++c) {
+    // alpha[:, c] broadcasts over the projected embedding.
+    ad::Var gate = ad::SliceCols(alpha, c, 1);                  // [N, 1]
+    ad::Var proj = ad::MatMul(s, w2_[static_cast<size_t>(c)]);  // [N, d]
+    ad::Var term = ad::Mul(proj, gate);
+    out = out.defined() ? ad::Add(out, term) : term;
+  }
+  return out;
+}
+
+std::vector<ad::Var> TypeBehaviorEmbedding::Parameters() const {
+  std::vector<ad::Var> out = {w1_, b1_};
+  out.insert(out.end(), w2_.begin(), w2_.end());
+  return out;
+}
+
+// -------------------------------------------------- BehaviorRelationAttention
+
+BehaviorRelationAttention::BehaviorRelationAttention(int64_t dim,
+                                                     int64_t heads,
+                                                     util::Rng* rng)
+    : heads_(heads) {
+  GNMR_CHECK_GT(heads, 0);
+  GNMR_CHECK_EQ(dim % heads, 0) << "heads must divide embedding dim";
+  head_dim_ = dim / heads;
+  for (int64_t s = 0; s < heads; ++s) {
+    q_.push_back(ad::Var::Param(nn::XavierUniform(dim, head_dim_, rng)));
+    k_.push_back(ad::Var::Param(nn::XavierUniform(dim, head_dim_, rng)));
+    v_.push_back(ad::Var::Param(nn::XavierUniform(dim, head_dim_, rng)));
+  }
+}
+
+std::vector<ad::Var> BehaviorRelationAttention::Forward(
+    const std::vector<ad::Var>& behaviors) const {
+  GNMR_CHECK(!behaviors.empty());
+  int64_t num_k = static_cast<int64_t>(behaviors.size());
+  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  // Pre-project every behavior embedding under every head.
+  std::vector<std::vector<ad::Var>> queries(static_cast<size_t>(heads_));
+  std::vector<std::vector<ad::Var>> keys(static_cast<size_t>(heads_));
+  std::vector<std::vector<ad::Var>> values(static_cast<size_t>(heads_));
+  for (int64_t s = 0; s < heads_; ++s) {
+    for (int64_t k = 0; k < num_k; ++k) {
+      const ad::Var& h = behaviors[static_cast<size_t>(k)];
+      queries[static_cast<size_t>(s)].push_back(
+          ad::MatMul(h, q_[static_cast<size_t>(s)]));
+      keys[static_cast<size_t>(s)].push_back(
+          ad::MatMul(h, k_[static_cast<size_t>(s)]));
+      values[static_cast<size_t>(s)].push_back(
+          ad::MatMul(h, v_[static_cast<size_t>(s)]));
+    }
+  }
+
+  std::vector<ad::Var> out;
+  out.reserve(static_cast<size_t>(num_k));
+  for (int64_t k = 0; k < num_k; ++k) {
+    std::vector<ad::Var> head_msgs;
+    head_msgs.reserve(static_cast<size_t>(heads_));
+    for (int64_t s = 0; s < heads_; ++s) {
+      // beta^s_{k,k'} per node: [N, K] logits.
+      std::vector<ad::Var> logit_cols;
+      logit_cols.reserve(static_cast<size_t>(num_k));
+      for (int64_t kp = 0; kp < num_k; ++kp) {
+        ad::Var dot = ad::RowDot(queries[static_cast<size_t>(s)][static_cast<size_t>(k)],
+                                 keys[static_cast<size_t>(s)][static_cast<size_t>(kp)]);
+        logit_cols.push_back(ad::MulScalar(dot, scale));
+      }
+      ad::Var attn = ad::SoftmaxRows(ad::ConcatCols(logit_cols));  // [N, K]
+      ad::Var msg;
+      for (int64_t kp = 0; kp < num_k; ++kp) {
+        ad::Var w = ad::SliceCols(attn, kp, 1);  // [N, 1]
+        ad::Var term =
+            ad::Mul(values[static_cast<size_t>(s)][static_cast<size_t>(kp)], w);
+        msg = msg.defined() ? ad::Add(msg, term) : term;
+      }
+      head_msgs.push_back(msg);  // [N, d/S]
+    }
+    // Concatenate heads, then residual back to the type-specific embedding
+    // (the element-wise addition of Section III-B).
+    ad::Var recalibrated = ad::ConcatCols(head_msgs);  // [N, d]
+    out.push_back(ad::Add(recalibrated, behaviors[static_cast<size_t>(k)]));
+  }
+  return out;
+}
+
+std::vector<ad::Var> BehaviorRelationAttention::Parameters() const {
+  std::vector<ad::Var> out;
+  out.insert(out.end(), q_.begin(), q_.end());
+  out.insert(out.end(), k_.begin(), k_.end());
+  out.insert(out.end(), v_.begin(), v_.end());
+  return out;
+}
+
+// --------------------------------------------------------------- BehaviorGate
+
+BehaviorGate::BehaviorGate(int64_t dim, int64_t hidden_dim, util::Rng* rng) {
+  GNMR_CHECK_GT(hidden_dim, 0);
+  w3_ = ad::Var::Param(nn::XavierUniform(dim, hidden_dim, rng));
+  b2_ = ad::Var::Param(tensor::Tensor({1, hidden_dim}));
+  w2_ = ad::Var::Param(nn::XavierUniform(hidden_dim, 1, rng));
+  b3_ = ad::Var::Param(tensor::Tensor({1, 1}));
+}
+
+ad::Var BehaviorGate::Forward(const std::vector<ad::Var>& behaviors) const {
+  GNMR_CHECK(!behaviors.empty());
+  int64_t num_k = static_cast<int64_t>(behaviors.size());
+  std::vector<ad::Var> logit_cols;
+  logit_cols.reserve(static_cast<size_t>(num_k));
+  for (const ad::Var& h : behaviors) {
+    ad::Var hidden = ad::Relu(ad::Add(ad::MatMul(h, w3_), b2_));  // [N, d']
+    logit_cols.push_back(ad::Add(ad::MatMul(hidden, w2_), b3_));  // [N, 1]
+  }
+  ad::Var gate = ad::SoftmaxRows(ad::ConcatCols(logit_cols));  // [N, K]
+  ad::Var out;
+  for (int64_t k = 0; k < num_k; ++k) {
+    ad::Var w = ad::SliceCols(gate, k, 1);
+    ad::Var term = ad::Mul(behaviors[static_cast<size_t>(k)], w);
+    out = out.defined() ? ad::Add(out, term) : term;
+  }
+  return out;
+}
+
+std::vector<ad::Var> BehaviorGate::Parameters() const {
+  return {w3_, b2_, w2_, b3_};
+}
+
+// ------------------------------------------------------------------ GnmrLayer
+
+GnmrLayer::GnmrLayer(const GnmrConfig& config,
+                     const graph::MultiBehaviorGraph* graph, util::Rng* rng)
+    : config_(&config), graph_(graph) {
+  GNMR_CHECK(graph != nullptr);
+  int64_t d = config.embedding_dim;
+  if (config.use_type_embedding) {
+    type_embedding_ =
+        std::make_unique<TypeBehaviorEmbedding>(d, config.num_channels, rng);
+  }
+  if (config.use_relation_attention) {
+    relation_attn_ =
+        std::make_unique<BehaviorRelationAttention>(d, config.num_heads, rng);
+  }
+  if (config.use_behavior_gate) {
+    int64_t hidden = config.gate_hidden_dim > 0 ? config.gate_hidden_dim : d;
+    gate_ = std::make_unique<BehaviorGate>(d, hidden, rng);
+  }
+}
+
+ad::Var GnmrLayer::Forward(const ad::Var& h) const {
+  int64_t num_k = graph_->num_behaviors();
+  std::vector<ad::Var> per_behavior;
+  per_behavior.reserve(static_cast<size_t>(num_k));
+  for (int64_t k = 0; k < num_k; ++k) {
+    const graph::SparseOp* adj =
+        graph_->UnifiedAdjacency(k, config_->neighbor_norm);
+    ad::Var summary = ad::Spmm(&adj->forward, &adj->backward, h);
+    per_behavior.push_back(type_embedding_ ? type_embedding_->Forward(summary)
+                                           : summary);
+  }
+  if (relation_attn_) {
+    per_behavior = relation_attn_->Forward(per_behavior);
+  }
+  if (gate_) {
+    return gate_->Forward(per_behavior);
+  }
+  // Ablation fallback: uniform average across behavior types.
+  ad::Var sum;
+  for (const ad::Var& b : per_behavior) {
+    sum = sum.defined() ? ad::Add(sum, b) : b;
+  }
+  return ad::MulScalar(sum, 1.0f / static_cast<float>(num_k));
+}
+
+std::vector<ad::Var> GnmrLayer::Parameters() const {
+  std::vector<ad::Var> out;
+  auto append = [&out](const nn::Module* m) {
+    if (m == nullptr) return;
+    auto p = m->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  };
+  append(type_embedding_.get());
+  append(relation_attn_.get());
+  append(gate_.get());
+  return out;
+}
+
+}  // namespace core
+}  // namespace gnmr

@@ -1,0 +1,76 @@
+// The GNMR model: L stacked propagation layers over the multi-behavior
+// interaction graph, with multi-order matching for scoring (Algorithm 1).
+#ifndef GNMR_CORE_GNMR_MODEL_H_
+#define GNMR_CORE_GNMR_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/gnmr_config.h"
+#include "src/core/gnmr_layers.h"
+#include "src/data/dataset.h"
+#include "src/eval/evaluator.h"
+#include "src/nn/embedding.h"
+#include "src/nn/module.h"
+
+namespace gnmr {
+namespace core {
+
+/// Full GNMR model bound to one training dataset/graph.
+class GnmrModel : public nn::Module {
+ public:
+  /// Builds the graph, the (optionally pre-trained) H^0 embeddings and the
+  /// layer stack. `train` is copied into the model's graph; the dataset
+  /// itself is not retained.
+  GnmrModel(const GnmrConfig& config, const data::Dataset& train);
+
+  /// Runs the L-layer propagation. Returns L+1 tensors: {H^0, ..., H^L},
+  /// each [num_nodes, d] over the unified node space [users; items].
+  std::vector<ad::Var> Propagate() const;
+
+  /// Multi-order matching: Pr(i,j) = sum_l dot(H_i^(l), H_j^(l)) for the
+  /// given (user, item) pairs. `layers` comes from Propagate().
+  /// users.size() must equal items.size(); returns [n, 1] scores.
+  ad::Var ScorePairs(const std::vector<ad::Var>& layers,
+                     const std::vector<int64_t>& users,
+                     const std::vector<int64_t>& items) const;
+
+  /// Recomputes and caches the concatenated multi-order embeddings for
+  /// inference-time scoring (Score / scorer()).
+  void RefreshInferenceCache();
+
+  /// Inference score from the cache; requires RefreshInferenceCache().
+  float Score(int64_t user, int64_t item) const;
+
+  /// The cached multi-order embeddings ([num_nodes, width]); requires
+  /// RefreshInferenceCache(). Copy it to checkpoint the scoring state.
+  const tensor::Tensor& inference_cache() const;
+
+  /// Restores a previously copied inference cache (e.g. the best
+  /// validation checkpoint); shape must match this model's cache layout.
+  void RestoreInferenceCache(tensor::Tensor cache);
+
+  /// eval::Scorer adapter over the inference cache. The returned object
+  /// borrows this model; call RefreshInferenceCache() first.
+  std::unique_ptr<eval::Scorer> MakeScorer();
+
+  std::vector<ad::Var> Parameters() const override;
+
+  const GnmrConfig& config() const { return config_; }
+  const graph::MultiBehaviorGraph& graph() const { return *graph_; }
+  int64_t num_users() const { return graph_->num_users(); }
+  int64_t num_items() const { return graph_->num_items(); }
+
+ private:
+  GnmrConfig config_;
+  std::shared_ptr<graph::MultiBehaviorGraph> graph_;
+  std::unique_ptr<nn::Embedding> node_embedding_;  // H^0, [I+J, d]
+  std::vector<std::unique_ptr<GnmrLayer>> layers_;
+  tensor::Tensor inference_cache_;  // [I+J, (L+1)*d]
+  bool cache_valid_ = false;
+};
+
+}  // namespace core
+}  // namespace gnmr
+
+#endif  // GNMR_CORE_GNMR_MODEL_H_

@@ -1,0 +1,109 @@
+#include "src/core/gnmr_trainer.h"
+
+#include <algorithm>
+
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+
+namespace gnmr {
+namespace core {
+
+GnmrTrainer::GnmrTrainer(const GnmrConfig& config, const data::Dataset& train)
+    : config_(config),
+      target_behavior_(train.target_behavior),
+      rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+  model_ = std::make_unique<GnmrModel>(config, train);
+  negative_sampler_ = std::make_unique<graph::NegativeSampler>(
+      &model_->graph(), train.target_behavior);
+  optimizer_ = std::make_unique<nn::Adam>(config.learning_rate, 0.9, 0.999,
+                                          1e-8, config.weight_decay);
+  params_ = model_->Parameters();
+  for (int64_t u = 0; u < model_->num_users(); ++u) {
+    if (model_->graph().UserDegree(u, train.target_behavior) > 0 &&
+        negative_sampler_->NumEligible(u) > 0) {
+      trainable_users_.push_back(u);
+    }
+  }
+  GNMR_CHECK(!trainable_users_.empty())
+      << "no users with target-behavior positives";
+}
+
+EpochStats GnmrTrainer::TrainEpoch() {
+  util::Stopwatch timer;
+  EpochStats stats;
+  stats.epoch = epoch_;
+
+  std::vector<int64_t> order = trainable_users_;
+  rng_.Shuffle(&order);
+
+  double loss_sum = 0.0;
+  int64_t steps = 0;
+
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(config_.batch_users)) {
+    size_t end = std::min(order.size(),
+                          start + static_cast<size_t>(config_.batch_users));
+    std::vector<int64_t> users, pos_items, neg_items;
+    for (size_t i = start; i < end; ++i) {
+      int64_t u = order[i];
+      std::vector<int64_t> positives =
+          model_->graph().ItemsOf(u, target_behavior_);
+      if (positives.empty()) continue;
+      for (int64_t s = 0; s < config_.positives_per_user; ++s) {
+        int64_t pos = positives[static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(positives.size()) - 1))];
+        for (int64_t n = 0; n < config_.negatives_per_positive; ++n) {
+          users.push_back(u);
+          pos_items.push_back(pos);
+          neg_items.push_back(negative_sampler_->SampleOne(u, &rng_));
+        }
+      }
+    }
+    if (users.empty()) continue;
+
+    std::vector<ad::Var> layers = model_->Propagate();
+    ad::Var pos_scores = model_->ScorePairs(layers, users, pos_items);
+    ad::Var neg_scores = model_->ScorePairs(layers, users, neg_items);
+    ad::Var loss =
+        ad::PairwiseHingeLoss(pos_scores, neg_scores, config_.margin);
+    GNMR_CHECK(!loss.value().HasNonFinite()) << "loss diverged (NaN/inf)";
+    loss_sum += static_cast<double>(loss.value().at(0));
+    ++steps;
+
+    ad::Backward(loss);
+    if (config_.grad_clip > 0.0) {
+      nn::ClipGradNorm(params_, config_.grad_clip);
+    }
+    stats.grad_norm = nn::GlobalGradNorm(params_);
+    optimizer_->Step(params_);
+  }
+
+  optimizer_->DecayLearningRate(config_.lr_decay);
+  stats.mean_loss = steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0;
+  stats.seconds = timer.ElapsedSeconds();
+  if (config_.verbose) {
+    GNMR_LOG(INFO) << "epoch " << epoch_ << " loss=" << stats.mean_loss
+                   << " grad=" << stats.grad_norm << " ("
+                   << stats.seconds << "s)";
+  }
+  ++epoch_;
+  return stats;
+}
+
+void GnmrTrainer::Train(
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  for (int64_t e = 0; e < config_.epochs; ++e) {
+    EpochStats stats = TrainEpoch();
+    if (on_epoch) on_epoch(stats);
+  }
+}
+
+std::unique_ptr<eval::Scorer> GnmrTrainer::MakeScorer() {
+  model_->RefreshInferenceCache();
+  return model_->MakeScorer();
+}
+
+}  // namespace core
+}  // namespace gnmr

@@ -1,0 +1,61 @@
+// Training loop for GNMR (Algorithm 1 of the paper): pairwise hinge loss
+// over sampled (user, positive, negative) triplets, Adam with exponential
+// learning-rate decay, full-graph propagation per step.
+#ifndef GNMR_CORE_GNMR_TRAINER_H_
+#define GNMR_CORE_GNMR_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/gnmr_model.h"
+#include "src/graph/negative_sampler.h"
+#include "src/nn/optimizer.h"
+
+namespace gnmr {
+namespace core {
+
+/// Per-epoch training diagnostics.
+struct EpochStats {
+  int64_t epoch = 0;
+  double mean_loss = 0.0;
+  double grad_norm = 0.0;
+  double seconds = 0.0;
+};
+
+/// Owns a GnmrModel plus its optimiser and sampling state.
+class GnmrTrainer {
+ public:
+  /// `train` is the training split (target behavior included). The trainer
+  /// keeps a copy of the per-user positive lists and the negative sampler.
+  GnmrTrainer(const GnmrConfig& config, const data::Dataset& train);
+
+  /// Runs one epoch over all users (shuffled, batched). Returns stats.
+  EpochStats TrainEpoch();
+
+  /// Runs config.epochs epochs. `on_epoch` (optional) observes progress.
+  void Train(const std::function<void(const EpochStats&)>& on_epoch = {});
+
+  /// Refreshes the model's inference cache and returns a scorer.
+  std::unique_ptr<eval::Scorer> MakeScorer();
+
+  GnmrModel& model() { return *model_; }
+  const GnmrModel& model() const { return *model_; }
+
+ private:
+  GnmrConfig config_;
+  std::unique_ptr<GnmrModel> model_;
+  std::unique_ptr<graph::NegativeSampler> negative_sampler_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<ad::Var> params_;
+  /// Users with at least one target-behavior positive.
+  std::vector<int64_t> trainable_users_;
+  int64_t target_behavior_ = 0;
+  util::Rng rng_;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace core
+}  // namespace gnmr
+
+#endif  // GNMR_CORE_GNMR_TRAINER_H_

@@ -1,0 +1,108 @@
+#include "src/core/model_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace core {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '1'};
+
+class ServingScorer : public eval::Scorer {
+ public:
+  explicit ServingScorer(const ServingModel* model) : model_(model) {}
+  void ScoreItems(int64_t user, const std::vector<int64_t>& items,
+                  float* out) override {
+    for (size_t i = 0; i < items.size(); ++i) {
+      out[i] = model_->Score(user, items[i]);
+    }
+  }
+
+ private:
+  const ServingModel* model_;
+};
+
+}  // namespace
+
+float ServingModel::Score(int64_t user, int64_t item) const {
+  GNMR_CHECK(user >= 0 && user < num_users);
+  GNMR_CHECK(item >= 0 && item < num_items);
+  int64_t width = embeddings.cols();
+  const float* u = embeddings.data() + user * width;
+  const float* v = embeddings.data() + (num_users + item) * width;
+  double acc = 0.0;
+  for (int64_t c = 0; c < width; ++c) {
+    acc += static_cast<double>(u[c]) * v[c];
+  }
+  return static_cast<float>(acc);
+}
+
+std::unique_ptr<eval::Scorer> ServingModel::MakeScorer() const {
+  return std::make_unique<ServingScorer>(this);
+}
+
+ServingModel ExportServingModel(const GnmrModel& model) {
+  ServingModel out;
+  out.num_users = model.num_users();
+  out.num_items = model.num_items();
+  out.embeddings = model.inference_cache().Clone();
+  return out;
+}
+
+util::Status SaveServingModel(const ServingModel& model,
+                              const std::string& path) {
+  if (model.embeddings.empty() ||
+      model.embeddings.rows() != model.num_users + model.num_items) {
+    return util::Status::InvalidArgument("inconsistent serving model");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return util::Status::IOError("cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  int64_t header[3] = {model.num_users, model.num_items,
+                       model.embeddings.cols()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(model.embeddings.data()),
+            static_cast<std::streamsize>(model.embeddings.numel() *
+                                         sizeof(float)));
+  out.flush();
+  if (!out.good()) return util::Status::IOError("write error on " + path);
+  return util::Status::OK();
+}
+
+util::Result<ServingModel> LoadServingModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IOError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::ParseError("bad magic in " + path);
+  }
+  int64_t header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in.good()) return util::Status::ParseError("truncated header");
+  ServingModel model;
+  model.num_users = header[0];
+  model.num_items = header[1];
+  int64_t width = header[2];
+  if (model.num_users <= 0 || model.num_items <= 0 || width <= 0) {
+    return util::Status::ParseError("invalid dimensions in header");
+  }
+  int64_t rows = model.num_users + model.num_items;
+  model.embeddings = tensor::Tensor({rows, width});
+  in.read(reinterpret_cast<char*>(model.embeddings.data()),
+          static_cast<std::streamsize>(model.embeddings.numel() *
+                                       sizeof(float)));
+  if (!in.good()) return util::Status::ParseError("truncated embeddings");
+  // Must be at EOF now.
+  char extra;
+  in.read(&extra, 1);
+  if (!in.eof()) return util::Status::ParseError("trailing bytes in " + path);
+  return model;
+}
+
+}  // namespace core
+}  // namespace gnmr

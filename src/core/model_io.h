@@ -1,0 +1,45 @@
+// Serving-oriented model persistence. Training happens offline; what a
+// serving path needs is the multi-order node embeddings (the inference
+// cache) plus enough metadata to validate compatibility. This module
+// writes/reads that state in a self-describing binary format.
+#ifndef GNMR_CORE_MODEL_IO_H_
+#define GNMR_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "src/core/gnmr_model.h"
+#include "src/util/status.h"
+
+namespace gnmr {
+namespace core {
+
+/// The deployable scoring artifact: multi-order embeddings + shape info.
+struct ServingModel {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  /// [num_users + num_items, width] multi-order embeddings.
+  tensor::Tensor embeddings;
+
+  /// Dot-product score; user/item must be in range.
+  float Score(int64_t user, int64_t item) const;
+
+  /// eval::Scorer adapter (borrows this object).
+  std::unique_ptr<eval::Scorer> MakeScorer() const;
+};
+
+/// Snapshots a trained model's inference cache into a ServingModel.
+/// The model must have a fresh inference cache.
+ServingModel ExportServingModel(const GnmrModel& model);
+
+/// Binary format: magic "GNMRSM01", then int64 num_users, num_items,
+/// width, then row-major float32 embeddings.
+util::Status SaveServingModel(const ServingModel& model,
+                              const std::string& path);
+
+/// Loads a model written by SaveServingModel; validates header and size.
+util::Result<ServingModel> LoadServingModel(const std::string& path);
+
+}  // namespace core
+}  // namespace gnmr
+
+#endif  // GNMR_CORE_MODEL_IO_H_

@@ -1,0 +1,90 @@
+#include "src/data/dataset.h"
+
+#include "src/util/check.h"
+#include "src/util/string_util.h"
+
+namespace gnmr {
+namespace data {
+
+util::Status Dataset::Validate() const {
+  if (num_users <= 0 || num_items <= 0) {
+    return util::Status::InvalidArgument("dataset has no users or items");
+  }
+  if (behavior_names.empty()) {
+    return util::Status::InvalidArgument("dataset has no behavior types");
+  }
+  if (target_behavior < 0 || target_behavior >= num_behaviors()) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("target behavior %lld out of range",
+                        static_cast<long long>(target_behavior)));
+  }
+  for (const std::string& n : behavior_names) {
+    if (n.empty()) {
+      return util::Status::InvalidArgument("empty behavior name");
+    }
+  }
+  for (const graph::Interaction& e : interactions) {
+    if (e.user < 0 || e.user >= num_users || e.item < 0 ||
+        e.item >= num_items || e.behavior < 0 ||
+        e.behavior >= num_behaviors()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "interaction out of range: user=%lld item=%lld behavior=%lld",
+          static_cast<long long>(e.user), static_cast<long long>(e.item),
+          static_cast<long long>(e.behavior)));
+    }
+  }
+  return util::Status::OK();
+}
+
+std::shared_ptr<graph::MultiBehaviorGraph> Dataset::BuildGraph() const {
+  return std::make_shared<graph::MultiBehaviorGraph>(
+      num_users, num_items, num_behaviors(), interactions);
+}
+
+int64_t Dataset::CountBehavior(int64_t behavior) const {
+  GNMR_CHECK(behavior >= 0 && behavior < num_behaviors());
+  int64_t count = 0;
+  for (const graph::Interaction& e : interactions) {
+    if (e.behavior == behavior) ++count;
+  }
+  return count;
+}
+
+Dataset FilterBehaviors(const Dataset& dataset,
+                        const std::vector<bool>& keep) {
+  GNMR_CHECK_EQ(static_cast<int64_t>(keep.size()), dataset.num_behaviors());
+  GNMR_CHECK(keep[static_cast<size_t>(dataset.target_behavior)])
+      << "cannot filter out the target behavior";
+  Dataset out;
+  out.name = dataset.name + "-filtered";
+  out.num_users = dataset.num_users;
+  out.num_items = dataset.num_items;
+  std::vector<int64_t> remap(keep.size(), -1);
+  for (size_t k = 0; k < keep.size(); ++k) {
+    if (keep[k]) {
+      remap[k] = static_cast<int64_t>(out.behavior_names.size());
+      out.behavior_names.push_back(dataset.behavior_names[k]);
+    }
+  }
+  out.target_behavior = remap[static_cast<size_t>(dataset.target_behavior)];
+  out.interactions.reserve(dataset.interactions.size());
+  for (const graph::Interaction& e : dataset.interactions) {
+    if (keep[static_cast<size_t>(e.behavior)]) {
+      graph::Interaction copy = e;
+      copy.behavior = remap[static_cast<size_t>(e.behavior)];
+      out.interactions.push_back(copy);
+    }
+  }
+  return out;
+}
+
+Dataset OnlyTargetBehavior(const Dataset& dataset) {
+  std::vector<bool> keep(static_cast<size_t>(dataset.num_behaviors()), false);
+  keep[static_cast<size_t>(dataset.target_behavior)] = true;
+  Dataset out = FilterBehaviors(dataset, keep);
+  out.name = dataset.name + "-only-target";
+  return out;
+}
+
+}  // namespace data
+}  // namespace gnmr

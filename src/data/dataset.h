@@ -1,0 +1,57 @@
+// In-memory multi-behavior recommendation dataset: the tensor X of the
+// paper (Section II) in event-list form, plus behavior metadata.
+#ifndef GNMR_DATA_DATASET_H_
+#define GNMR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/interaction_graph.h"
+#include "src/util/status.h"
+
+namespace gnmr {
+namespace data {
+
+/// A multi-behavior interaction dataset. Users/items are dense 0-based ids.
+struct Dataset {
+  /// Display name (e.g. "ml10m-like").
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  /// Behavior type names, index == behavior id (e.g. {"dislike", "neutral",
+  /// "like"}).
+  std::vector<std::string> behavior_names;
+  /// Behavior the recommender is evaluated on ("like" / "purchase").
+  int64_t target_behavior = 0;
+  /// All observed events.
+  std::vector<graph::Interaction> interactions;
+
+  int64_t num_behaviors() const {
+    return static_cast<int64_t>(behavior_names.size());
+  }
+
+  /// Checks ids are in range, the target exists, and names are non-empty.
+  util::Status Validate() const;
+
+  /// Builds the interaction graph over this dataset's events.
+  std::shared_ptr<graph::MultiBehaviorGraph> BuildGraph() const;
+
+  /// Number of events under behavior k.
+  int64_t CountBehavior(int64_t behavior) const;
+};
+
+/// Returns a copy of `dataset` keeping only behaviors with keep[k] == true.
+/// Behavior ids are re-indexed densely; the target behavior must be kept.
+/// This implements the "w/o <behavior>" variants of Table IV.
+Dataset FilterBehaviors(const Dataset& dataset, const std::vector<bool>& keep);
+
+/// Returns a copy keeping only the target behavior ("only like" in
+/// Table IV).
+Dataset OnlyTargetBehavior(const Dataset& dataset);
+
+}  // namespace data
+}  // namespace gnmr
+
+#endif  // GNMR_DATA_DATASET_H_

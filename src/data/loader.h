@@ -1,0 +1,35 @@
+// TSV persistence for datasets, so experiments can run on real exported
+// interaction logs as well as on the synthetic generators.
+#ifndef GNMR_DATA_LOADER_H_
+#define GNMR_DATA_LOADER_H_
+
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace gnmr {
+namespace data {
+
+/// File format (tab-separated):
+///   gnmr-v1 <name> <num_users> <num_items> <target_behavior> <b1|b2|...>
+///   <user> <item> <behavior> <timestamp>
+///   ...
+/// Lines starting with '#' and blank lines are ignored.
+util::Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset written by SaveDataset; validates it before returning.
+util::Result<Dataset> LoadDataset(const std::string& path);
+
+/// Loads a raw triple/quadruple file: `user item behavior [timestamp]` per
+/// line, with user/item/behavior as dense 0-based ids. num_users/items are
+/// inferred from the max ids; behavior names are supplied by the caller.
+util::Result<Dataset> LoadRawTsv(const std::string& path,
+                                 std::vector<std::string> behavior_names,
+                                 int64_t target_behavior,
+                                 const std::string& name = "raw");
+
+}  // namespace data
+}  // namespace gnmr
+
+#endif  // GNMR_DATA_LOADER_H_

@@ -1,0 +1,101 @@
+#include "src/data/split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace data {
+
+TrainTestSplit LeaveLatestOut(const Dataset& full,
+                              int64_t min_target_interactions,
+                              double aux_holdout_prob, util::Rng* rng) {
+  GNMR_CHECK_GE(min_target_interactions, 1);
+  GNMR_CHECK(aux_holdout_prob == 0.0 || rng != nullptr)
+      << "aux_holdout_prob needs an rng";
+  // Locate, per user, the latest target-behavior event (stable on ties:
+  // the one appearing last in the event list wins).
+  std::vector<int64_t> latest_idx(static_cast<size_t>(full.num_users), -1);
+  std::vector<int64_t> target_count(static_cast<size_t>(full.num_users), 0);
+  for (size_t i = 0; i < full.interactions.size(); ++i) {
+    const graph::Interaction& e = full.interactions[i];
+    if (e.behavior != full.target_behavior) continue;
+    size_t u = static_cast<size_t>(e.user);
+    target_count[u] += 1;
+    if (latest_idx[u] < 0 ||
+        e.timestamp >=
+            full.interactions[static_cast<size_t>(latest_idx[u])].timestamp) {
+      latest_idx[u] = static_cast<int64_t>(i);
+    }
+  }
+
+  TrainTestSplit split;
+  split.train.name = full.name + "-train";
+  split.train.num_users = full.num_users;
+  split.train.num_items = full.num_items;
+  split.train.behavior_names = full.behavior_names;
+  split.train.target_behavior = full.target_behavior;
+
+  std::unordered_set<int64_t> held_out;
+  // Pairs whose auxiliary events are also dropped (future-session model).
+  std::unordered_set<int64_t> aux_dropped_pairs;  // user * num_items + item
+  for (int64_t u = 0; u < full.num_users; ++u) {
+    size_t su = static_cast<size_t>(u);
+    if (target_count[su] >= min_target_interactions && latest_idx[su] >= 0) {
+      held_out.insert(latest_idx[su]);
+      const graph::Interaction& e =
+          full.interactions[static_cast<size_t>(latest_idx[su])];
+      split.test.push_back({e.user, e.item});
+      if (aux_holdout_prob > 0.0 && rng->Bernoulli(aux_holdout_prob)) {
+        aux_dropped_pairs.insert(e.user * full.num_items + e.item);
+      }
+    }
+  }
+  split.train.interactions.reserve(full.interactions.size() -
+                                   held_out.size());
+  for (size_t i = 0; i < full.interactions.size(); ++i) {
+    if (held_out.count(static_cast<int64_t>(i)) > 0) continue;
+    const graph::Interaction& e = full.interactions[i];
+    if (!aux_dropped_pairs.empty() &&
+        aux_dropped_pairs.count(e.user * full.num_items + e.item) > 0) {
+      continue;
+    }
+    split.train.interactions.push_back(e);
+  }
+  return split;
+}
+
+std::vector<EvalCandidates> BuildEvalCandidates(
+    const Dataset& train, const std::vector<EvalInstance>& test,
+    int64_t num_negatives, util::Rng* rng) {
+  GNMR_CHECK_GT(num_negatives, 0);
+  auto graph = train.BuildGraph();
+  std::vector<EvalCandidates> out;
+  out.reserve(test.size());
+  for (const EvalInstance& inst : test) {
+    EvalCandidates c;
+    c.user = inst.user;
+    c.positive_item = inst.positive_item;
+    // Distinct negatives: no train-time target edge, not the positive.
+    std::unordered_set<int64_t> chosen;
+    GNMR_CHECK_GE(
+        train.num_items -
+            graph->UserDegree(inst.user, train.target_behavior) - 1,
+        num_negatives)
+        << "user " << inst.user << " lacks eligible negatives";
+    while (static_cast<int64_t>(c.negatives.size()) < num_negatives) {
+      int64_t item = rng->UniformInt(0, train.num_items - 1);
+      if (item == inst.positive_item) continue;
+      if (chosen.count(item) > 0) continue;
+      if (graph->HasEdge(inst.user, item, train.target_behavior)) continue;
+      chosen.insert(item);
+      c.negatives.push_back(item);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace gnmr

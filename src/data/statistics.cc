@@ -1,0 +1,76 @@
+#include "src/data/statistics.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace gnmr {
+namespace data {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats s;
+  s.name = dataset.name;
+  s.num_users = dataset.num_users;
+  s.num_items = dataset.num_items;
+  s.num_interactions = static_cast<int64_t>(dataset.interactions.size());
+  std::vector<int64_t> behavior_counts(
+      static_cast<size_t>(dataset.num_behaviors()), 0);
+  std::vector<int64_t> item_counts(static_cast<size_t>(dataset.num_items), 0);
+  std::set<int64_t> users_with_target;
+  for (const graph::Interaction& e : dataset.interactions) {
+    behavior_counts[static_cast<size_t>(e.behavior)] += 1;
+    item_counts[static_cast<size_t>(e.item)] += 1;
+    if (e.behavior == dataset.target_behavior) users_with_target.insert(e.user);
+  }
+  for (int64_t k = 0; k < dataset.num_behaviors(); ++k) {
+    s.per_behavior.emplace_back(dataset.behavior_names[static_cast<size_t>(k)],
+                                behavior_counts[static_cast<size_t>(k)]);
+  }
+  double cells = static_cast<double>(dataset.num_users) *
+                 static_cast<double>(dataset.num_items) *
+                 static_cast<double>(dataset.num_behaviors());
+  s.density = cells > 0 ? static_cast<double>(s.num_interactions) / cells : 0;
+  s.avg_interactions_per_user =
+      dataset.num_users > 0
+          ? static_cast<double>(s.num_interactions) /
+                static_cast<double>(dataset.num_users)
+          : 0;
+  // Gini over item counts: G = (2*sum(i*x_i) / (n*sum(x)) ) - (n+1)/n with
+  // x sorted ascending and i 1-based.
+  std::sort(item_counts.begin(), item_counts.end());
+  double total = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < item_counts.size(); ++i) {
+    total += static_cast<double>(item_counts[i]);
+    weighted += static_cast<double>(i + 1) * static_cast<double>(item_counts[i]);
+  }
+  double n = static_cast<double>(item_counts.size());
+  s.item_gini =
+      total > 0 ? (2.0 * weighted) / (n * total) - (n + 1.0) / n : 0.0;
+  s.target_user_coverage =
+      dataset.num_users > 0
+          ? static_cast<double>(users_with_target.size()) /
+                static_cast<double>(dataset.num_users)
+          : 0;
+  return s;
+}
+
+std::string StatsToString(const DatasetStats& s) {
+  std::ostringstream os;
+  os << "Dataset " << s.name << ": users=" << s.num_users
+     << " items=" << s.num_items << " interactions=" << s.num_interactions
+     << "\n  behaviors:";
+  for (const auto& [name, count] : s.per_behavior) {
+    os << " " << name << "=" << count;
+  }
+  os << "\n  "
+     << util::StrFormat(
+            "density=%.5f avg_per_user=%.1f item_gini=%.3f target_cov=%.3f",
+            s.density, s.avg_interactions_per_user, s.item_gini,
+            s.target_user_coverage);
+  return os.str();
+}
+
+}  // namespace data
+}  // namespace gnmr

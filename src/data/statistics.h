@@ -1,0 +1,41 @@
+// Dataset statistics, reproducing Table I of the paper and backing the
+// synthetic-generator validation tests.
+#ifndef GNMR_DATA_STATISTICS_H_
+#define GNMR_DATA_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace gnmr {
+namespace data {
+
+/// Aggregate statistics over a dataset.
+struct DatasetStats {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_interactions = 0;
+  /// (behavior name, event count) in behavior-id order.
+  std::vector<std::pair<std::string, int64_t>> per_behavior;
+  /// Interactions / (users * items * behaviors).
+  double density = 0.0;
+  double avg_interactions_per_user = 0.0;
+  /// Gini coefficient of item interaction counts (1 = all mass on one
+  /// item); real recommendation data is heavily skewed (> 0.4).
+  double item_gini = 0.0;
+  /// Fraction of users with at least one target-behavior event.
+  double target_user_coverage = 0.0;
+};
+
+/// Computes statistics in one pass over the events.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Renders a Table-I-style summary block for one dataset.
+std::string StatsToString(const DatasetStats& stats);
+
+}  // namespace data
+}  // namespace gnmr
+
+#endif  // GNMR_DATA_STATISTICS_H_

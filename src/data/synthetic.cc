@@ -1,0 +1,437 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace data {
+
+namespace {
+
+// Latent ground truth shared by both generation styles.
+struct LatentWorld {
+  std::vector<std::vector<float>> user_factors;
+  std::vector<std::vector<float>> item_factors;
+  // Per behavior-slot, per item: factors of that behavior's own subspace
+  // (only allocated for behaviors with subspace_blend > 0).
+  std::map<int64_t, std::vector<std::vector<float>>> view_factors;
+  std::vector<double> item_pop_weight;   // Zipf sampling weights
+  std::vector<double> item_pop_score;    // standardised log popularity
+  std::vector<double> pop_cumulative;    // prefix sums for sampling
+};
+
+// Blends the shared affinity with the behavior's own-subspace affinity,
+// preserving variance: sqrt(1-b^2) * shared + b * own.
+double BlendedAffinity(const LatentWorld& w, int64_t behavior_slot,
+                       double blend, double shared, int64_t user,
+                       int64_t item) {
+  if (blend <= 0.0) return shared;
+  const auto& vf = w.view_factors.at(behavior_slot);
+  const auto& uf = w.user_factors[static_cast<size_t>(user)];
+  const auto& rf = vf[static_cast<size_t>(item)];
+  double own = 0.0;
+  for (size_t d = 0; d < uf.size(); ++d) {
+    own += static_cast<double>(uf[d]) * rf[d];
+  }
+  return std::sqrt(1.0 - blend * blend) * shared + blend * own;
+}
+
+void AllocateViewFactors(const SyntheticConfig& cfg, LatentWorld* w,
+                         int64_t behavior_slot, util::Rng* rng) {
+  float factor_std = 1.0f / std::sqrt(static_cast<float>(cfg.latent_dim));
+  auto& vf = w->view_factors[behavior_slot];
+  vf.resize(static_cast<size_t>(cfg.num_items));
+  for (auto& f : vf) {
+    f.resize(static_cast<size_t>(cfg.latent_dim));
+    for (float& v : f) v = rng->Normal(0.0f, factor_std);
+  }
+}
+
+LatentWorld BuildWorld(const SyntheticConfig& cfg, util::Rng* rng) {
+  LatentWorld w;
+  float factor_std = 1.0f / std::sqrt(static_cast<float>(cfg.latent_dim));
+  w.user_factors.resize(static_cast<size_t>(cfg.num_users));
+  for (auto& f : w.user_factors) {
+    f.resize(static_cast<size_t>(cfg.latent_dim));
+    for (float& v : f) v = rng->Normal(0.0f, factor_std);
+  }
+  w.item_factors.resize(static_cast<size_t>(cfg.num_items));
+  for (auto& f : w.item_factors) {
+    f.resize(static_cast<size_t>(cfg.latent_dim));
+    for (float& v : f) v = rng->Normal(0.0f, factor_std);
+  }
+  // Zipf popularity over a random permutation of items.
+  std::vector<int64_t> ranks(static_cast<size_t>(cfg.num_items));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  rng->Shuffle(&ranks);
+  w.item_pop_weight.resize(static_cast<size_t>(cfg.num_items));
+  w.item_pop_score.resize(static_cast<size_t>(cfg.num_items));
+  for (int64_t j = 0; j < cfg.num_items; ++j) {
+    double rank = static_cast<double>(ranks[static_cast<size_t>(j)]) + 1.0;
+    w.item_pop_weight[static_cast<size_t>(j)] =
+        std::pow(rank, -cfg.popularity_exponent);
+    w.item_pop_score[static_cast<size_t>(j)] = -std::log(rank);
+  }
+  // Standardise pop_score to zero mean / unit variance.
+  double mean = 0.0, var = 0.0;
+  for (double s : w.item_pop_score) mean += s;
+  mean /= static_cast<double>(cfg.num_items);
+  for (double s : w.item_pop_score) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(cfg.num_items);
+  double stddev = std::sqrt(std::max(var, 1e-12));
+  for (double& s : w.item_pop_score) s = (s - mean) / stddev;
+
+  w.pop_cumulative.resize(static_cast<size_t>(cfg.num_items));
+  double acc = 0.0;
+  for (int64_t j = 0; j < cfg.num_items; ++j) {
+    acc += w.item_pop_weight[static_cast<size_t>(j)];
+    w.pop_cumulative[static_cast<size_t>(j)] = acc;
+  }
+  return w;
+}
+
+int64_t SamplePopularItem(const LatentWorld& w, util::Rng* rng) {
+  double r = rng->UniformDouble() * w.pop_cumulative.back();
+  auto it =
+      std::lower_bound(w.pop_cumulative.begin(), w.pop_cumulative.end(), r);
+  return static_cast<int64_t>(it - w.pop_cumulative.begin());
+}
+
+double Affinity(const SyntheticConfig& cfg, const LatentWorld& w, int64_t u,
+                int64_t j, util::Rng* rng) {
+  const auto& uf = w.user_factors[static_cast<size_t>(u)];
+  const auto& jf = w.item_factors[static_cast<size_t>(j)];
+  double dot = 0.0;
+  for (size_t d = 0; d < uf.size(); ++d) {
+    dot += static_cast<double>(uf[d]) * jf[d];
+  }
+  return dot + cfg.popularity_weight * w.item_pop_score[static_cast<size_t>(j)] +
+         rng->Normal(0.0f, static_cast<float>(cfg.affinity_noise));
+}
+
+// A (user, item, affinity) candidate exposure.
+struct Candidate {
+  int64_t user;
+  int64_t item;
+  double z;
+};
+
+std::vector<Candidate> SampleCandidates(const SyntheticConfig& cfg,
+                                        const LatentWorld& w,
+                                        util::Rng* rng) {
+  std::vector<Candidate> all;
+  // Per-user breadth is capped at a quarter of the catalogue so the
+  // 99-negative evaluation protocol always has eligible items, matching the
+  // sparsity of the real datasets (users touch ~1% of items there).
+  int64_t max_per_user =
+      std::max<int64_t>(1, std::min(cfg.max_items_per_user,
+                                    cfg.num_items / 4));
+  int64_t min_per_user =
+      std::max<int64_t>(1, std::min(cfg.min_items_per_user, max_per_user));
+  double log_lo = std::log(static_cast<double>(min_per_user));
+  double log_hi = std::log(static_cast<double>(max_per_user));
+  for (int64_t u = 0; u < cfg.num_users; ++u) {
+    int64_t n = static_cast<int64_t>(std::lround(
+        std::exp(log_lo + (log_hi - log_lo) * rng->UniformDouble())));
+    n = std::min(n, cfg.num_items);
+    std::vector<bool> seen(static_cast<size_t>(cfg.num_items), false);
+    int64_t got = 0;
+    int64_t attempts = 0;
+    while (got < n && attempts < n * 30) {
+      ++attempts;
+      int64_t j = SamplePopularItem(w, rng);
+      if (seen[static_cast<size_t>(j)]) continue;
+      seen[static_cast<size_t>(j)] = true;
+      all.push_back({u, j, Affinity(cfg, w, u, j, rng)});
+      ++got;
+    }
+  }
+  return all;
+}
+
+// Returns the value cutting the z-distribution at quantile q.
+double QuantileCutoff(std::vector<double> sorted_z, double q) {
+  GNMR_CHECK(!sorted_z.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_z.size()));
+  if (idx >= sorted_z.size()) idx = sorted_z.size() - 1;
+  return sorted_z[idx];
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& cfg) {
+  GNMR_CHECK_GT(cfg.num_users, 0);
+  GNMR_CHECK_GT(cfg.num_items, 0);
+  GNMR_CHECK_GE(cfg.max_items_per_user, cfg.min_items_per_user);
+  GNMR_CHECK_GE(cfg.min_items_per_user, 1);
+  util::Rng rng(cfg.seed);
+
+  Dataset out;
+  out.name = cfg.name;
+  out.num_users = cfg.num_users;
+  out.num_items = cfg.num_items;
+
+  LatentWorld world = BuildWorld(cfg, &rng);
+  if (cfg.style == SyntheticConfig::Style::kRatings) {
+    for (size_t x = 0; x < cfg.extras.size(); ++x) {
+      if (cfg.extras[x].subspace_blend > 0.0) {
+        AllocateViewFactors(cfg, &world,
+                            static_cast<int64_t>(cfg.buckets.size() + x),
+                            &rng);
+      }
+    }
+  } else {
+    for (size_t st = 0; st < cfg.stages.size(); ++st) {
+      if (cfg.stages[st].subspace_blend > 0.0) {
+        AllocateViewFactors(cfg, &world, static_cast<int64_t>(st), &rng);
+      }
+    }
+  }
+  std::vector<Candidate> cands = SampleCandidates(cfg, world, &rng);
+
+  std::vector<double> sorted_z;
+  sorted_z.reserve(cands.size());
+  for (const Candidate& c : cands) sorted_z.push_back(c.z);
+  std::sort(sorted_z.begin(), sorted_z.end());
+
+  int64_t target_behavior = -1;
+
+  if (cfg.style == SyntheticConfig::Style::kRatings) {
+    GNMR_CHECK(!cfg.buckets.empty()) << "ratings style needs buckets";
+    // Behavior layout: buckets, then extras.
+    std::vector<double> lo_cut, hi_cut;
+    for (size_t b = 0; b < cfg.buckets.size(); ++b) {
+      out.behavior_names.push_back(cfg.buckets[b].name);
+      lo_cut.push_back(QuantileCutoff(sorted_z, cfg.buckets[b].lo_q));
+      hi_cut.push_back(QuantileCutoff(sorted_z, cfg.buckets[b].hi_q));
+      if (cfg.buckets[b].is_target) {
+        target_behavior = static_cast<int64_t>(b);
+      }
+    }
+    std::vector<double> extra_cut;
+    for (const ExtraBehaviorSpec& ex : cfg.extras) {
+      out.behavior_names.push_back(ex.name);
+      extra_cut.push_back(QuantileCutoff(sorted_z, ex.min_q));
+    }
+    GNMR_CHECK_GE(target_behavior, 0) << "no target bucket flagged";
+
+    int64_t ts = 0;
+    for (const Candidate& c : cands) {
+      // Exactly one bucket per rated pair (ratings are partitioned, matching
+      // the paper's MovieLens/Yelp setup).
+      for (size_t b = 0; b < cfg.buckets.size(); ++b) {
+        bool top_bucket = cfg.buckets[b].hi_q >= 1.0;
+        bool in_range = c.z >= lo_cut[b] && (top_bucket || c.z < hi_cut[b]);
+        if (in_range && rng.Bernoulli(cfg.buckets[b].keep_prob)) {
+          out.interactions.push_back(
+              {c.user, c.item, static_cast<int64_t>(b), ts});
+          break;
+        }
+      }
+      for (size_t x = 0; x < cfg.extras.size(); ++x) {
+        double zx = BlendedAffinity(
+            world, static_cast<int64_t>(cfg.buckets.size() + x),
+            cfg.extras[x].subspace_blend, c.z, c.user, c.item);
+        if (zx >= extra_cut[x] && rng.Bernoulli(cfg.extras[x].prob)) {
+          out.interactions.push_back(
+              {c.user, c.item,
+               static_cast<int64_t>(cfg.buckets.size() + x), ts});
+        }
+      }
+      ++ts;
+    }
+  } else {  // kFunnel
+    GNMR_CHECK(!cfg.stages.empty()) << "funnel style needs stages";
+    std::vector<double> cut;
+    for (size_t s = 0; s < cfg.stages.size(); ++s) {
+      out.behavior_names.push_back(cfg.stages[s].name);
+      cut.push_back(QuantileCutoff(sorted_z, cfg.stages[s].min_q));
+      if (cfg.stages[s].is_target) target_behavior = static_cast<int64_t>(s);
+    }
+    GNMR_CHECK_GE(target_behavior, 0) << "no target stage flagged";
+
+    int64_t ts = 0;
+    std::vector<bool> fired(cfg.stages.size());
+    for (const Candidate& c : cands) {
+      std::fill(fired.begin(), fired.end(), false);
+      for (size_t s = 0; s < cfg.stages.size(); ++s) {
+        const FunnelStageSpec& stage = cfg.stages[s];
+        int64_t gate = stage.gate_stage == -2
+                           ? static_cast<int64_t>(s) - 1
+                           : stage.gate_stage;
+        if (gate >= 0 && !fired[static_cast<size_t>(gate)] &&
+            !rng.Bernoulli(stage.gate_bypass_prob)) {
+          continue;
+        }
+        double zs =
+            BlendedAffinity(world, static_cast<int64_t>(s),
+                            stage.subspace_blend, c.z, c.user, c.item) +
+            rng.Normal(0.0f, static_cast<float>(stage.extra_noise));
+        if (zs < cut[s]) continue;
+        if (!rng.Bernoulli(stage.keep_prob)) continue;
+        fired[s] = true;
+        out.interactions.push_back(
+            {c.user, c.item, static_cast<int64_t>(s),
+             ts * static_cast<int64_t>(cfg.stages.size()) +
+                 static_cast<int64_t>(s)});
+      }
+      ++ts;
+    }
+  }
+
+  out.target_behavior = target_behavior;
+
+  // Guarantee min_target_per_user: promote the user's highest-affinity
+  // candidates (and, for funnels, their whole gate chain).
+  if (cfg.min_target_per_user > 0) {
+    std::vector<std::vector<const Candidate*>> per_user(
+        static_cast<size_t>(cfg.num_users));
+    for (const Candidate& c : cands) {
+      per_user[static_cast<size_t>(c.user)].push_back(&c);
+    }
+    std::vector<std::vector<int64_t>> user_target_items(
+        static_cast<size_t>(cfg.num_users));
+    // For the ratings style, promotion must CONVERT an existing bucket
+    // event (ratings partition the interactions, so a pair cannot carry
+    // two buckets). Track each pair's bucket-event index.
+    std::map<std::pair<int64_t, int64_t>, size_t> bucket_event_of;
+    for (size_t i = 0; i < out.interactions.size(); ++i) {
+      const graph::Interaction& e = out.interactions[i];
+      if (e.behavior == target_behavior) {
+        user_target_items[static_cast<size_t>(e.user)].push_back(e.item);
+      }
+      if (cfg.style == SyntheticConfig::Style::kRatings &&
+          e.behavior < static_cast<int64_t>(cfg.buckets.size())) {
+        bucket_event_of[{e.user, e.item}] = i;
+      }
+    }
+    int64_t ts = static_cast<int64_t>(cands.size()) *
+                 std::max<int64_t>(1, out.num_behaviors());
+    for (int64_t u = 0; u < cfg.num_users; ++u) {
+      auto& have = user_target_items[static_cast<size_t>(u)];
+      if (static_cast<int64_t>(have.size()) >= cfg.min_target_per_user) {
+        continue;
+      }
+      auto& cand_list = per_user[static_cast<size_t>(u)];
+      std::sort(cand_list.begin(), cand_list.end(),
+                [](const Candidate* a, const Candidate* b) {
+                  return a->z > b->z;
+                });
+      for (const Candidate* c : cand_list) {
+        if (static_cast<int64_t>(have.size()) >= cfg.min_target_per_user) {
+          break;
+        }
+        if (std::find(have.begin(), have.end(), c->item) != have.end()) {
+          continue;
+        }
+        if (cfg.style == SyntheticConfig::Style::kFunnel) {
+          // Emit the full gate chain ending at the target stage.
+          int64_t s = target_behavior;
+          std::vector<int64_t> chain;
+          while (s >= 0) {
+            chain.push_back(s);
+            const FunnelStageSpec& st = cfg.stages[static_cast<size_t>(s)];
+            s = st.gate_stage == -2 ? s - 1 : st.gate_stage;
+          }
+          std::reverse(chain.begin(), chain.end());
+          for (int64_t b : chain) {
+            out.interactions.push_back({u, c->item, b, ts++});
+          }
+        } else {
+          auto it = bucket_event_of.find({u, c->item});
+          if (it != bucket_event_of.end()) {
+            out.interactions[it->second].behavior = target_behavior;
+          } else {
+            out.interactions.push_back({u, c->item, target_behavior, ts++});
+          }
+        }
+        have.push_back(c->item);
+      }
+    }
+  }
+  return out;
+}
+
+SyntheticConfig MovieLensLike(double scale, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.name = "ml10m-like";
+  cfg.num_users = std::max<int64_t>(50, static_cast<int64_t>(900 * scale));
+  cfg.num_items = std::max<int64_t>(40, static_cast<int64_t>(420 * scale));
+  cfg.latent_dim = 8;
+  cfg.popularity_exponent = 1.0;
+  cfg.popularity_weight = 0.12;
+  cfg.affinity_noise = 0.25;
+  cfg.min_items_per_user = 12;
+  cfg.max_items_per_user = 110;
+  cfg.seed = seed;
+  cfg.style = SyntheticConfig::Style::kRatings;
+  // Rating-score partition used by the paper: r<=2 dislike, 2<r<4 neutral,
+  // r>=4 like. The quantile masses mirror the MovieLens rating histogram.
+  cfg.buckets = {
+      {"dislike", 0.00, 0.20, 1.0, false},
+      {"neutral", 0.20, 0.78, 1.0, false},
+      {"like", 0.78, 1.00, 1.0, true},
+  };
+  return cfg;
+}
+
+SyntheticConfig YelpLike(double scale, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.name = "yelp-like";
+  cfg.num_users = std::max<int64_t>(50, static_cast<int64_t>(800 * scale));
+  cfg.num_items = std::max<int64_t>(60, static_cast<int64_t>(1000 * scale));
+  cfg.latent_dim = 8;
+  cfg.popularity_exponent = 0.8;
+  cfg.popularity_weight = 0.10;
+  cfg.affinity_noise = 0.30;
+  cfg.min_items_per_user = 8;
+  cfg.max_items_per_user = 70;
+  cfg.seed = seed;
+  cfg.style = SyntheticConfig::Style::kRatings;
+  cfg.buckets = {
+      {"dislike", 0.00, 0.20, 1.0, false},
+      {"neutral", 0.20, 0.70, 1.0, false},
+      {"like", 0.70, 1.00, 1.0, true},
+  };
+  // Tips happen on venues users feel strongly positive about, with a
+  // tip-specific taste component (what people tip about != what they like).
+  cfg.extras = {{"tip", 0.60, 0.35, 0.20}};
+  return cfg;
+}
+
+SyntheticConfig TaobaoLike(double scale, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.name = "taobao-like";
+  cfg.num_users = std::max<int64_t>(60, static_cast<int64_t>(1100 * scale));
+  cfg.num_items = std::max<int64_t>(80, static_cast<int64_t>(1300 * scale));
+  cfg.latent_dim = 8;
+  cfg.popularity_exponent = 0.9;  // e-commerce exposure is skewed
+  // Popularity drives EXPOSURE (page views) but barely predicts purchase:
+  // that is what makes the real Taobao data the hardest of the three.
+  cfg.popularity_weight = 0.10;
+  cfg.affinity_noise = 0.30;
+  cfg.min_items_per_user = 10;
+  cfg.max_items_per_user = 80;
+  cfg.seed = seed;
+  cfg.style = SyntheticConfig::Style::kFunnel;
+  // page_view keep_prob < 1 models unlogged views; child-stage bypasses
+  // let carts/purchases appear without the logged view, so the funnel is
+  // informative but not a perfect superset (nesting ~0.8).
+  // Browse interest and purchase intent overlap but are not identical:
+  // upper-funnel stages carry a growing own-subspace component.
+  cfg.stages = {
+      {"page_view", 0.10, 0.25, 0.80, -1, 0.0, 0.50, false},
+      {"favorite", 0.55, 0.35, 0.45, 0, 0.30, 0.40, false},
+      {"cart", 0.72, 0.40, 0.60, 0, 0.40, 0.30, false},
+      {"purchase", 0.88, 0.60, 0.55, 0, 0.50, 0.00, true},
+  };
+  return cfg;
+}
+
+}  // namespace data
+}  // namespace gnmr

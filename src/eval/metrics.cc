@@ -1,0 +1,38 @@
+#include "src/eval/metrics.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace eval {
+
+double HitRatioAtN(int64_t rank, int64_t n) {
+  GNMR_CHECK_GE(rank, 0);
+  GNMR_CHECK_GT(n, 0);
+  return rank < n ? 1.0 : 0.0;
+}
+
+double NdcgAtN(int64_t rank, int64_t n) {
+  GNMR_CHECK_GE(rank, 0);
+  GNMR_CHECK_GT(n, 0);
+  if (rank >= n) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+int64_t RankOfPositive(float positive_score,
+                       const std::vector<float>& negative_scores) {
+  int64_t greater = 0;
+  int64_t ties = 0;
+  for (float s : negative_scores) {
+    if (s > positive_score) {
+      ++greater;
+    } else if (s == positive_score) {
+      ++ties;
+    }
+  }
+  return greater + ties / 2;
+}
+
+}  // namespace eval
+}  // namespace gnmr

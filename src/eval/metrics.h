@@ -1,0 +1,29 @@
+// Ranking metrics: Hit Ratio and NDCG under the single-positive protocol
+// (Section IV-A2 of the paper).
+#ifndef GNMR_EVAL_METRICS_H_
+#define GNMR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gnmr {
+namespace eval {
+
+/// HR@N for a positive ranked at `rank` (0-based) among the candidates:
+/// 1 if rank < N else 0.
+double HitRatioAtN(int64_t rank, int64_t n);
+
+/// NDCG@N for a single positive at `rank` (0-based): 1/log2(rank+2) if
+/// rank < N else 0. With one relevant item the ideal DCG is 1.
+double NdcgAtN(int64_t rank, int64_t n);
+
+/// Rank of the positive among candidate scores: the number of negatives
+/// scoring strictly higher, plus half the ties (deterministic mid-rank tie
+/// handling). `positive_score` vs `negative_scores`.
+int64_t RankOfPositive(float positive_score,
+                       const std::vector<float>& negative_scores);
+
+}  // namespace eval
+}  // namespace gnmr
+
+#endif  // GNMR_EVAL_METRICS_H_

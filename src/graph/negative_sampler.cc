@@ -1,0 +1,56 @@
+#include "src/graph/negative_sampler.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace graph {
+
+NegativeSampler::NegativeSampler(const MultiBehaviorGraph* graph,
+                                 int64_t target_behavior)
+    : graph_(graph), target_behavior_(target_behavior) {
+  GNMR_CHECK(graph != nullptr);
+  GNMR_CHECK(target_behavior >= 0 &&
+             target_behavior < graph->num_behaviors());
+}
+
+int64_t NegativeSampler::SampleOne(int64_t user, util::Rng* rng) const {
+  int64_t j = graph_->num_items();
+  GNMR_CHECK_GT(NumEligible(user), 0)
+      << "user " << user << " interacted with every item";
+  // Rejection sampling; positive sets are sparse so this terminates fast.
+  for (;;) {
+    int64_t item = rng->UniformInt(0, j - 1);
+    if (!graph_->HasEdge(user, item, target_behavior_)) return item;
+  }
+}
+
+std::vector<int64_t> NegativeSampler::Sample(int64_t user, int64_t n,
+                                             bool distinct,
+                                             util::Rng* rng) const {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  if (!distinct) {
+    for (int64_t i = 0; i < n; ++i) out.push_back(SampleOne(user, rng));
+    return out;
+  }
+  GNMR_CHECK_GE(NumEligible(user), n)
+      << "user " << user << " lacks " << n << " distinct negatives";
+  std::vector<bool> taken(static_cast<size_t>(graph_->num_items()), false);
+  while (static_cast<int64_t>(out.size()) < n) {
+    int64_t item = SampleOne(user, rng);
+    if (!taken[static_cast<size_t>(item)]) {
+      taken[static_cast<size_t>(item)] = true;
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+int64_t NegativeSampler::NumEligible(int64_t user) const {
+  return graph_->num_items() - graph_->UserDegree(user, target_behavior_);
+}
+
+}  // namespace graph
+}  // namespace gnmr

@@ -1,0 +1,44 @@
+// Negative sampling for pairwise training (Eq. 7) and for the evaluation
+// protocol (1 positive + 99 sampled negatives, Section IV-A2).
+#ifndef GNMR_GRAPH_NEGATIVE_SAMPLER_H_
+#define GNMR_GRAPH_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/interaction_graph.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace graph {
+
+/// Samples items a user has NOT interacted with under the target behavior.
+class NegativeSampler {
+ public:
+  /// `graph` must outlive the sampler. Negatives are drawn uniformly from
+  /// items without a target-behavior edge to the user. Items the user
+  /// touched under *auxiliary* behaviors remain eligible — they are exactly
+  /// the hard negatives multi-behavior models must rank below true
+  /// positives.
+  NegativeSampler(const MultiBehaviorGraph* graph, int64_t target_behavior);
+
+  /// One uniform negative item for `user`.
+  int64_t SampleOne(int64_t user, util::Rng* rng) const;
+
+  /// `n` negatives for `user`. With `distinct` they are pairwise distinct
+  /// (requires enough non-interacted items).
+  std::vector<int64_t> Sample(int64_t user, int64_t n, bool distinct,
+                              util::Rng* rng) const;
+
+  /// Number of items eligible as negatives for `user`.
+  int64_t NumEligible(int64_t user) const;
+
+ private:
+  const MultiBehaviorGraph* graph_;
+  int64_t target_behavior_;
+};
+
+}  // namespace graph
+}  // namespace gnmr
+
+#endif  // GNMR_GRAPH_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,78 @@
+#include "src/graph/neighbor_sampler.h"
+
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace graph {
+
+NeighborSampler::NeighborSampler(const MultiBehaviorGraph* graph,
+                                 int64_t fanout)
+    : graph_(graph), fanout_(fanout) {
+  GNMR_CHECK(graph != nullptr);
+  GNMR_CHECK_GT(fanout, 0);
+}
+
+SampledSubgraph NeighborSampler::Sample(
+    const std::vector<int64_t>& seed_users,
+    const std::vector<int64_t>& seed_items, int64_t hops,
+    util::Rng* rng) const {
+  SampledSubgraph sg;
+  std::unordered_map<int64_t, int32_t> pos_of;  // unified id -> position
+  auto intern = [&](int64_t unified) -> int32_t {
+    auto it = pos_of.find(unified);
+    if (it != pos_of.end()) return it->second;
+    int32_t pos = static_cast<int32_t>(sg.nodes.size());
+    sg.nodes.push_back(unified);
+    pos_of.emplace(unified, pos);
+    return pos;
+  };
+  int64_t offset = graph_->num_users();
+  std::vector<int64_t> frontier;
+  for (int64_t u : seed_users) {
+    GNMR_CHECK(u >= 0 && u < graph_->num_users());
+    intern(u);
+    frontier.push_back(u);
+  }
+  for (int64_t v : seed_items) {
+    GNMR_CHECK(v >= 0 && v < graph_->num_items());
+    intern(offset + v);
+    frontier.push_back(offset + v);
+  }
+
+  sg.hop_edges.resize(static_cast<size_t>(hops));
+  for (int64_t hop = 0; hop < hops; ++hop) {
+    std::vector<int64_t> next_frontier;
+    for (int64_t node : frontier) {
+      bool is_user = node < offset;
+      for (int64_t k = 0; k < graph_->num_behaviors(); ++k) {
+        std::vector<int64_t> nbrs =
+            is_user ? graph_->ItemsOf(node, k)
+                    : graph_->UsersOf(node - offset, k);
+        if (static_cast<int64_t>(nbrs.size()) > fanout_) {
+          std::vector<int64_t> pick = rng->SampleWithoutReplacement(
+              static_cast<int64_t>(nbrs.size()), fanout_);
+          std::vector<int64_t> sampled;
+          sampled.reserve(static_cast<size_t>(fanout_));
+          for (int64_t p : pick) sampled.push_back(nbrs[static_cast<size_t>(p)]);
+          nbrs = std::move(sampled);
+        }
+        int32_t dst_pos = intern(node);
+        for (int64_t nb : nbrs) {
+          int64_t nb_unified = is_user ? offset + nb : nb;
+          bool fresh = pos_of.find(nb_unified) == pos_of.end();
+          int32_t src_pos = intern(nb_unified);
+          sg.hop_edges[static_cast<size_t>(hop)].push_back(
+              {src_pos, dst_pos, static_cast<int32_t>(k)});
+          if (fresh) next_frontier.push_back(nb_unified);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return sg;
+}
+
+}  // namespace graph
+}  // namespace gnmr

@@ -1,0 +1,53 @@
+// GraphSage-style fixed-fanout neighbor sampling (Algorithm 1, line 3 of
+// the paper samples seed nodes and propagates over their neighborhoods).
+// The default GNMR trainer uses exact full-graph propagation; this sampler
+// backs the optional sampled mode and the scalability benchmarks.
+#ifndef GNMR_GRAPH_NEIGHBOR_SAMPLER_H_
+#define GNMR_GRAPH_NEIGHBOR_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/interaction_graph.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace graph {
+
+/// A sampled L-hop computation subgraph rooted at seed users/items.
+struct SampledSubgraph {
+  /// Unified node ids (users: [0,I), items: I+j) in BFS discovery order;
+  /// seeds first.
+  std::vector<int64_t> nodes;
+  /// For each hop l (size L): edge list (src_pos, dst_pos, behavior) where
+  /// positions index into `nodes`. Messages flow src -> dst.
+  struct Edge {
+    int32_t src_pos;
+    int32_t dst_pos;
+    int32_t behavior;
+  };
+  std::vector<std::vector<Edge>> hop_edges;
+};
+
+/// Uniform fixed-fanout sampler over the multi-behavior graph.
+class NeighborSampler {
+ public:
+  /// `graph` must outlive the sampler. `fanout` bounds sampled neighbors
+  /// per (node, behavior) per hop; degree <= fanout keeps all neighbors.
+  NeighborSampler(const MultiBehaviorGraph* graph, int64_t fanout);
+
+  /// Samples an L-hop subgraph rooted at `seed_users` (user ids) and
+  /// `seed_items` (item ids).
+  SampledSubgraph Sample(const std::vector<int64_t>& seed_users,
+                         const std::vector<int64_t>& seed_items, int64_t hops,
+                         util::Rng* rng) const;
+
+ private:
+  const MultiBehaviorGraph* graph_;
+  int64_t fanout_;
+};
+
+}  // namespace graph
+}  // namespace gnmr
+
+#endif  // GNMR_GRAPH_NEIGHBOR_SAMPLER_H_

@@ -1,0 +1,25 @@
+#include "src/nn/embedding.h"
+
+#include "src/nn/init.h"
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace nn {
+
+Embedding::Embedding(int64_t count, int64_t dim, util::Rng* rng,
+                     float stddev) {
+  table_ = ad::Var::Param(EmbeddingNormal(count, dim, stddev, rng));
+}
+
+Embedding::Embedding(tensor::Tensor table) {
+  GNMR_CHECK_EQ(table.rank(), 2);
+  table_ = ad::Var::Param(std::move(table));
+}
+
+ad::Var Embedding::Lookup(const std::vector<int64_t>& ids) const {
+  return ad::GatherRows(table_, ids);
+}
+
+}  // namespace nn
+}  // namespace gnmr

@@ -1,0 +1,42 @@
+// Trainable embedding table.
+#ifndef GNMR_NN_EMBEDDING_H_
+#define GNMR_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace nn {
+
+/// A [count, dim] table. Lookup gathers rows (sparse-gradient); table()
+/// exposes the full table for full-graph propagation models.
+class Embedding : public Module {
+ public:
+  /// N(0, stddev^2) init.
+  Embedding(int64_t count, int64_t dim, util::Rng* rng, float stddev = 0.1f);
+
+  /// Builds an embedding around an externally produced table (e.g. the
+  /// autoencoder pre-training of the GNMR paper, Section III-A).
+  explicit Embedding(tensor::Tensor table);
+
+  /// Gathers rows: ids -> [ids.size(), dim].
+  ad::Var Lookup(const std::vector<int64_t>& ids) const;
+
+  /// The full table as a Var (for whole-graph SpMM propagation).
+  const ad::Var& table() const { return table_; }
+
+  int64_t count() const { return table_.value().rows(); }
+  int64_t dim() const { return table_.value().cols(); }
+
+  std::vector<ad::Var> Parameters() const override { return {table_}; }
+
+ private:
+  ad::Var table_;
+};
+
+}  // namespace nn
+}  // namespace gnmr
+
+#endif  // GNMR_NN_EMBEDDING_H_

@@ -1,0 +1,31 @@
+#include "src/nn/linear.h"
+
+#include "src/nn/init.h"
+#include "src/tensor/ad_ops.h"
+
+namespace gnmr {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool use_bias,
+               util::Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = ad::Var::Param(XavierUniform(in_features, out_features, rng));
+  if (use_bias) {
+    bias_ = ad::Var::Param(tensor::Tensor({1, out_features}));
+  }
+}
+
+ad::Var Linear::Forward(const ad::Var& x) const {
+  ad::Var y = ad::MatMul(x, weight_);
+  if (bias_.defined()) y = ad::Add(y, bias_);
+  return y;
+}
+
+std::vector<ad::Var> Linear::Parameters() const {
+  std::vector<ad::Var> out = {weight_};
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+}  // namespace nn
+}  // namespace gnmr

@@ -1,0 +1,38 @@
+// Fully connected layer.
+#ifndef GNMR_NN_LINEAR_H_
+#define GNMR_NN_LINEAR_H_
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace nn {
+
+/// y = x W + b with W: [in, out], b: [1, out] (optional).
+class Linear : public Module {
+ public:
+  /// Xavier-uniform weight init; zero bias.
+  Linear(int64_t in_features, int64_t out_features, bool use_bias,
+         util::Rng* rng);
+
+  /// x: [n, in] -> [n, out].
+  ad::Var Forward(const ad::Var& x) const;
+
+  std::vector<ad::Var> Parameters() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const ad::Var& weight() const { return weight_; }
+  const ad::Var& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ad::Var weight_;
+  ad::Var bias_;  // undefined when !use_bias
+};
+
+}  // namespace nn
+}  // namespace gnmr
+
+#endif  // GNMR_NN_LINEAR_H_

@@ -1,0 +1,59 @@
+#include "src/nn/mlp.h"
+
+#include "src/tensor/ad_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace nn {
+
+ad::Var ApplyActivation(const ad::Var& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ad::Relu(x);
+    case Activation::kLeakyRelu:
+      return ad::LeakyRelu(x, 0.1f);
+    case Activation::kSigmoid:
+      return ad::Sigmoid(x);
+    case Activation::kTanh:
+      return ad::Tanh(x);
+  }
+  return x;
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation act, Activation final_act,
+         util::Rng* rng, float dropout)
+    : act_(act), final_act_(final_act), dropout_(dropout) {
+  GNMR_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(dims[i], dims[i + 1], /*use_bias=*/true,
+                                 rng));
+  }
+}
+
+ad::Var Mlp::Forward(const ad::Var& x, bool training, util::Rng* rng) const {
+  ad::Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    bool last = (i + 1 == layers_.size());
+    h = ApplyActivation(h, last ? final_act_ : act_);
+    if (!last && dropout_ > 0.0f) {
+      h = ad::Dropout(h, dropout_, training, rng);
+    }
+  }
+  return h;
+}
+
+std::vector<ad::Var> Mlp::Parameters() const {
+  std::vector<ad::Var> out;
+  for (const auto& layer : layers_) {
+    auto p = layer->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace gnmr

@@ -1,0 +1,43 @@
+// Multi-layer perceptron with configurable activations and dropout.
+#ifndef GNMR_NN_MLP_H_
+#define GNMR_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace gnmr {
+namespace nn {
+
+enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// Applies an activation to a Var (kNone is identity).
+ad::Var ApplyActivation(const ad::Var& x, Activation act);
+
+/// Stack of Linear layers with `act` between them.
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, h1, ..., out}; at least 2 entries. `final_act` applies
+  /// after the last layer; hidden layers use `act`.
+  Mlp(std::vector<int64_t> dims, Activation act, Activation final_act,
+      util::Rng* rng, float dropout = 0.0f);
+
+  /// Forward pass. `training` enables dropout (which then needs `rng`).
+  ad::Var Forward(const ad::Var& x, bool training = false,
+                  util::Rng* rng = nullptr) const;
+
+  std::vector<ad::Var> Parameters() const override;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation act_;
+  Activation final_act_;
+  float dropout_;
+};
+
+}  // namespace nn
+}  // namespace gnmr
+
+#endif  // GNMR_NN_MLP_H_

@@ -1,0 +1,48 @@
+// Base class for neural modules: a named bag of trainable parameters.
+#ifndef GNMR_NN_MODULE_H_
+#define GNMR_NN_MODULE_H_
+
+#include <vector>
+
+#include "src/tensor/autodiff.h"
+
+namespace gnmr {
+namespace nn {
+
+/// Anything holding trainable Vars. Parameters() returns handles to the
+/// persistent parameter nodes (not copies), so optimisers mutate in place.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module (and submodules).
+  virtual std::vector<ad::Var> Parameters() const = 0;
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const ad::Var& p : Parameters()) n += p.value().numel();
+    return n;
+  }
+
+  /// Clears gradients of all parameters.
+  void ZeroGrad() {
+    for (ad::Var p : Parameters()) p.ZeroGrad();
+  }
+};
+
+/// Concatenates parameter lists of several modules.
+inline std::vector<ad::Var> CollectParameters(
+    std::initializer_list<const Module*> modules) {
+  std::vector<ad::Var> out;
+  for (const Module* m : modules) {
+    auto params = m->Parameters();
+    out.insert(out.end(), params.begin(), params.end());
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace gnmr
+
+#endif  // GNMR_NN_MODULE_H_

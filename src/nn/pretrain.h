@@ -1,0 +1,43 @@
+// Autoencoder-based embedding pre-training. The GNMR paper initialises the
+// layer-0 node embeddings H^0 from an autoencoder over the multi-behavior
+// interaction tensor X (Section III-A, citing AutoRec [9]). This module
+// implements that scheme: one autoencoder over user rows of the flattened
+// [items x behaviors] matrix, one over item rows of [users x behaviors].
+#ifndef GNMR_NN_PRETRAIN_H_
+#define GNMR_NN_PRETRAIN_H_
+
+#include <utility>
+
+#include "src/data/dataset.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace nn {
+
+/// Configuration for autoencoder pre-training.
+struct PretrainConfig {
+  int64_t dim = 16;
+  int64_t epochs = 3;
+  int64_t batch_size = 64;
+  double learning_rate = 5e-3;
+  /// Input corruption probability (denoising flavor); 0 disables.
+  double corruption = 0.0;
+};
+
+/// Result of pre-training: initial user and item embedding tables.
+struct PretrainedEmbeddings {
+  tensor::Tensor user;  // [num_users, dim]
+  tensor::Tensor item;  // [num_items, dim]
+};
+
+/// Trains the two autoencoders on `dataset` and returns the encoder
+/// activations as initial embeddings. Deterministic given `rng`.
+PretrainedEmbeddings PretrainEmbeddings(const data::Dataset& dataset,
+                                        const PretrainConfig& config,
+                                        util::Rng* rng);
+
+}  // namespace nn
+}  // namespace gnmr
+
+#endif  // GNMR_NN_PRETRAIN_H_

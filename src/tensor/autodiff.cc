@@ -1,0 +1,127 @@
+#include "src/tensor/autodiff.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "src/tensor/tensor_ops.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace ad {
+
+namespace {
+std::atomic<uint64_t> g_next_node_id{1};
+}  // namespace
+
+void Node::EnsureGrad() {
+  if (grad.empty()) grad = tensor::Tensor(value.shape());
+}
+
+void Node::AccumulateGrad(const tensor::Tensor& g) {
+  GNMR_CHECK(g.shape() == value.shape())
+      << "grad shape " << g.ShapeString() << " vs value "
+      << value.ShapeString();
+  EnsureGrad();
+  float* gd = grad.data();
+  const float* sd = g.data();
+  int64_t n = grad.numel();
+  for (int64_t i = 0; i < n; ++i) gd[i] += sd[i];
+}
+
+Var::Var(tensor::Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->id = g_next_node_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+const tensor::Tensor& Var::value() const {
+  GNMR_CHECK(defined()) << "value() on a null Var";
+  return node_->value;
+}
+
+tensor::Tensor* Var::mutable_value() {
+  GNMR_CHECK(defined()) << "mutable_value() on a null Var";
+  return &node_->value;
+}
+
+const tensor::Tensor& Var::grad() const {
+  GNMR_CHECK(has_grad()) << "grad() on a Var without gradient";
+  return node_->grad;
+}
+
+void Var::ZeroGrad() {
+  GNMR_CHECK(defined());
+  if (node_->has_grad()) node_->grad.Fill(0.0f);
+}
+
+Var MakeOpVar(tensor::Tensor value, std::vector<Var> inputs,
+              std::function<void(Node*)> backward) {
+  bool needs_grad = false;
+  for (const Var& v : inputs) {
+    GNMR_CHECK(v.defined()) << "op input is a null Var";
+    needs_grad = needs_grad || v.requires_grad();
+  }
+  Var out(std::move(value), needs_grad);
+  if (needs_grad) {
+    auto node = out.node();
+    node->inputs.reserve(inputs.size());
+    for (const Var& v : inputs) node->inputs.push_back(v.node());
+    node->backward_fn = std::move(backward);
+  }
+  return out;
+}
+
+void Backward(const Var& root) {
+  GNMR_CHECK(root.defined());
+  GNMR_CHECK_EQ(root.value().numel(), 1)
+      << "Backward() root must be scalar; use BackwardWithGrad";
+  BackwardWithGrad(root, tensor::Tensor::Ones(root.value().shape()));
+}
+
+void BackwardWithGrad(const Var& root, const tensor::Tensor& seed) {
+  GNMR_CHECK(root.defined());
+  GNMR_CHECK(seed.shape() == root.value().shape());
+  if (!root.requires_grad()) return;
+
+  // Iterative post-order DFS to collect reachable grad-requiring nodes.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  Node* root_node = root.node().get();
+  stack.push_back({root_node, 0});
+  visited.insert(root_node);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_input < f.node->inputs.size()) {
+      Node* child = f.node->inputs[f.next_input++].get();
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Post-order gives children before parents; run parents first.
+  // Creation ids are monotone along dataflow, so sorting by id descending is
+  // also a valid reverse-topological order and keeps execution deterministic
+  // regardless of DFS tie-breaking.
+  std::sort(order.begin(), order.end(),
+            [](const Node* a, const Node* b) { return a->id > b->id; });
+
+  root_node->AccumulateGrad(seed);
+  for (Node* n : order) {
+    if (n->backward_fn && n->has_grad()) {
+      n->backward_fn(n);
+    }
+  }
+}
+
+}  // namespace ad
+}  // namespace gnmr

@@ -1,0 +1,66 @@
+#include "src/tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/string_util.h"
+
+namespace gnmr {
+namespace ad {
+
+bool GradCheckReport::Accept(double rel_tol, double abs_tol) const {
+  for (const auto& [abs_err, rel_err] : per_element) {
+    if (rel_err > rel_tol && abs_err > abs_tol) return false;
+  }
+  return true;
+}
+
+GradCheckReport GradCheck(const std::function<Var()>& loss_fn,
+                          std::vector<Var> params, float eps) {
+  GNMR_CHECK(!params.empty());
+  GNMR_CHECK_GT(eps, 0.0f);
+
+  // Analytic pass.
+  for (Var& p : params) p.ZeroGrad();
+  Var loss = loss_fn();
+  GNMR_CHECK_EQ(loss.value().numel(), 1);
+  Backward(loss);
+
+  std::vector<tensor::Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Var& p : params) {
+    GNMR_CHECK(p.requires_grad()) << "gradcheck param must require grad";
+    analytic.push_back(p.has_grad() ? p.grad()
+                                    : tensor::Tensor(p.value().shape()));
+  }
+
+  GradCheckReport report;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    float* data = params[pi].mutable_value()->data();
+    int64_t n = params[pi].value().numel();
+    for (int64_t e = 0; e < n; ++e) {
+      float saved = data[e];
+      data[e] = saved + eps;
+      double lp = static_cast<double>(loss_fn().value().data()[0]);
+      data[e] = saved - eps;
+      double lm = static_cast<double>(loss_fn().value().data()[0]);
+      data[e] = saved;
+      double numeric = (lp - lm) / (2.0 * static_cast<double>(eps));
+      double a = static_cast<double>(analytic[pi].data()[e]);
+      double abs_err = std::fabs(a - numeric);
+      double rel_err = abs_err / std::max(1e-3, std::fabs(a) + std::fabs(numeric));
+      report.elements += 1;
+      report.per_element.emplace_back(abs_err, rel_err);
+      if (abs_err > report.max_abs_err) report.max_abs_err = abs_err;
+      if (rel_err > report.max_rel_err) {
+        report.max_rel_err = rel_err;
+        report.worst = util::StrFormat("param %zu elem %lld (analytic=%g numeric=%g)",
+                                       pi, static_cast<long long>(e), a, numeric);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ad
+}  // namespace gnmr

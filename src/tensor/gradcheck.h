@@ -1,0 +1,46 @@
+// Finite-difference gradient verification used by the op test suite.
+#ifndef GNMR_TENSOR_GRADCHECK_H_
+#define GNMR_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/autodiff.h"
+
+namespace gnmr {
+namespace ad {
+
+/// Outcome of a finite-difference check over all parameter elements.
+struct GradCheckReport {
+  /// max |analytic - numeric| over all checked elements.
+  double max_abs_err = 0.0;
+  /// max |analytic - numeric| / max(denom_floor, |analytic| + |numeric|).
+  double max_rel_err = 0.0;
+  /// Number of elements compared.
+  int64_t elements = 0;
+  /// Location of the worst relative error, e.g. "param 1 elem 7".
+  std::string worst;
+  /// (abs_err, rel_err) per checked element, in parameter order.
+  std::vector<std::pair<double, double>> per_element;
+
+  /// Element-wise acceptance: every element must satisfy
+  /// rel_err <= rel_tol OR abs_err <= abs_tol (tiny gradients are
+  /// absolute-error dominated, e.g. at ReLU kinks).
+  bool Accept(double rel_tol, double abs_tol) const;
+};
+
+/// Verifies d(loss)/d(param) for every element of every param.
+///
+/// `loss_fn` must rebuild the loss from the current parameter values on
+/// each call and be deterministic. Central differences with step `eps`.
+/// float32 storage bounds the achievable accuracy: use eps ~1e-2 and
+/// rel_tol ~2e-2 in tests.
+GradCheckReport GradCheck(const std::function<Var()>& loss_fn,
+                          std::vector<Var> params, float eps = 1e-2f);
+
+}  // namespace ad
+}  // namespace gnmr
+
+#endif  // GNMR_TENSOR_GRADCHECK_H_

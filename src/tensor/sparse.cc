@@ -1,0 +1,159 @@
+#include "src/tensor/sparse.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace tensor {
+
+CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
+                             const std::vector<Coo>& entries) {
+  GNMR_CHECK_GE(rows, 0);
+  GNMR_CHECK_GE(cols, 0);
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  // Count entries per row, then bucket-place; O(nnz log nnz) due to the
+  // per-row sort for deterministic layout and duplicate merging.
+  std::vector<Coo> sorted = entries;
+  for (const Coo& e : sorted) {
+    GNMR_CHECK(e.row >= 0 && e.row < rows) << "row " << e.row;
+    GNMR_CHECK(e.col >= 0 && e.col < cols) << "col " << e.col;
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Coo& a, const Coo& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(sorted.size());
+  m.values_.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    float acc = 0.0f;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+           sorted[j].col == sorted[i].col) {
+      acc += sorted[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(sorted[i].col);
+    m.values_.push_back(acc);
+    m.row_ptr_[static_cast<size_t>(sorted[i].row) + 1] += 1;
+    i = j;
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+int64_t CsrMatrix::RowNnz(int64_t r) const {
+  GNMR_CHECK(r >= 0 && r < rows_);
+  return row_ptr_[static_cast<size_t>(r) + 1] - row_ptr_[static_cast<size_t>(r)];
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+  t.col_idx_.assign(col_idx_.size(), 0);
+  t.values_.assign(values_.size(), 0.0f);
+
+  // Counting pass.
+  for (int64_t c : col_idx_) t.row_ptr_[static_cast<size_t>(c) + 1] += 1;
+  for (size_t r = 0; r < static_cast<size_t>(cols_); ++r) {
+    t.row_ptr_[r + 1] += t.row_ptr_[r];
+  }
+  // Placement pass; iterating source rows in order keeps target columns
+  // sorted within each target row.
+  std::vector<int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      int64_t c = col_idx_[static_cast<size_t>(p)];
+      int64_t dst = cursor[static_cast<size_t>(c)]++;
+      t.col_idx_[static_cast<size_t>(dst)] = r;
+      t.values_[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
+    }
+  }
+  return t;
+}
+
+CsrMatrix CsrMatrix::RowScaled(const std::vector<float>& scale) const {
+  GNMR_CHECK_EQ(static_cast<int64_t>(scale.size()), rows_);
+  CsrMatrix out = *this;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      out.values_[static_cast<size_t>(p)] *= scale[static_cast<size_t>(r)];
+    }
+  }
+  return out;
+}
+
+std::vector<float> CsrMatrix::RowSums() const {
+  std::vector<float> sums(static_cast<size_t>(rows_), 0.0f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      acc += values_[static_cast<size_t>(p)];
+    }
+    sums[static_cast<size_t>(r)] = static_cast<float>(acc);
+  }
+  return sums;
+}
+
+void CsrMatrix::CheckInvariants() const {
+  GNMR_CHECK_EQ(static_cast<int64_t>(row_ptr_.size()), rows_ + 1);
+  GNMR_CHECK_EQ(row_ptr_.front(), 0);
+  GNMR_CHECK_EQ(row_ptr_.back(), nnz());
+  GNMR_CHECK_EQ(col_idx_.size(), values_.size());
+  for (size_t r = 0; r < static_cast<size_t>(rows_); ++r) {
+    GNMR_CHECK_LE(row_ptr_[r], row_ptr_[r + 1]) << "row_ptr not monotone";
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      size_t up = static_cast<size_t>(p);
+      GNMR_CHECK(col_idx_[up] >= 0 && col_idx_[up] < cols_)
+          << "col out of range in row " << r;
+      if (p > row_ptr_[r]) {
+        GNMR_CHECK_LT(col_idx_[up - 1], col_idx_[up])
+            << "cols not strictly sorted in row " << r;
+      }
+    }
+  }
+}
+
+namespace ops {
+
+Tensor Spmm(const CsrMatrix& a, const Tensor& x) {
+  GNMR_CHECK_EQ(x.rank(), 2);
+  GNMR_CHECK_EQ(a.cols(), x.rows())
+      << "Spmm shape mismatch: A cols " << a.cols() << " vs x rows "
+      << x.rows();
+  int64_t n = a.rows();
+  int64_t d = x.cols();
+  Tensor out({n, d});
+  const float* xd = x.data();
+  float* od = out.data();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int64_t i = 0; i < n; ++i) {
+    float* orow = od + i * d;
+    for (int64_t p = row_ptr[static_cast<size_t>(i)];
+         p < row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+      float v = values[static_cast<size_t>(p)];
+      const float* xrow = xd + col_idx[static_cast<size_t>(p)] * d;
+      for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace ops
+
+}  // namespace tensor
+}  // namespace gnmr

@@ -1,0 +1,65 @@
+// Invariant-checking macros for programmer errors (out-of-contract calls,
+// shape mismatches, broken internal state). These abort with a diagnostic;
+// they are NOT for recoverable errors — use util::Status for those.
+#ifndef GNMR_UTIL_CHECK_H_
+#define GNMR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gnmr {
+namespace util {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "GNMR_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream collector so call sites can write GNMR_CHECK(x) << "context".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace gnmr
+
+/// Aborts with a diagnostic if `cond` is false. Usable as a stream:
+///   GNMR_CHECK(i < n) << "index " << i << " out of range " << n;
+#define GNMR_CHECK(cond)                                             \
+  if (cond) {                                                        \
+  } else /* NOLINT */                                                \
+    ::gnmr::util::internal::CheckMessageBuilder(__FILE__, __LINE__,  \
+                                                "(" #cond ")")
+
+#define GNMR_CHECK_EQ(a, b) GNMR_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GNMR_CHECK_NE(a, b) GNMR_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GNMR_CHECK_LT(a, b) GNMR_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GNMR_CHECK_LE(a, b) GNMR_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GNMR_CHECK_GT(a, b) GNMR_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GNMR_CHECK_GE(a, b) GNMR_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+#endif  // GNMR_UTIL_CHECK_H_

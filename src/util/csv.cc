@@ -1,0 +1,62 @@
+#include "src/util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace gnmr {
+namespace util {
+
+Result<std::vector<std::vector<std::string>>> ReadDelimited(
+    const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    rows.push_back(Split(trimmed, delim));
+  }
+  if (in.bad()) return Status::IOError("read error on " + path);
+  return rows;
+}
+
+Status WriteDelimited(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows,
+                      char delim) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << delim;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write error on " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read error on " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << content;
+  out.flush();
+  if (!out.good()) return Status::IOError("write error on " + path);
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace gnmr

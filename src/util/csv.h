@@ -1,0 +1,34 @@
+// Delimited text (CSV/TSV) reading and writing used by dataset loaders and
+// by bench output. Deliberately simple: no quoting support; fields must not
+// contain the delimiter.
+#ifndef GNMR_UTIL_CSV_H_
+#define GNMR_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace gnmr {
+namespace util {
+
+/// Reads a delimited file into rows of string fields.
+/// Skips empty lines and lines starting with '#'.
+Result<std::vector<std::vector<std::string>>> ReadDelimited(
+    const std::string& path, char delim);
+
+/// Writes rows of fields joined by `delim`, one row per line.
+Status WriteDelimited(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows,
+                      char delim);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, replacing existing content.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace util
+}  // namespace gnmr
+
+#endif  // GNMR_UTIL_CSV_H_

@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr. Intended for library diagnostics and
+// experiment progress lines; not a general-purpose logging framework.
+#ifndef GNMR_UTIL_LOGGING_H_
+#define GNMR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gnmr {
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Severity aliases consumed by the GNMR_LOG token-pasting macro.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace gnmr
+
+/// Usage: GNMR_LOG(INFO) << "epoch " << epoch << " loss=" << loss;
+#define GNMR_LOG(severity)                                      \
+  ::gnmr::util::internal::LogMessage(                           \
+      ::gnmr::util::internal::k##severity, __FILE__, __LINE__)
+
+#endif  // GNMR_UTIL_LOGGING_H_

@@ -1,0 +1,124 @@
+// Lightweight Status / Result<T> error handling, in the spirit of
+// RocksDB's rocksdb::Status and Arrow's arrow::Result. Used for fallible
+// operations (I/O, parsing, user-supplied configuration). Programmer-error
+// invariants use GNMR_CHECK (see check.h) instead.
+#ifndef GNMR_UTIL_STATUS_H_
+#define GNMR_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gnmr {
+namespace util {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kParseError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A Status is either OK or an (code, message) pair describing a failure.
+///
+/// Typical use:
+///   Status s = LoadDataset(path, &out);
+///   if (!s.ok()) { LOG(ERROR) << s.ToString(); return s; }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value of type T or an error Status.
+///
+/// Typical use:
+///   Result<Dataset> r = LoadTsv(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. Intentionally implicit so
+  /// functions can `return Status::IOError(...)`. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value access. Requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace gnmr
+
+/// Propagates a non-OK Status from the current function.
+#define GNMR_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::gnmr::util::Status _gnmr_status = (expr);    \
+    if (!_gnmr_status.ok()) return _gnmr_status;   \
+  } while (0)
+
+#endif  // GNMR_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for experiment timing.
+#ifndef GNMR_UTIL_STOPWATCH_H_
+#define GNMR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gnmr {
+namespace util {
+
+/// Starts at construction; ElapsedSeconds()/ElapsedMillis() read the clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace gnmr
+
+#endif  // GNMR_UTIL_STOPWATCH_H_

@@ -1,0 +1,77 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/string_util.h"
+
+namespace gnmr {
+namespace util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GNMR_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  GNMR_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& os) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      const std::string& cell = row[c];
+      size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        os << cell << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cell;
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto render_sep = [&](std::ostringstream& os) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+    }
+    os << '\n';
+  };
+  std::ostringstream os;
+  render_sep(os);
+  render_row(header_, os);
+  render_sep(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_sep(os);
+    } else {
+      render_row(row, os);
+    }
+  }
+  render_sep(os);
+  return os.str();
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  return StrFormat("%.*f", digits, v);
+}
+
+std::string TablePrinter::Pct(double v, int digits) {
+  return StrFormat("%+.*f%%", digits, v);
+}
+
+}  // namespace util
+}  // namespace gnmr

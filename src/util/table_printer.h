@@ -1,0 +1,46 @@
+// Aligned plain-text table output used by the bench harnesses to print
+// paper-style result tables.
+#ifndef GNMR_UTIL_TABLE_PRINTER_H_
+#define GNMR_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gnmr {
+namespace util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+///   TablePrinter t({"Model", "HR@10", "NDCG@10"});
+///   t.AddRow({"GNMR", "0.857", "0.575"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; its size must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table. Columns are left-aligned for the first column and
+  /// right-aligned for the rest (numeric convention).
+  std::string ToString() const;
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string Num(double v, int digits = 4);
+
+  /// Formats a percentage change such as "-12.3%".
+  static std::string Pct(double v, int digits = 1);
+
+ private:
+  std::vector<std::string> header_;
+  // Sentinel row of size 0 encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace gnmr
+
+#endif  // GNMR_UTIL_TABLE_PRINTER_H_

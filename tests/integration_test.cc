@@ -1,0 +1,217 @@
+// Cross-module integration tests: full pipeline determinism, the paper's
+// headline property (multi-behavior beats target-only), dataset
+// persistence through training, and the bench harness utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/baselines/recommender.h"
+#include "src/core/gnmr_trainer.h"
+#include "src/data/loader.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+
+namespace gnmr {
+namespace {
+
+// ------------------------------------------------ end-to-end determinism ----
+
+TEST(IntegrationTest, FullPipelineIsDeterministic) {
+  auto run_once = [] {
+    data::Dataset full = data::GenerateSynthetic(data::YelpLike(0.15));
+    data::TrainTestSplit split = data::LeaveLatestOut(full);
+    util::Rng rng(3);
+    auto cands = data::BuildEvalCandidates(split.train, split.test, 30, &rng);
+    core::GnmrConfig cfg;
+    cfg.embedding_dim = 8;
+    cfg.num_channels = 4;
+    cfg.epochs = 4;
+    cfg.use_pretrain = false;
+    core::GnmrTrainer trainer(cfg, split.train);
+    trainer.Train();
+    auto scorer = trainer.MakeScorer();
+    return eval::EvaluateRanking(scorer.get(), cands, {10});
+  };
+  eval::RankingMetrics a = run_once();
+  eval::RankingMetrics b = run_once();
+  EXPECT_DOUBLE_EQ(a.hr[10], b.hr[10]);
+  EXPECT_DOUBLE_EQ(a.ndcg[10], b.ndcg[10]);
+}
+
+// ------------------------------------- the paper's headline properties ----
+
+TEST(IntegrationTest, MultiBehaviorBeatsTargetOnlyOnFunnelData) {
+  // Table IV / Section IV-D: auxiliary behaviors must lift target-behavior
+  // ranking. The funnel dataset is where the effect is largest.
+  data::Dataset full = data::GenerateSynthetic(data::TaobaoLike(0.35, 99));
+  util::Rng split_rng(5);
+  data::TrainTestSplit split = data::LeaveLatestOut(full, 2, 0.75, &split_rng);
+  util::Rng rng(5);
+  auto cands = data::BuildEvalCandidates(split.train, split.test, 99, &rng);
+
+  auto train_gnmr = [&](const data::Dataset& train) {
+    core::GnmrConfig cfg;
+    cfg.epochs = 18;
+    cfg.learning_rate = 1e-2;
+    cfg.use_pretrain = false;
+    core::GnmrTrainer trainer(cfg, train);
+    trainer.Train();
+    auto scorer = trainer.MakeScorer();
+    return eval::EvaluateRanking(scorer.get(), cands, {10});
+  };
+  eval::RankingMetrics multi = train_gnmr(split.train);
+  eval::RankingMetrics single = train_gnmr(data::OnlyTargetBehavior(split.train));
+  EXPECT_GT(multi.hr[10], single.hr[10])
+      << "multi=" << multi.hr[10] << " single=" << single.hr[10];
+}
+
+TEST(IntegrationTest, PropagationBeatsZeroLayers) {
+  // Figure 3: L=2 must beat L=0 (no message passing) clearly.
+  data::Dataset full = data::GenerateSynthetic(data::TaobaoLike(0.35, 101));
+  util::Rng split_rng(7);
+  data::TrainTestSplit split = data::LeaveLatestOut(full, 2, 0.75, &split_rng);
+  util::Rng rng(7);
+  auto cands = data::BuildEvalCandidates(split.train, split.test, 99, &rng);
+  auto run_depth = [&](int64_t depth) {
+    core::GnmrConfig cfg;
+    cfg.epochs = 18;
+    cfg.learning_rate = 1e-2;
+    cfg.num_layers = depth;
+    cfg.use_pretrain = false;
+    core::GnmrTrainer trainer(cfg, split.train);
+    trainer.Train();
+    auto scorer = trainer.MakeScorer();
+    return eval::EvaluateRanking(scorer.get(), cands, {10}).hr[10];
+  };
+  double hr0 = run_depth(0);
+  double hr2 = run_depth(2);
+  EXPECT_GT(hr2, hr0) << "L2=" << hr2 << " L0=" << hr0;
+}
+
+// -------------------------------------------------- persistence round trip ----
+
+TEST(IntegrationTest, TrainingOnReloadedDatasetMatches) {
+  data::Dataset original = data::GenerateSynthetic(data::MovieLensLike(0.12));
+  std::string path = testing::TempDir() + "/gnmr_integration_ds.tsv";
+  ASSERT_TRUE(data::SaveDataset(original, path).ok());
+  auto reloaded = data::LoadDataset(path);
+  ASSERT_TRUE(reloaded.ok());
+
+  auto eval_on = [](const data::Dataset& d) {
+    data::TrainTestSplit split = data::LeaveLatestOut(d);
+    util::Rng rng(9);
+    auto cands = data::BuildEvalCandidates(split.train, split.test, 20, &rng);
+    core::GnmrConfig cfg;
+    cfg.embedding_dim = 8;
+    cfg.epochs = 3;
+    cfg.use_pretrain = false;
+    core::GnmrTrainer trainer(cfg, split.train);
+    trainer.Train();
+    auto scorer = trainer.MakeScorer();
+    return eval::EvaluateRanking(scorer.get(), cands, {10}).hr[10];
+  };
+  EXPECT_DOUBLE_EQ(eval_on(original), eval_on(reloaded.value()));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- aux holdout split ----
+
+TEST(IntegrationTest, AuxHoldoutRemovesHeldOutPairAuxEdges) {
+  data::Dataset full = data::GenerateSynthetic(data::TaobaoLike(0.2, 55));
+  util::Rng rng(11);
+  data::TrainTestSplit split =
+      data::LeaveLatestOut(full, 2, /*aux_holdout_prob=*/1.0, &rng);
+  auto graph = split.train.BuildGraph();
+  for (const data::EvalInstance& t : split.test) {
+    for (int64_t k = 0; k < split.train.num_behaviors(); ++k) {
+      EXPECT_FALSE(graph->HasEdge(t.user, t.positive_item, k))
+          << "behavior " << k << " leaked for user " << t.user;
+    }
+  }
+}
+
+TEST(IntegrationTest, ZeroAuxHoldoutKeepsAuxEdges) {
+  data::Dataset full = data::GenerateSynthetic(data::TaobaoLike(0.2, 55));
+  data::TrainTestSplit split = data::LeaveLatestOut(full, 2);
+  auto graph = split.train.BuildGraph();
+  int64_t with_aux = 0;
+  for (const data::EvalInstance& t : split.test) {
+    if (graph->HasEdge(t.user, t.positive_item, 0)) ++with_aux;
+  }
+  // Most held-out purchases keep their page-view edge when prob = 0.
+  EXPECT_GT(with_aux, static_cast<int64_t>(split.test.size() / 2));
+}
+
+// ----------------------------------------------------------- bench harness ----
+
+TEST(HarnessTest, BuildEnvProducesConsistentCandidates) {
+  bench::ExperimentEnv env = bench::BuildEnv(data::YelpLike(0.15), 25);
+  EXPECT_EQ(env.dataset_name, "yelp-like");
+  ASSERT_FALSE(env.candidates.empty());
+  auto graph = env.split.train.BuildGraph();
+  for (const auto& c : env.candidates) {
+    EXPECT_EQ(c.negatives.size(), 25u);
+    EXPECT_FALSE(
+        graph->HasEdge(c.user, c.positive_item,
+                       env.split.train.target_behavior))
+        << "positive leaked into train";
+  }
+}
+
+TEST(HarnessTest, SettingsFromFlagsModes) {
+  {
+    const char* argv[] = {"p", "--fast"};
+    util::Flags flags(2, const_cast<char**>(argv));
+    bench::RunSettings s = bench::SettingsFromFlags(flags);
+    EXPECT_LT(s.scale, 0.5);
+    EXPECT_EQ(s.num_negatives, 50);
+  }
+  {
+    const char* argv[] = {"p", "--full", "--seed=9"};
+    util::Flags flags(3, const_cast<char**>(argv));
+    bench::RunSettings s = bench::SettingsFromFlags(flags);
+    EXPECT_DOUBLE_EQ(s.scale, 1.0);
+    EXPECT_EQ(s.seed, 9u);
+    EXPECT_EQ(s.num_negatives, 99);
+  }
+  {
+    const char* argv[] = {"p", "--scale=0.33", "--negatives=10"};
+    util::Flags flags(3, const_cast<char**>(argv));
+    bench::RunSettings s = bench::SettingsFromFlags(flags);
+    EXPECT_DOUBLE_EQ(s.scale, 0.33);
+    EXPECT_EQ(s.num_negatives, 10);
+  }
+}
+
+TEST(HarnessTest, RunBaselineSmoke) {
+  bench::ExperimentEnv env = bench::BuildEnv(data::MovieLensLike(0.15), 25);
+  bench::RunSettings settings;
+  settings.baseline_epochs = 3;
+  baselines::BaselineConfig cfg = bench::MakeBaselineConfig(settings);
+  double seconds = -1.0;
+  eval::RankingMetrics m =
+      bench::RunBaseline("BiasMF", cfg, env, {10}, &seconds);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_GE(m.hr[10], 0.0);
+  EXPECT_LE(m.hr[10], 1.0);
+}
+
+TEST(HarnessTest, RunGnmrWithAndWithoutEarlyStop) {
+  bench::ExperimentEnv env = bench::BuildEnv(data::MovieLensLike(0.15), 25);
+  bench::RunSettings settings;
+  settings.gnmr_epochs = 4;
+  core::GnmrConfig cfg = bench::MakeGnmrConfig(settings);
+  cfg.use_pretrain = false;
+  eval::RankingMetrics with =
+      bench::RunGnmrWithValidation(cfg, env, {10}, /*early_stop=*/true);
+  eval::RankingMetrics without =
+      bench::RunGnmrWithValidation(cfg, env, {10}, /*early_stop=*/false);
+  EXPECT_GE(with.hr[10], 0.0);
+  EXPECT_GE(without.hr[10], 0.0);
+}
+
+}  // namespace
+}  // namespace gnmr

@@ -1,0 +1,111 @@
+// Tests for serving-model export and binary persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/gnmr_trainer.h"
+#include "src/core/model_io.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/eval/evaluator.h"
+#include "src/util/csv.h"
+
+namespace gnmr {
+namespace core {
+namespace {
+
+GnmrTrainer TrainedTrainer() {
+  data::Dataset full = data::GenerateSynthetic(data::MovieLensLike(0.1));
+  data::TrainTestSplit split = data::LeaveLatestOut(full);
+  GnmrConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.num_channels = 4;
+  cfg.epochs = 3;
+  cfg.use_pretrain = false;
+  GnmrTrainer trainer(cfg, split.train);
+  trainer.Train();
+  return trainer;
+}
+
+TEST(ModelIoTest, ExportMatchesLiveScores) {
+  GnmrTrainer trainer = TrainedTrainer();
+  trainer.model().RefreshInferenceCache();
+  ServingModel serving = ExportServingModel(trainer.model());
+  EXPECT_EQ(serving.num_users, trainer.model().num_users());
+  EXPECT_EQ(serving.num_items, trainer.model().num_items());
+  for (int64_t u = 0; u < 5; ++u) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(serving.Score(u, j), trainer.model().Score(u, j));
+    }
+  }
+}
+
+TEST(ModelIoTest, SaveLoadRoundTrip) {
+  GnmrTrainer trainer = TrainedTrainer();
+  trainer.model().RefreshInferenceCache();
+  ServingModel original = ExportServingModel(trainer.model());
+  std::string path = testing::TempDir() + "/gnmr_serving.bin";
+  ASSERT_TRUE(SaveServingModel(original, path).ok());
+  auto loaded = LoadServingModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_users, original.num_users);
+  EXPECT_EQ(loaded.value().num_items, original.num_items);
+  ASSERT_TRUE(
+      loaded.value().embeddings.SameShape(original.embeddings));
+  for (int64_t i = 0; i < original.embeddings.numel(); ++i) {
+    EXPECT_EQ(loaded.value().embeddings.data()[i],
+              original.embeddings.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ScorerAdapterWorks) {
+  GnmrTrainer trainer = TrainedTrainer();
+  trainer.model().RefreshInferenceCache();
+  ServingModel serving = ExportServingModel(trainer.model());
+  auto scorer = serving.MakeScorer();
+  std::vector<int64_t> items = {0, 1, 2};
+  std::vector<float> scores(items.size());
+  scorer->ScoreItems(0, items, scores.data());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_FLOAT_EQ(scores[i], serving.Score(0, items[i]));
+  }
+}
+
+TEST(ModelIoTest, RejectsCorruptFiles) {
+  std::string path = testing::TempDir() + "/gnmr_corrupt.bin";
+  // Wrong magic.
+  ASSERT_TRUE(util::WriteStringToFile(path, "NOTGNMR0withsomebytes").ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  // Truncated file with right magic.
+  ASSERT_TRUE(util::WriteStringToFile(path, "GNMRSM01").ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  std::remove(path.c_str());
+  // Missing file.
+  EXPECT_FALSE(LoadServingModel("/nonexistent/file.bin").ok());
+}
+
+TEST(ModelIoTest, RejectsTrailingBytes) {
+  GnmrTrainer trainer = TrainedTrainer();
+  trainer.model().RefreshInferenceCache();
+  ServingModel original = ExportServingModel(trainer.model());
+  std::string path = testing::TempDir() + "/gnmr_trailing.bin";
+  ASSERT_TRUE(SaveServingModel(original, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(util::WriteStringToFile(path, blob.value() + "junk").ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SaveRejectsInconsistentModel) {
+  ServingModel bad;
+  bad.num_users = 3;
+  bad.num_items = 3;
+  bad.embeddings = tensor::Tensor({4, 2});  // wrong row count
+  EXPECT_FALSE(SaveServingModel(bad, testing::TempDir() + "/x.bin").ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gnmr

@@ -1,0 +1,179 @@
+// Property-based tests of the tensor algebra: algebraic identities that
+// must hold for random inputs across shapes and seeds. These complement
+// the example-based tests in tensor_test.cc and the finite-difference
+// checks in tensor_grad_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace tensor {
+namespace {
+
+namespace top = ops;
+
+void ExpectNear(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+class AlgebraPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  util::Rng rng_{GetParam()};
+};
+
+TEST_P(AlgebraPropertyTest, AddIsCommutativeAndAssociative) {
+  Tensor a = Tensor::RandomNormal({5, 7}, &rng_);
+  Tensor b = Tensor::RandomNormal({5, 7}, &rng_);
+  Tensor c = Tensor::RandomNormal({5, 7}, &rng_);
+  ExpectNear(top::Add(a, b), top::Add(b, a));
+  ExpectNear(top::Add(top::Add(a, b), c), top::Add(a, top::Add(b, c)));
+}
+
+TEST_P(AlgebraPropertyTest, MulDistributesOverAdd) {
+  Tensor a = Tensor::RandomNormal({4, 6}, &rng_);
+  Tensor b = Tensor::RandomNormal({4, 6}, &rng_);
+  Tensor c = Tensor::RandomNormal({4, 6}, &rng_);
+  ExpectNear(top::Mul(a, top::Add(b, c)),
+             top::Add(top::Mul(a, b), top::Mul(a, c)), 1e-3f);
+}
+
+TEST_P(AlgebraPropertyTest, MatMulAssociative) {
+  Tensor a = Tensor::RandomNormal({3, 4}, &rng_);
+  Tensor b = Tensor::RandomNormal({4, 5}, &rng_);
+  Tensor c = Tensor::RandomNormal({5, 2}, &rng_);
+  ExpectNear(top::MatMul(top::MatMul(a, b), c),
+             top::MatMul(a, top::MatMul(b, c)), 1e-3f);
+}
+
+TEST_P(AlgebraPropertyTest, MatMulDistributesOverAdd) {
+  Tensor a = Tensor::RandomNormal({3, 4}, &rng_);
+  Tensor b = Tensor::RandomNormal({4, 5}, &rng_);
+  Tensor c = Tensor::RandomNormal({4, 5}, &rng_);
+  ExpectNear(top::MatMul(a, top::Add(b, c)),
+             top::Add(top::MatMul(a, b), top::MatMul(a, c)), 1e-3f);
+}
+
+TEST_P(AlgebraPropertyTest, TransposeIsInvolution) {
+  Tensor a = Tensor::RandomNormal({6, 3}, &rng_);
+  ExpectNear(top::Transpose(top::Transpose(a)), a, 0.0f);
+}
+
+TEST_P(AlgebraPropertyTest, SoftmaxIsShiftInvariant) {
+  Tensor a = Tensor::RandomNormal({5, 8}, &rng_);
+  Tensor shifted = top::AddScalar(a, 42.0f);
+  ExpectNear(top::SoftmaxRows(a), top::SoftmaxRows(shifted), 1e-5f);
+}
+
+TEST_P(AlgebraPropertyTest, SigmoidSymmetry) {
+  // sigmoid(-x) == 1 - sigmoid(x)
+  Tensor a = Tensor::RandomNormal({4, 4}, &rng_, 0.0f, 3.0f);
+  Tensor lhs = top::Sigmoid(top::Neg(a));
+  Tensor rhs = top::AddScalar(top::Neg(top::Sigmoid(a)), 1.0f);
+  ExpectNear(lhs, rhs, 1e-5f);
+}
+
+TEST_P(AlgebraPropertyTest, ExpLogRoundTrip) {
+  Tensor a = Tensor::RandomUniform({4, 5}, &rng_, 0.1f, 4.0f);
+  ExpectNear(top::Exp(top::Log(a)), a, 1e-3f);
+}
+
+TEST_P(AlgebraPropertyTest, SoftplusMatchesLogOnePlusExp) {
+  Tensor a = Tensor::RandomNormal({4, 4}, &rng_, 0.0f, 2.0f);
+  Tensor direct = top::Softplus(a);
+  Tensor naive = top::Log(top::AddScalar(top::Exp(a), 1.0f));
+  ExpectNear(direct, naive, 1e-4f);
+}
+
+TEST_P(AlgebraPropertyTest, SumAxesComposeToSumAll) {
+  Tensor a = Tensor::RandomNormal({7, 9}, &rng_);
+  Tensor by_rows = top::SumAxis(top::SumAxis(a, 0).Reshaped({1, 9}), 1);
+  EXPECT_NEAR(by_rows.at(0, 0), a.SumValue(), 1e-3f);
+}
+
+TEST_P(AlgebraPropertyTest, ReduceToShapeInvertsBroadcast) {
+  // Broadcasting b up then reducing back is n * b for row vectors.
+  Tensor b = Tensor::RandomNormal({1, 6}, &rng_);
+  Tensor big = top::Add(Tensor({5, 6}), b);  // broadcast to [5, 6]
+  Tensor reduced = top::ReduceToShape(big, {1, 6});
+  ExpectNear(reduced, top::MulScalar(b, 5.0f), 1e-4f);
+}
+
+TEST_P(AlgebraPropertyTest, SpmmIsLinear) {
+  std::vector<Coo> entries;
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      if (rng_.Bernoulli(0.3)) entries.push_back({i, j, rng_.Normal()});
+    }
+  }
+  CsrMatrix m = CsrMatrix::FromCoo(8, 6, entries);
+  Tensor x = Tensor::RandomNormal({6, 4}, &rng_);
+  Tensor y = Tensor::RandomNormal({6, 4}, &rng_);
+  // A(x + 2y) == Ax + 2Ay
+  Tensor lhs = top::Spmm(m, top::Add(x, top::MulScalar(y, 2.0f)));
+  Tensor rhs = top::Add(top::Spmm(m, x), top::MulScalar(top::Spmm(m, y), 2.0f));
+  ExpectNear(lhs, rhs, 1e-4f);
+}
+
+TEST_P(AlgebraPropertyTest, SpmmTransposeAdjoint) {
+  // <Ax, y> == <x, A^T y>  (the identity the autodiff backward relies on).
+  std::vector<Coo> entries;
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      if (rng_.Bernoulli(0.4)) entries.push_back({i, j, rng_.Normal()});
+    }
+  }
+  CsrMatrix m = CsrMatrix::FromCoo(7, 5, entries);
+  Tensor x = Tensor::RandomNormal({5, 3}, &rng_);
+  Tensor y = Tensor::RandomNormal({7, 3}, &rng_);
+  float lhs = top::Mul(top::Spmm(m, x), y).SumValue();
+  float rhs = top::Mul(x, top::Spmm(m.Transposed(), y)).SumValue();
+  EXPECT_NEAR(lhs, rhs, 1e-3f);
+}
+
+TEST_P(AlgebraPropertyTest, RowDotMatchesMatMulDiagonal) {
+  Tensor a = Tensor::RandomNormal({5, 4}, &rng_);
+  Tensor b = Tensor::RandomNormal({5, 4}, &rng_);
+  Tensor rd = top::RowDot(a, b);
+  Tensor full = top::MatMul(a, top::Transpose(b));  // [5,5]
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(rd.at(i, 0), full.at(i, i), 1e-4f);
+  }
+}
+
+TEST_P(AlgebraPropertyTest, GatherScatterRoundTrip) {
+  Tensor table = Tensor::RandomNormal({10, 3}, &rng_);
+  std::vector<int64_t> idx = {2, 7, 2, 9};
+  Tensor gathered = top::GatherRows(table, idx);
+  Tensor scattered({10, 3});
+  top::ScatterAddRows(&scattered, idx, gathered);
+  // Row 2 was gathered twice, so it accumulates to 2x.
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(scattered.at(2, c), 2.0f * table.at(2, c), 1e-5f);
+    EXPECT_NEAR(scattered.at(7, c), table.at(7, c), 1e-5f);
+    EXPECT_NEAR(scattered.at(0, c), 0.0f, 1e-6f);
+  }
+}
+
+TEST_P(AlgebraPropertyTest, ConcatSliceRoundTripFuzz) {
+  int64_t w1 = 1 + static_cast<int64_t>(rng_.UniformUint32(5));
+  int64_t w2 = 1 + static_cast<int64_t>(rng_.UniformUint32(5));
+  Tensor a = Tensor::RandomNormal({4, w1}, &rng_);
+  Tensor b = Tensor::RandomNormal({4, w2}, &rng_);
+  Tensor cat = top::ConcatCols({&a, &b});
+  ExpectNear(top::SliceCols(cat, 0, w1), a, 0.0f);
+  ExpectNear(top::SliceCols(cat, w1, w2), b, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace tensor
+}  // namespace gnmr
