@@ -180,7 +180,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* bd = b.data();
   float* od = out.data();
   // i-k-j loop order: streams through b and out rows, cache-friendly for
-  // row-major layouts.
+  // row-major layouts. Rows of the output are independent, so the outer
+  // loop parallelizes without changing any row's accumulation order —
+  // results are bit-identical at any thread count.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (n > 1 && n * k * m >= (1 << 16))
+#endif
   for (int64_t i = 0; i < n; ++i) {
     const float* arow = ad + i * k;
     float* orow = od + i * m;
