@@ -1,0 +1,131 @@
+// google-benchmark suite for the serving read path: blocked top-K
+// retrieval vs the per-item eval::Scorer loop it replaces, batched
+// retrieval (OpenMP-parallel across user blocks), and the RecService
+// cache cold vs warm under a Zipf-distributed request stream. Runs on a
+// 10k-user x 20k-item synthetic ServingModel; CI uploads the JSON next to
+// BENCH_micro_kernels so the serving perf trajectory is recorded per run.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/core/model_io.h"
+#include "src/serve/rec_service.h"
+#include "src/serve/topn_retriever.h"
+#include "src/serve/zipf_stream.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace gnmr;
+
+constexpr int64_t kUsers = 10000;
+constexpr int64_t kItems = 20000;
+constexpr int64_t kWidth = 32;
+
+std::shared_ptr<const core::ServingModel> GlobalModel() {
+  static std::shared_ptr<const core::ServingModel> model = [] {
+    core::ServingModel m;
+    m.num_users = kUsers;
+    m.num_items = kItems;
+    util::Rng rng(97);
+    m.embeddings =
+        tensor::Tensor::RandomNormal({kUsers + kItems, kWidth}, &rng);
+    return std::make_shared<const core::ServingModel>(std::move(m));
+  }();
+  return model;
+}
+
+// The serving path this subsystem replaces: score every catalogue item
+// through the virtual per-item eval::Scorer, then partial_sort for top-K.
+void BM_PerItemScorerTopN(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  auto model = GlobalModel();
+  std::unique_ptr<eval::Scorer> scorer = model->MakeScorer();
+  std::vector<int64_t> all_items(static_cast<size_t>(kItems));
+  for (int64_t i = 0; i < kItems; ++i) all_items[static_cast<size_t>(i)] = i;
+  std::vector<float> scores(static_cast<size_t>(kItems));
+  std::vector<std::pair<float, int64_t>> ranked(static_cast<size_t>(kItems));
+  int64_t user = 0;
+  for (auto _ : state) {
+    scorer->ScoreItems(user, all_items, scores.data());
+    for (int64_t i = 0; i < kItems; ++i) {
+      ranked[static_cast<size_t>(i)] = {scores[static_cast<size_t>(i)], i};
+    }
+    std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                      std::greater<>());
+    benchmark::DoNotOptimize(ranked[static_cast<size_t>(k - 1)]);
+    user = (user + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_PerItemScorerTopN)->Arg(10)->Arg(100);
+
+void BM_BlockedRetrievalTopN(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  serve::TopNRetriever retriever(GlobalModel());
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveTopN(user, k));
+    user = (user + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_BlockedRetrievalTopN)->Arg(10)->Arg(100);
+
+// Batched retrieval amortises the item tiles across a user block and
+// fans user blocks out over OpenMP threads.
+void BM_BatchRetrieval(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  serve::TopNRetriever retriever(GlobalModel());
+  std::vector<int64_t> users(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    users[static_cast<size_t>(i)] = (i * 131) % kUsers;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveBatch(users, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);  // users/sec
+}
+BENCHMARK(BM_BatchRetrieval)->Arg(16)->Arg(64)->Arg(256);
+
+// Warm cache: Zipf traffic against the default-capacity cache after a
+// pre-population pass; nearly every request is a hit.
+void BM_ServiceZipfWarm(benchmark::State& state) {
+  const int64_t k = 10;
+  serve::RecService service(GlobalModel());
+  std::vector<int64_t> users =
+      serve::ZipfRequestStream(kUsers, 1 << 14, 1.1, 131);
+  for (int64_t u : users) service.Recommend(u, k);  // pre-populate
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Recommend(users[cursor], k));
+    cursor = (cursor + 1) % users.size();
+  }
+  state.SetItemsProcessed(state.iterations());  // requests/sec
+  state.counters["hit_rate"] = service.stats().HitRate();
+}
+BENCHMARK(BM_ServiceZipfWarm);
+
+// Cold cache: the cache is sized far below the user population and users
+// arrive round-robin, so the LRU thrashes and ~every request pays full
+// retrieval. The gap to BM_ServiceZipfWarm is the cache's value.
+void BM_ServiceColdMisses(benchmark::State& state) {
+  const int64_t k = 10;
+  serve::RecService::Options options;
+  options.cache_capacity_per_shard = 64;  // 8 shards -> 512 users cached
+  serve::RecService service(GlobalModel(), nullptr, options);
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Recommend(user, k));
+    user = (user + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations());  // requests/sec
+  state.counters["hit_rate"] = service.stats().HitRate();
+}
+BENCHMARK(BM_ServiceColdMisses);
+
+}  // namespace
+
+BENCHMARK_MAIN();

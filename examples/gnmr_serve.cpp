@@ -1,0 +1,186 @@
+// Serving-path walkthrough: train GNMR (or load a saved artifact), stand
+// up a RecService over the ServingModel snapshot, replay a Zipf-distributed
+// request stream across threads, hot-swap a refreshed snapshot mid-stream,
+// and report cache hit rates / throughput for each phase.
+//
+//   ./build/examples/gnmr_serve [--epochs=8] [--scale=0.3] [--k=10]
+//                               [--threads=4] [--requests=20000]
+//                               [--zipf=1.1] [--model=path] [--save=path]
+//
+// --model=path skips training and loads a SaveServingModel artifact;
+// --save=path writes the trained artifact for later runs.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/gnmr_trainer.h"
+#include "src/core/model_io.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/serve/rec_service.h"
+#include "src/serve/zipf_stream.h"
+#include "src/util/flags.h"
+#include "src/util/stopwatch.h"
+
+using namespace gnmr;
+
+namespace {
+
+// Replays `stream` across `num_threads` workers (striped) and prints the
+// phase's throughput and cache behaviour.
+void ReplayPhase(const char* phase, serve::RecService* service,
+                 const std::vector<int64_t>& stream, int64_t k,
+                 int64_t num_threads) {
+  serve::ServiceStats before = service->stats();
+  util::Stopwatch timer;
+  std::vector<std::thread> workers;
+  for (int64_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < stream.size();
+           i += static_cast<size_t>(num_threads)) {
+        std::vector<serve::RecEntry> recs = service->Recommend(stream[i], k);
+        volatile int64_t sink = recs.empty() ? -1 : recs[0].item;
+        (void)sink;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  double seconds = timer.ElapsedSeconds();
+  serve::ServiceStats after = service->stats();
+  uint64_t requests = after.requests - before.requests;
+  uint64_t hits = after.cache_hits - before.cache_hits;
+  std::printf(
+      "%-22s %8llu req  %7.0f req/s  hit rate %5.1f%%  "
+      "mean latency %6.1f us\n",
+      phase, static_cast<unsigned long long>(requests),
+      static_cast<double>(requests) / seconds,
+      100.0 * static_cast<double>(hits) / static_cast<double>(requests),
+      static_cast<double>(after.latency_us_total - before.latency_us_total) /
+          static_cast<double>(requests));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.3);
+  int64_t epochs = flags.GetInt("epochs", 8);
+  int64_t k = flags.GetInt("k", 10);
+  int64_t num_threads = flags.GetInt("threads", 4);
+  int64_t num_requests = flags.GetInt("requests", 20000);
+  double zipf = flags.GetDouble("zipf", 1.1);
+  std::string model_path = flags.GetString("model", "");
+  std::string save_path = flags.GetString("save", "");
+
+  // 1. Obtain the serving artifact: load from disk, or train + export.
+  //    Either way the training dataset provides the seen-item filter.
+  data::Dataset full = data::GenerateSynthetic(data::TaobaoLike(scale));
+  data::TrainTestSplit split = data::LeaveLatestOut(full);
+  std::shared_ptr<const core::ServingModel> snapshot;
+  core::GnmrConfig config;
+  config.epochs = epochs;
+  config.verbose = false;
+  std::unique_ptr<core::GnmrTrainer> trainer;
+  if (!model_path.empty()) {
+    util::Result<core::ServingModel> loaded =
+        core::LoadServingModel(model_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", model_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    snapshot = std::make_shared<const core::ServingModel>(
+        std::move(loaded).value());
+    std::printf("loaded snapshot %s (%lld users x %lld items)\n",
+                model_path.c_str(),
+                static_cast<long long>(snapshot->num_users),
+                static_cast<long long>(snapshot->num_items));
+  } else {
+    trainer = std::make_unique<core::GnmrTrainer>(config, split.train);
+    std::printf("training GNMR (%lld epochs, %lld users x %lld items)...\n",
+                static_cast<long long>(epochs),
+                static_cast<long long>(full.num_users),
+                static_cast<long long>(full.num_items));
+    trainer->Train();
+    trainer->model().RefreshInferenceCache();
+    snapshot = std::make_shared<const core::ServingModel>(
+        core::ExportServingModel(trainer->model()));
+    if (!save_path.empty()) {
+      util::Status s = core::SaveServingModel(*snapshot, save_path);
+      std::printf("saved artifact to %s: %s\n", save_path.c_str(),
+                  s.ToString().c_str());
+    }
+  }
+
+  // 2. Stand up the service: retriever + sharded LRU cache, filtering
+  //    items each user already purchased in train. A loaded artifact only
+  //    gets the filter when the regenerated dataset actually matches its
+  //    shape (i.e. --scale matches the saving run); otherwise the train
+  //    split describes different users and filtering would be wrong.
+  std::shared_ptr<const serve::SeenItems> seen;
+  if (split.train.num_users == snapshot->num_users &&
+      split.train.num_items == snapshot->num_items) {
+    seen = std::make_shared<const serve::SeenItems>(serve::SeenItems::FromDataset(
+        split.train, /*target_behavior_only=*/true));
+  } else {
+    std::printf("dataset at --scale=%.2f (%lld x %lld) does not match the "
+                "loaded snapshot; serving without seen-item filtering\n",
+                scale, static_cast<long long>(split.train.num_users),
+                static_cast<long long>(split.train.num_items));
+  }
+  serve::RecService service(snapshot, seen);
+  std::printf("service up: catalogue %lld items, filtering %lld seen pairs\n\n",
+              static_cast<long long>(snapshot->num_items),
+              static_cast<long long>(seen == nullptr ? 0 : seen->num_pairs()));
+
+  // 3. Zipf request stream: a small head of users produces most traffic,
+  //    which is what makes per-user caching effective.
+  std::vector<int64_t> stream = serve::ZipfRequestStream(
+      snapshot->num_users, num_requests, zipf, /*seed=*/2024);
+
+  // 4. Phase A: cold cache. Phase B: same stream, warm cache.
+  ReplayPhase("phase A (cold cache)", &service, stream, k, num_threads);
+  ReplayPhase("phase B (warm cache)", &service, stream, k, num_threads);
+
+  // 5. Hot swap: produce a v+1 snapshot (continued training when we own
+  //    the trainer, else a reload of the same artifact) while phase B
+  //    traffic could still be running, then replay to watch the cache
+  //    refill under the new model version.
+  if (trainer != nullptr) {
+    trainer->TrainEpoch();
+    trainer->model().RefreshInferenceCache();
+    service.SwapModel(std::make_shared<const core::ServingModel>(
+        core::ExportServingModel(trainer->model())));
+  } else {
+    util::Status s = service.LoadAndSwap(model_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "swap failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("hot-swapped snapshot -> model version %llu\n",
+              static_cast<unsigned long long>(service.model_version()));
+  ReplayPhase("phase C (post-swap)", &service, stream, k, num_threads);
+  ReplayPhase("phase D (re-warmed)", &service, stream, k, num_threads);
+
+  // 6. Show a few recommendations from the final snapshot.
+  serve::ServiceStats stats = service.stats();
+  std::printf("\ntotals: %llu requests, %.1f%% cache hit rate, "
+              "%llu evictions, %llu swap(s)\n\n",
+              static_cast<unsigned long long>(stats.requests),
+              100.0 * stats.HitRate(),
+              static_cast<unsigned long long>(stats.cache.evictions),
+              static_cast<unsigned long long>(stats.swaps));
+  for (int64_t user = 0; user < std::min<int64_t>(3, snapshot->num_users);
+       ++user) {
+    std::printf("user %lld top-%lld:", static_cast<long long>(user),
+                static_cast<long long>(k));
+    for (const serve::RecEntry& e : service.Recommend(user, k)) {
+      std::printf(" item%lld(%.2f)", static_cast<long long>(e.item), e.score);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

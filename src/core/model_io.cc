@@ -12,9 +12,14 @@ namespace {
 
 constexpr char kMagic[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '1'};
 
+// Borrowing adapter: `keepalive` is null for MakeScorer() (caller
+// guarantees the model outlives the scorer) and owns the model for
+// MakeSharedScorer().
 class ServingScorer : public eval::Scorer {
  public:
-  explicit ServingScorer(const ServingModel* model) : model_(model) {}
+  ServingScorer(const ServingModel* model,
+                std::shared_ptr<const ServingModel> keepalive)
+      : model_(model), keepalive_(std::move(keepalive)) {}
   void ScoreItems(int64_t user, const std::vector<int64_t>& items,
                   float* out) override {
     for (size_t i = 0; i < items.size(); ++i) {
@@ -24,6 +29,7 @@ class ServingScorer : public eval::Scorer {
 
  private:
   const ServingModel* model_;
+  std::shared_ptr<const ServingModel> keepalive_;
 };
 
 }  // namespace
@@ -42,7 +48,14 @@ float ServingModel::Score(int64_t user, int64_t item) const {
 }
 
 std::unique_ptr<eval::Scorer> ServingModel::MakeScorer() const {
-  return std::make_unique<ServingScorer>(this);
+  return std::make_unique<ServingScorer>(this, nullptr);
+}
+
+std::unique_ptr<eval::Scorer> MakeSharedScorer(
+    std::shared_ptr<const ServingModel> model) {
+  GNMR_CHECK(model != nullptr);
+  const ServingModel* raw = model.get();
+  return std::make_unique<ServingScorer>(raw, std::move(model));
 }
 
 ServingModel ExportServingModel(const GnmrModel& model) {

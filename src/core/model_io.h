@@ -5,6 +5,7 @@
 #ifndef GNMR_CORE_MODEL_IO_H_
 #define GNMR_CORE_MODEL_IO_H_
 
+#include <memory>
 #include <string>
 
 #include "src/core/gnmr_model.h"
@@ -23,9 +24,19 @@ struct ServingModel {
   /// Dot-product score; user/item must be in range.
   float Score(int64_t user, int64_t item) const;
 
-  /// eval::Scorer adapter (borrows this object).
+  /// eval::Scorer adapter that BORROWS this object: the scorer must not
+  /// outlive it, and this ServingModel must not be moved-from (or
+  /// reassigned) while the scorer is in use — either invalidates the
+  /// borrowed embeddings and is undefined behavior. For scorers that must
+  /// survive independently (serving hot-swap, background evaluation), put
+  /// the model in a shared_ptr and use MakeSharedScorer below.
   std::unique_ptr<eval::Scorer> MakeScorer() const;
 };
+
+/// eval::Scorer that shares ownership of `model`: valid even after every
+/// other handle to the model is dropped. `model` must be non-null.
+std::unique_ptr<eval::Scorer> MakeSharedScorer(
+    std::shared_ptr<const ServingModel> model);
 
 /// Snapshots a trained model's inference cache into a ServingModel.
 /// The model must have a fresh inference cache.

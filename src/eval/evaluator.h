@@ -19,7 +19,10 @@ class Scorer {
  public:
   virtual ~Scorer() = default;
 
-  /// Writes items.size() scores into `out`.
+  /// Writes items.size() scores into `out`. Implementations must tolerate
+  /// concurrent calls for different users (read-only over trained state):
+  /// EvaluateRanking fans the per-user loop out across threads under
+  /// OpenMP builds.
   virtual void ScoreItems(int64_t user, const std::vector<int64_t>& items,
                           float* out) = 0;
 };
@@ -35,7 +38,9 @@ struct RankingMetrics {
 };
 
 /// Scores every candidate set with `scorer` and averages metrics at every
-/// cutoff in `cutoffs`.
+/// cutoff in `cutoffs`. The per-user loop runs OpenMP-parallel when
+/// enabled; accumulation reduces per-user partials in index order, so the
+/// result is bit-identical to the serial evaluator at any thread count.
 RankingMetrics EvaluateRanking(Scorer* scorer,
                                const std::vector<data::EvalCandidates>& tests,
                                const std::vector<int64_t>& cutoffs);

@@ -1,0 +1,83 @@
+#include "src/serve/rec_cache.h"
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace serve {
+
+RecCache::RecCache(int64_t capacity_per_shard, int64_t num_shards)
+    : capacity_per_shard_(capacity_per_shard) {
+  GNMR_CHECK_GE(capacity_per_shard, 1);
+  GNMR_CHECK_GE(num_shards, 1);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int64_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool RecCache::Get(int64_t user, int64_t k, std::vector<RecEntry>* out) {
+  GNMR_CHECK(out != nullptr);
+  GNMR_CHECK_GE(user, 0);
+  const uint64_t key = KeyOf(user, k);
+  Shard& shard = ShardOf(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  if (it->second->version != version()) {
+    // Stale snapshot: erase eagerly so the slot frees up.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  *out = shard.lru.front().recs;
+  return true;
+}
+
+void RecCache::Put(int64_t user, int64_t k, uint64_t version,
+                   std::vector<RecEntry> recs) {
+  GNMR_CHECK_GE(user, 0);
+  if (version != this->version()) return;  // lost a race with a swap
+  Shard& shard = ShardOf(user);
+  const uint64_t key = KeyOf(user, k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->version = version;
+    it->second->recs = std::move(recs);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{user, k, version, std::move(recs)});
+  shard.index[key] = shard.lru.begin();
+  if (static_cast<int64_t>(shard.lru.size()) > capacity_per_shard_) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(KeyOf(victim.user, victim.k));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+uint64_t RecCache::Invalidate() {
+  return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+CacheStats RecCache::stats() const {
+  CacheStats out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace gnmr

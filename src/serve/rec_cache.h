@@ -1,0 +1,113 @@
+// Sharded, versioned LRU cache of per-user top-N lists.
+//
+// Heavy read traffic is dominated by repeat requests for the same (user, k)
+// pair, so the serving path memoizes retrieval results. The cache is
+// striped into shards (each with its own mutex and LRU list) so concurrent
+// readers rarely contend, and every entry is stamped with the model
+// version it was computed under: hot-swapping a new model bumps the
+// version in O(1), instantly invalidating every cached list without
+// touching the shards (stale entries fall out lazily via LRU).
+#ifndef GNMR_SERVE_REC_CACHE_H_
+#define GNMR_SERVE_REC_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/serve/topn_retriever.h"
+
+namespace gnmr {
+namespace serve {
+
+/// Aggregate cache counters (summed over shards at read time).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Thread-safe memoization of top-N lists keyed by (user, k). All methods
+/// may be called concurrently from any thread.
+class RecCache {
+ public:
+  /// `capacity_per_shard` bounds each shard's entry count; `num_shards`
+  /// stripes the key space (user id modulo shard count).
+  explicit RecCache(int64_t capacity_per_shard, int64_t num_shards = 8);
+
+  RecCache(const RecCache&) = delete;
+  RecCache& operator=(const RecCache&) = delete;
+
+  /// Returns true and fills `out` if a list for (user, k) computed under
+  /// the CURRENT version is cached; refreshes its LRU position. Entries
+  /// from older versions are treated (and counted) as misses and erased.
+  bool Get(int64_t user, int64_t k, std::vector<RecEntry>* out);
+
+  /// Inserts a list stamped with `version`. Entries stamped with anything
+  /// but the current version are dropped immediately — a Put racing a
+  /// model swap must never surface pre-swap results (the caller reads the
+  /// version BEFORE retrieving, see RecService).
+  void Put(int64_t user, int64_t k, uint64_t version,
+           std::vector<RecEntry> recs);
+
+  /// Bumps the version, invalidating every cached entry in O(1). Returns
+  /// the new version.
+  uint64_t Invalidate();
+
+  /// The version new entries must be stamped with to be servable.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  CacheStats stats() const;
+
+  int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
+  int64_t capacity_per_shard() const { return capacity_per_shard_; }
+
+ private:
+  struct Entry {
+    int64_t user = 0;
+    int64_t k = 0;
+    uint64_t version = 0;
+    std::vector<RecEntry> recs;
+  };
+  using LruList = std::list<Entry>;
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    LruList lru;
+    std::unordered_map<uint64_t, LruList::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  static uint64_t KeyOf(int64_t user, int64_t k) {
+    // Pack the pair into one map key; k is catalogue-bounded (< 2^32),
+    // so placing user in the high bits is collision-free.
+    return (static_cast<uint64_t>(user) << 32) ^ static_cast<uint64_t>(k);
+  }
+
+  Shard& ShardOf(int64_t user) {
+    return *shards_[static_cast<size_t>(user) % shards_.size()];
+  }
+
+  int64_t capacity_per_shard_;
+  std::atomic<uint64_t> version_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace gnmr
+
+#endif  // GNMR_SERVE_REC_CACHE_H_

@@ -1,0 +1,152 @@
+#include "src/serve/rec_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace gnmr {
+namespace serve {
+
+RecService::RecService(std::shared_ptr<const core::ServingModel> model,
+                       std::shared_ptr<const SeenItems> seen,
+                       Options options)
+    : options_(options),
+      retriever_(std::make_shared<const TopNRetriever>(std::move(model),
+                                                       std::move(seen))),
+      cache_(options.cache_capacity_per_shard, options.cache_shards) {
+  num_items_.store(retriever_->model().num_items, std::memory_order_relaxed);
+}
+
+RecService::RecService(std::shared_ptr<const core::ServingModel> model,
+                       std::shared_ptr<const SeenItems> seen)
+    : RecService(std::move(model), std::move(seen), Options()) {}
+
+std::pair<std::shared_ptr<const TopNRetriever>, uint64_t>
+RecService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return {retriever_, cache_.version()};
+}
+
+std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k) {
+  util::Stopwatch timer;
+  // Clamp before the cache lookup: the cache packs k into the low 32 key
+  // bits, and unclamped k would also cache the same full-catalogue list
+  // under many keys.
+  GNMR_CHECK_GE(k, 1);
+  k = std::min(k, num_items_.load(std::memory_order_relaxed));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<RecEntry> out;
+  if (cache_.Get(user, k, &out)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Snapshot pins the model: a concurrent swap cannot free it from under
+    // this retrieval, and the version captured here matches the snapshot,
+    // so the Put below can never surface a pre-swap list post-swap.
+    auto [retriever, version] = Snapshot();
+    out = retriever->RetrieveTopN(user, k);
+    cache_.Put(user, k, version, out);
+  }
+  latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
+                        std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
+    const std::vector<int64_t>& users, int64_t k) {
+  util::Stopwatch timer;
+  GNMR_CHECK_GE(k, 1);
+  k = std::min(k, num_items_.load(std::memory_order_relaxed));
+  const int64_t n = static_cast<int64_t>(users.size());
+  requests_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  std::vector<std::vector<RecEntry>> out(static_cast<size_t>(n));
+  std::vector<int64_t> miss_users;
+  std::vector<int64_t> miss_slots;
+  for (int64_t i = 0; i < n; ++i) {
+    if (cache_.Get(users[static_cast<size_t>(i)], k,
+                   &out[static_cast<size_t>(i)])) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      miss_users.push_back(users[static_cast<size_t>(i)]);
+      miss_slots.push_back(i);
+    }
+  }
+  if (!miss_users.empty()) {
+    auto [retriever, version] = Snapshot();
+    std::vector<std::vector<RecEntry>> fetched =
+        retriever->RetrieveBatch(miss_users, k);
+    for (size_t m = 0; m < miss_users.size(); ++m) {
+      cache_.Put(miss_users[m], k, version, fetched[m]);
+      out[static_cast<size_t>(miss_slots[m])] = std::move(fetched[m]);
+    }
+  }
+  latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
+                        std::memory_order_relaxed);
+  return out;
+}
+
+void RecService::InstallLocked(
+    std::shared_ptr<const core::ServingModel> next,
+    std::shared_ptr<const SeenItems> seen) {
+  // Caller holds swap_mu_. The TopNRetriever constructor is O(1) (shared
+  // handles + invariant checks), so holding the lock across it is cheap;
+  // readers copying the shared_ptr keep serving the old snapshot until
+  // the assignment below.
+  num_items_.store(next->num_items, std::memory_order_relaxed);
+  retriever_ = std::make_shared<const TopNRetriever>(std::move(next),
+                                                     std::move(seen));
+  cache_.Invalidate();
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecService::SwapModel(std::shared_ptr<const core::ServingModel> next,
+                           std::shared_ptr<const SeenItems> seen) {
+  GNMR_CHECK(next != nullptr);
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  if (seen == nullptr) seen = retriever_->seen_ptr();
+  InstallLocked(std::move(next), std::move(seen));
+}
+
+util::Status RecService::LoadAndSwap(const std::string& path) {
+  // Load v+1 while v keeps serving; nothing above the lock blocks readers,
+  // and validation + install happen in one critical section so no
+  // concurrent swap can slip a shape change between them.
+  util::Result<core::ServingModel> loaded = core::LoadServingModel(path);
+  if (!loaded.ok()) return loaded.status();
+  auto model = std::make_shared<const core::ServingModel>(
+      std::move(loaded).value());
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const core::ServingModel& current = retriever_->model();
+  if (model->num_users != current.num_users ||
+      model->num_items != current.num_items) {
+    return util::Status::FailedPrecondition(
+        "snapshot shape mismatch: serving " +
+        std::to_string(current.num_users) + "x" +
+        std::to_string(current.num_items) + " users x items, loaded " +
+        std::to_string(model->num_users) + "x" +
+        std::to_string(model->num_items));
+  }
+  InstallLocked(std::move(model), retriever_->seen_ptr());
+  return util::Status::OK();
+}
+
+std::shared_ptr<const TopNRetriever> RecService::retriever() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return retriever_;
+}
+
+ServiceStats RecService::stats() const {
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.swaps = swaps_.load(std::memory_order_relaxed);
+  out.latency_us_total = latency_us_.load(std::memory_order_relaxed);
+  out.model_version = model_version();
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace serve
+}  // namespace gnmr

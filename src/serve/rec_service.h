@@ -1,0 +1,124 @@
+// Recommendation service facade: model snapshot double-buffering + cache.
+//
+// RecService owns the online read path end to end: requests are answered
+// from the RecCache when possible, otherwise from the current TopNRetriever
+// snapshot. Model hot-swaps are zero-downtime — the next snapshot is built
+// (or loaded from disk) while the current one keeps serving, then an atomic
+// pointer swap + O(1) cache invalidation cut traffic over; in-flight
+// requests finish on the snapshot they started with (shared_ptr pinning).
+#ifndef GNMR_SERVE_REC_SERVICE_H_
+#define GNMR_SERVE_REC_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/serve/rec_cache.h"
+#include "src/serve/topn_retriever.h"
+#include "src/util/status.h"
+
+namespace gnmr {
+namespace serve {
+
+/// Service-level counters. Latency covers Recommend/RecommendBatch
+/// end-to-end (cache lookup + retrieval), per single-user request.
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t swaps = 0;
+  /// Cumulative request latency in microseconds.
+  uint64_t latency_us_total = 0;
+  /// Version of the currently served snapshot (bumps on every swap).
+  uint64_t model_version = 0;
+  CacheStats cache;
+
+  double HitRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cache_hits) / requests;
+  }
+  double MeanLatencyUs() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(latency_us_total) / requests;
+  }
+};
+
+/// Thread-safe top-N recommendation service over ServingModel snapshots.
+class RecService {
+ public:
+  struct Options {
+    int64_t cache_capacity_per_shard = 4096;
+    int64_t cache_shards = 8;
+  };
+
+  /// Serves from `model` (non-null), filtering each user's `seen` items
+  /// when provided. `seen` is shared across swaps: LoadAndSwap keeps it,
+  /// SwapModel may replace it.
+  RecService(std::shared_ptr<const core::ServingModel> model,
+             std::shared_ptr<const SeenItems> seen, Options options);
+  explicit RecService(std::shared_ptr<const core::ServingModel> model,
+                      std::shared_ptr<const SeenItems> seen = nullptr);
+
+  /// Exact top-k for `user` (best first, seen items excluded), served from
+  /// cache when fresh. Thread-safe.
+  std::vector<RecEntry> Recommend(int64_t user, int64_t k);
+
+  /// Batched Recommend: cache lookups first, then one blocked (OpenMP)
+  /// retrieval pass over the misses. Output order matches `users`.
+  std::vector<std::vector<RecEntry>> RecommendBatch(
+      const std::vector<int64_t>& users, int64_t k);
+
+  /// Hot-swaps the served snapshot and invalidates the cache atomically.
+  /// Pass `seen` to replace the filter sets (nullptr keeps the current
+  /// ones). Concurrent Recommend calls never block on retrieval: they
+  /// either finish on the old snapshot or start on the new one.
+  void SwapModel(std::shared_ptr<const core::ServingModel> next,
+                 std::shared_ptr<const SeenItems> seen = nullptr);
+
+  /// Loads a ServingModel artifact (SaveServingModel format) and swaps it
+  /// in; the current snapshot serves until the load completes. Keeps the
+  /// current seen sets. On error the service is untouched.
+  util::Status LoadAndSwap(const std::string& path);
+
+  /// The snapshot currently serving (pin it by holding the returned ptr).
+  std::shared_ptr<const TopNRetriever> retriever() const;
+
+  ServiceStats stats() const;
+  uint64_t model_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Drops all cached lists without swapping the model (e.g. after an
+  /// out-of-band seen-set update).
+  void InvalidateCache() { cache_.Invalidate(); }
+
+ private:
+  /// Reads (retriever, cache version) as one consistent pair.
+  std::pair<std::shared_ptr<const TopNRetriever>, uint64_t> Snapshot() const;
+
+  /// Replaces the snapshot + invalidates the cache; swap_mu_ must be held.
+  void InstallLocked(std::shared_ptr<const core::ServingModel> next,
+                     std::shared_ptr<const SeenItems> seen);
+
+  Options options_;
+  /// Guards retriever_ replacement (readers copy the shared_ptr).
+  mutable std::mutex swap_mu_;
+  std::shared_ptr<const TopNRetriever> retriever_;
+  RecCache cache_;
+  /// Catalogue size of the current snapshot (k is clamped against it
+  /// before cache lookups, off the lock).
+  std::atomic<int64_t> num_items_{0};
+  std::atomic<uint64_t> version_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> latency_us_{0};
+};
+
+}  // namespace serve
+}  // namespace gnmr
+
+#endif  // GNMR_SERVE_REC_SERVICE_H_

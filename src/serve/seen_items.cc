@@ -1,0 +1,52 @@
+#include "src/serve/seen_items.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace serve {
+
+SeenItems SeenItems::FromDataset(const data::Dataset& dataset,
+                                 bool target_behavior_only) {
+  GNMR_CHECK(dataset.Validate().ok());
+  std::vector<std::vector<int64_t>> per_user(
+      static_cast<size_t>(dataset.num_users));
+  for (const graph::Interaction& ev : dataset.interactions) {
+    if (target_behavior_only && ev.behavior != dataset.target_behavior) {
+      continue;
+    }
+    per_user[static_cast<size_t>(ev.user)].push_back(ev.item);
+  }
+  SeenItems out;
+  out.offsets_.resize(static_cast<size_t>(dataset.num_users) + 1, 0);
+  for (size_t u = 0; u < per_user.size(); ++u) {
+    std::vector<int64_t>& items = per_user[u];
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    out.offsets_[u + 1] =
+        out.offsets_[u] + static_cast<int64_t>(items.size());
+  }
+  out.items_.reserve(static_cast<size_t>(out.offsets_.back()));
+  for (const std::vector<int64_t>& items : per_user) {
+    out.items_.insert(out.items_.end(), items.begin(), items.end());
+  }
+  return out;
+}
+
+bool SeenItems::Contains(int64_t user, int64_t item) const {
+  if (user < 0 || user >= num_users()) return false;
+  const int64_t* begin = items_.data() + offsets_[static_cast<size_t>(user)];
+  const int64_t* end = items_.data() + offsets_[static_cast<size_t>(user) + 1];
+  return std::binary_search(begin, end, item);
+}
+
+std::vector<int64_t> SeenItems::ItemsOf(int64_t user) const {
+  if (user < 0 || user >= num_users()) return {};
+  return std::vector<int64_t>(
+      items_.begin() + offsets_[static_cast<size_t>(user)],
+      items_.begin() + offsets_[static_cast<size_t>(user) + 1]);
+}
+
+}  // namespace serve
+}  // namespace gnmr

@@ -1,0 +1,54 @@
+// Per-user seen-item sets for retrieval-time filtering. A recommender
+// serving top-N lists must usually exclude items the user already
+// interacted with; this is the compact read-only structure the serving
+// path consults for that, built once from the training Dataset.
+#ifndef GNMR_SERVE_SEEN_ITEMS_H_
+#define GNMR_SERVE_SEEN_ITEMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace gnmr {
+namespace serve {
+
+/// Immutable per-user sorted item sets in CSR layout. Default-constructed
+/// instances are empty (no user has seen anything), which disables
+/// filtering cheaply.
+class SeenItems {
+ public:
+  SeenItems() = default;
+
+  /// Collects each user's distinct items from `dataset`. With
+  /// `target_behavior_only`, only events under dataset.target_behavior
+  /// count as seen (auxiliary views/carts stay recommendable); otherwise
+  /// any behavior marks the item seen.
+  static SeenItems FromDataset(const data::Dataset& dataset,
+                               bool target_behavior_only = true);
+
+  /// True if `user` has interacted with `item`. Users outside the range
+  /// this was built for have seen nothing. O(log degree).
+  bool Contains(int64_t user, int64_t item) const;
+
+  /// Sorted distinct items of `user` (empty for out-of-range users).
+  std::vector<int64_t> ItemsOf(int64_t user) const;
+
+  int64_t num_users() const {
+    return offsets_.empty() ? 0
+                            : static_cast<int64_t>(offsets_.size()) - 1;
+  }
+  /// Total (user, item) pairs stored.
+  int64_t num_pairs() const { return static_cast<int64_t>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  /// offsets_[u] .. offsets_[u+1] indexes user u's slice of items_.
+  std::vector<int64_t> offsets_;
+  std::vector<int64_t> items_;
+};
+
+}  // namespace serve
+}  // namespace gnmr
+
+#endif  // GNMR_SERVE_SEEN_ITEMS_H_

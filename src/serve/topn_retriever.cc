@@ -1,0 +1,144 @@
+#include "src/serve/topn_retriever.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace serve {
+
+TopNRetriever::TopNRetriever(std::shared_ptr<const core::ServingModel> model,
+                             std::shared_ptr<const SeenItems> seen)
+    : model_(std::move(model)), seen_(std::move(seen)) {
+  GNMR_CHECK(model_ != nullptr);
+  GNMR_CHECK(model_->num_users > 0 && model_->num_items > 0);
+  GNMR_CHECK(model_->embeddings.rows() ==
+             model_->num_users + model_->num_items)
+      << "inconsistent serving model";
+  if (seen_ != nullptr && !seen_->empty()) {
+    GNMR_CHECK_LE(seen_->num_users(), model_->num_users);
+  }
+}
+
+void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
+                                  int64_t k,
+                                  std::vector<RecEntry>* outs) const {
+  GNMR_CHECK(count >= 1 && count <= kUserBlock);
+  const int64_t num_users = model_->num_users;
+  const int64_t num_items = model_->num_items;
+  const int64_t width = model_->embeddings.cols();
+  const float* emb = model_->embeddings.data();
+  const float* item_base = emb + num_users * width;
+  const SeenItems* seen = seen_.get();
+
+  // Worst-on-top bounded heaps: with BetterThan as the "less" comparator
+  // the std heap front is the entry no other beats, i.e. the current worst.
+  std::vector<RecEntry> heaps[kUserBlock];
+  for (int64_t u = 0; u < count; ++u) {
+    GNMR_CHECK(users[u] >= 0 && users[u] < num_users);
+    heaps[u].reserve(static_cast<size_t>(k) + 1);
+  }
+
+  float scores[kUserBlock * kItemBlock];
+  for (int64_t i0 = 0; i0 < num_items; i0 += kItemBlock) {
+    const int64_t tile = std::min(kItemBlock, num_items - i0);
+    // Blocked matmul tile: `count` user rows x `tile` item rows. Scoring
+    // every user in the block against the same item tile keeps the tile
+    // resident in cache. Four items advance together so their accumulation
+    // chains pipeline, but each item's sum still runs over c in ascending
+    // order in double — exactly ServingModel::Score — so every score is
+    // bit-identical to the per-item path.
+    for (int64_t u = 0; u < count; ++u) {
+      const float* urow = emb + users[u] * width;
+      float* srow = scores + u * kItemBlock;
+      int64_t j = 0;
+      for (; j + 4 <= tile; j += 4) {
+        const float* v0 = item_base + (i0 + j) * width;
+        const float* v1 = v0 + width;
+        const float* v2 = v1 + width;
+        const float* v3 = v2 + width;
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        for (int64_t c = 0; c < width; ++c) {
+          const double uc = static_cast<double>(urow[c]);
+          a0 += uc * v0[c];
+          a1 += uc * v1[c];
+          a2 += uc * v2[c];
+          a3 += uc * v3[c];
+        }
+        srow[j] = static_cast<float>(a0);
+        srow[j + 1] = static_cast<float>(a1);
+        srow[j + 2] = static_cast<float>(a2);
+        srow[j + 3] = static_cast<float>(a3);
+      }
+      for (; j < tile; ++j) {
+        const float* vrow = item_base + (i0 + j) * width;
+        double acc = 0.0;
+        for (int64_t c = 0; c < width; ++c) {
+          acc += static_cast<double>(urow[c]) * vrow[c];
+        }
+        srow[j] = static_cast<float>(acc);
+      }
+    }
+    for (int64_t u = 0; u < count; ++u) {
+      std::vector<RecEntry>& heap = heaps[u];
+      const float* srow = scores + u * kItemBlock;
+      for (int64_t j = 0; j < tile; ++j) {
+        RecEntry e{i0 + j, srow[j]};
+        if (static_cast<int64_t>(heap.size()) == k &&
+            !BetterThan(e, heap.front())) {
+          continue;  // cannot enter the top-k; skip the seen lookup
+        }
+        if (seen != nullptr && seen->Contains(users[u], e.item)) continue;
+        if (static_cast<int64_t>(heap.size()) < k) {
+          heap.push_back(e);
+          std::push_heap(heap.begin(), heap.end(), BetterThan);
+        } else {
+          std::pop_heap(heap.begin(), heap.end(), BetterThan);
+          heap.back() = e;
+          std::push_heap(heap.begin(), heap.end(), BetterThan);
+        }
+      }
+    }
+  }
+
+  for (int64_t u = 0; u < count; ++u) {
+    std::sort(heaps[u].begin(), heaps[u].end(), BetterThan);
+    outs[u] = std::move(heaps[u]);
+  }
+}
+
+std::vector<RecEntry> TopNRetriever::RetrieveTopN(int64_t user,
+                                                  int64_t k) const {
+  GNMR_CHECK_GE(k, 1);
+  k = std::min(k, model_->num_items);
+  std::vector<RecEntry> out;
+  RetrieveBlock(&user, 1, k, &out);
+  return out;
+}
+
+std::vector<std::vector<RecEntry>> TopNRetriever::RetrieveBatch(
+    const std::vector<int64_t>& users, int64_t k) const {
+  GNMR_CHECK_GE(k, 1);
+  k = std::min(k, model_->num_items);
+  const int64_t n = static_cast<int64_t>(users.size());
+  std::vector<std::vector<RecEntry>> outs(static_cast<size_t>(n));
+  const int64_t num_blocks = (n + kUserBlock - 1) / kUserBlock;
+  // User blocks are independent (each writes its own output slots), so the
+  // block loop parallelizes without changing any per-user result.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (num_blocks > 1)
+#endif
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    const int64_t start = b * kUserBlock;
+    const int64_t count = std::min(kUserBlock, n - start);
+    RetrieveBlock(users.data() + start, count, k, outs.data() + start);
+  }
+  return outs;
+}
+
+std::unique_ptr<eval::Scorer> TopNRetriever::MakeScorer() const {
+  return core::MakeSharedScorer(model_);
+}
+
+}  // namespace serve
+}  // namespace gnmr

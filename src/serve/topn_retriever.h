@@ -1,0 +1,94 @@
+// Exact top-N retrieval over a ServingModel snapshot.
+//
+// The offline artifact (core::ServingModel) holds the multi-order node
+// embeddings; online recommendation is a dot-product scan of one user row
+// against every item row. TopNRetriever replaces the per-item virtual
+// eval::Scorer path with a blocked user-block x item-embedding matmul that
+// keeps a bounded heap per user row, so full-catalogue retrieval streams
+// through the embedding table instead of re-touching it per candidate.
+//
+// Results are exact: scores are accumulated in double in the same order as
+// ServingModel::Score, and ties break by ascending item id, so the output
+// is bit-identical to brute-force scoring + std::sort at any thread count.
+#ifndef GNMR_SERVE_TOPN_RETRIEVER_H_
+#define GNMR_SERVE_TOPN_RETRIEVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/model_io.h"
+#include "src/serve/seen_items.h"
+
+namespace gnmr {
+namespace serve {
+
+/// One recommended item with its dot-product score.
+struct RecEntry {
+  int64_t item = 0;
+  float score = 0.0f;
+
+  bool operator==(const RecEntry& other) const {
+    return item == other.item && score == other.score;
+  }
+};
+
+/// Total order used for ranking: higher score first, ties by item id.
+inline bool BetterThan(const RecEntry& a, const RecEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+/// Read-only exact top-K retriever over a ServingModel snapshot. Shares
+/// ownership of the model (and optionally of per-user seen sets), so it
+/// stays valid while any caller holds it — the property the hot-swapping
+/// RecService relies on. All methods are const and thread-safe.
+class TopNRetriever {
+ public:
+  /// `model` must be non-null and consistent. `seen` (optional) marks
+  /// items to exclude per user; pass nullptr to disable filtering.
+  explicit TopNRetriever(std::shared_ptr<const core::ServingModel> model,
+                         std::shared_ptr<const SeenItems> seen = nullptr);
+
+  /// Exact top-k items for `user`, best first, ties by ascending item id,
+  /// excluding the user's seen items. k is clamped to the catalogue size;
+  /// fewer than k entries come back when filtering leaves fewer items.
+  std::vector<RecEntry> RetrieveTopN(int64_t user, int64_t k) const;
+
+  /// RetrieveTopN for every user in `users`, OpenMP-parallel across user
+  /// blocks. Output order matches input order; results are identical to
+  /// per-user RetrieveTopN calls at any thread count.
+  std::vector<std::vector<RecEntry>> RetrieveBatch(
+      const std::vector<int64_t>& users, int64_t k) const;
+
+  /// eval::Scorer adapter on the fast path; holds a model snapshot, so it
+  /// is safe to use after this retriever (or the caller's model handle)
+  /// goes away. Scores are bit-identical to ServingModel::Score.
+  std::unique_ptr<eval::Scorer> MakeScorer() const;
+
+  const core::ServingModel& model() const { return *model_; }
+  std::shared_ptr<const core::ServingModel> model_ptr() const {
+    return model_;
+  }
+  /// Null when seen-item filtering is disabled.
+  const SeenItems* seen() const { return seen_.get(); }
+  std::shared_ptr<const SeenItems> seen_ptr() const { return seen_; }
+
+  /// Users per parallel work unit; item rows are re-streamed once per user
+  /// block, so larger blocks amortise memory traffic.
+  static constexpr int64_t kUserBlock = 8;
+  /// Items scored per inner tile (tile of item rows kept hot in cache).
+  static constexpr int64_t kItemBlock = 256;
+
+ private:
+  /// Retrieves for users[0..count) (count <= kUserBlock) into outs[0..count).
+  void RetrieveBlock(const int64_t* users, int64_t count, int64_t k,
+                     std::vector<RecEntry>* outs) const;
+
+  std::shared_ptr<const core::ServingModel> model_;
+  std::shared_ptr<const SeenItems> seen_;
+};
+
+}  // namespace serve
+}  // namespace gnmr
+
+#endif  // GNMR_SERVE_TOPN_RETRIEVER_H_

@@ -1,0 +1,30 @@
+#include "src/serve/zipf_stream.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace serve {
+
+std::vector<int64_t> ZipfRequestStream(int64_t num_users, int64_t count,
+                                       double exponent, uint64_t seed) {
+  GNMR_CHECK_GE(num_users, 1);
+  GNMR_CHECK_GE(count, 0);
+  util::Rng rng(seed);
+  std::vector<double> weights(static_cast<size_t>(num_users));
+  for (int64_t u = 0; u < num_users; ++u) {
+    weights[static_cast<size_t>(u)] =
+        1.0 / std::pow(static_cast<double>(u + 1), exponent);
+  }
+  std::vector<int64_t> users(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    users[static_cast<size_t>(i)] =
+        static_cast<int64_t>(rng.Categorical(weights));
+  }
+  return users;
+}
+
+}  // namespace serve
+}  // namespace gnmr

@@ -1,0 +1,23 @@
+// Synthetic serving traffic: Zipf-distributed user request streams.
+// Real recommendation read traffic is repeat-heavy — a small head of
+// users produces most requests — which is the shape that makes per-user
+// caching pay off. The serve bench and the gnmr_serve example both replay
+// streams drawn here.
+#ifndef GNMR_SERVE_ZIPF_STREAM_H_
+#define GNMR_SERVE_ZIPF_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gnmr {
+namespace serve {
+
+/// Draws `count` user ids from [0, num_users) with P(u) proportional to
+/// 1/(u+1)^exponent. Deterministic in `seed`.
+std::vector<int64_t> ZipfRequestStream(int64_t num_users, int64_t count,
+                                       double exponent, uint64_t seed);
+
+}  // namespace serve
+}  // namespace gnmr
+
+#endif  // GNMR_SERVE_ZIPF_STREAM_H_

@@ -1,0 +1,441 @@
+// Tests for the src/serve/ retrieval subsystem: exact top-K against brute
+// force, seen-item filtering, cache hit/invalidation semantics, snapshot
+// hot-swapping under concurrent traffic, and the scorer-adapter fast path
+// staying bit-identical to the CachedScorer evaluation path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/gnmr_trainer.h"
+#include "src/core/model_io.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/serve/rec_cache.h"
+#include "src/serve/rec_service.h"
+#include "src/serve/seen_items.h"
+#include "src/serve/topn_retriever.h"
+
+namespace gnmr {
+namespace serve {
+namespace {
+
+// Random serving model with a few duplicated item rows so exact-tie
+// handling (break by ascending item id) is actually exercised.
+std::shared_ptr<const core::ServingModel> RandomModel(int64_t num_users,
+                                                      int64_t num_items,
+                                                      int64_t width,
+                                                      uint64_t seed) {
+  core::ServingModel m;
+  m.num_users = num_users;
+  m.num_items = num_items;
+  util::Rng rng(seed);
+  m.embeddings = tensor::Tensor::RandomNormal({num_users + num_items, width},
+                                              &rng);
+  if (num_items >= 8) {
+    float* data = m.embeddings.data();
+    // Item rows 1 and 5, and 2 and 7, get identical embeddings -> their
+    // scores tie exactly for every user.
+    for (int64_t c = 0; c < width; ++c) {
+      data[(num_users + 5) * width + c] = data[(num_users + 1) * width + c];
+      data[(num_users + 7) * width + c] = data[(num_users + 2) * width + c];
+    }
+  }
+  return std::make_shared<const core::ServingModel>(std::move(m));
+}
+
+std::vector<RecEntry> BruteForceTopN(const core::ServingModel& m,
+                                     int64_t user, int64_t k,
+                                     const SeenItems* seen = nullptr) {
+  std::vector<RecEntry> all;
+  for (int64_t item = 0; item < m.num_items; ++item) {
+    if (seen != nullptr && seen->Contains(user, item)) continue;
+    all.push_back({item, m.Score(user, item)});
+  }
+  std::sort(all.begin(), all.end(), BetterThan);
+  if (static_cast<int64_t>(all.size()) > k) {
+    all.resize(static_cast<size_t>(k));
+  }
+  return all;
+}
+
+void ExpectExactlyEqual(const std::vector<RecEntry>& got,
+                        const std::vector<RecEntry>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item) << "position " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "position " << i;  // bitwise
+  }
+}
+
+// ------------------------------------------------------------ seen items ----
+
+data::Dataset TinyDataset() {
+  data::Dataset d;
+  d.name = "tiny";
+  d.num_users = 3;
+  d.num_items = 6;
+  d.behavior_names = {"view", "buy"};
+  d.target_behavior = 1;
+  // user 0 bought 0,2 and viewed 4; user 1 bought 1; user 2 nothing.
+  d.interactions = {{0, 0, 1, 0}, {0, 2, 1, 1}, {0, 2, 1, 2},  // dup event
+                    {0, 4, 0, 3}, {1, 1, 1, 0}};
+  return d;
+}
+
+TEST(SeenItemsTest, TargetOnlyAndAllBehaviors) {
+  data::Dataset d = TinyDataset();
+  SeenItems target_only = SeenItems::FromDataset(d, true);
+  EXPECT_TRUE(target_only.Contains(0, 0));
+  EXPECT_TRUE(target_only.Contains(0, 2));
+  EXPECT_FALSE(target_only.Contains(0, 4));  // only viewed
+  EXPECT_TRUE(target_only.Contains(1, 1));
+  EXPECT_FALSE(target_only.Contains(2, 0));
+  EXPECT_EQ(target_only.num_pairs(), 3);  // duplicate event collapsed
+
+  SeenItems all = SeenItems::FromDataset(d, false);
+  EXPECT_TRUE(all.Contains(0, 4));
+  EXPECT_EQ(all.ItemsOf(0), (std::vector<int64_t>{0, 2, 4}));
+}
+
+TEST(SeenItemsTest, OutOfRangeUsersSeeNothing) {
+  SeenItems empty;
+  EXPECT_FALSE(empty.Contains(0, 0));
+  EXPECT_TRUE(empty.ItemsOf(5).empty());
+  SeenItems built = SeenItems::FromDataset(TinyDataset(), true);
+  EXPECT_FALSE(built.Contains(-1, 0));
+  EXPECT_FALSE(built.Contains(99, 0));
+}
+
+// -------------------------------------------------------------- retriever ----
+
+TEST(TopNRetrieverTest, MatchesBruteForceExactly) {
+  auto model = RandomModel(23, 57, 12, 7);
+  TopNRetriever retriever(model);
+  for (int64_t k : {1, 3, 10, 57}) {
+    for (int64_t user = 0; user < model->num_users; ++user) {
+      ExpectExactlyEqual(retriever.RetrieveTopN(user, k),
+                         BruteForceTopN(*model, user, k));
+    }
+  }
+}
+
+TEST(TopNRetrieverTest, TiedScoresBreakByItemId) {
+  auto model = RandomModel(4, 16, 6, 11);
+  TopNRetriever retriever(model);
+  std::vector<RecEntry> top = retriever.RetrieveTopN(0, 16);
+  // Items (1, 5) and (2, 7) have identical embeddings: equal scores must
+  // order the smaller id first.
+  auto pos = [&](int64_t item) {
+    for (size_t i = 0; i < top.size(); ++i) {
+      if (top[i].item == item) return static_cast<int64_t>(i);
+    }
+    return static_cast<int64_t>(-1);
+  };
+  EXPECT_EQ(top[static_cast<size_t>(pos(1))].score,
+            top[static_cast<size_t>(pos(5))].score);
+  EXPECT_LT(pos(1), pos(5));
+  EXPECT_EQ(top[static_cast<size_t>(pos(2))].score,
+            top[static_cast<size_t>(pos(7))].score);
+  EXPECT_LT(pos(2), pos(7));
+}
+
+TEST(TopNRetrieverTest, KLargerThanCatalogueIsClamped) {
+  auto model = RandomModel(3, 9, 4, 3);
+  TopNRetriever retriever(model);
+  EXPECT_EQ(retriever.RetrieveTopN(0, 1000).size(), 9u);
+}
+
+TEST(TopNRetrieverTest, SpansMultipleItemBlocks) {
+  // Catalogue larger than kItemBlock so the blocked scan crosses tiles.
+  auto model = RandomModel(5, TopNRetriever::kItemBlock * 2 + 37, 8, 19);
+  TopNRetriever retriever(model);
+  for (int64_t user = 0; user < model->num_users; ++user) {
+    ExpectExactlyEqual(retriever.RetrieveTopN(user, 25),
+                       BruteForceTopN(*model, user, 25));
+  }
+}
+
+TEST(TopNRetrieverTest, SeenItemFiltering) {
+  data::Dataset d = TinyDataset();
+  auto model = RandomModel(d.num_users, d.num_items, 8, 5);
+  auto seen =
+      std::make_shared<const SeenItems>(SeenItems::FromDataset(d, true));
+  TopNRetriever retriever(model, seen);
+  for (int64_t user = 0; user < d.num_users; ++user) {
+    std::vector<RecEntry> top = retriever.RetrieveTopN(user, d.num_items);
+    for (const RecEntry& e : top) {
+      EXPECT_FALSE(seen->Contains(user, e.item))
+          << "user " << user << " got seen item " << e.item;
+    }
+    ExpectExactlyEqual(top,
+                       BruteForceTopN(*model, user, d.num_items, seen.get()));
+  }
+  // User 0 bought 2 of 6 items -> only 4 remain recommendable.
+  EXPECT_EQ(retriever.RetrieveTopN(0, d.num_items).size(), 4u);
+}
+
+TEST(TopNRetrieverTest, BatchMatchesPerUserCalls) {
+  auto model = RandomModel(41, 83, 16, 13);
+  TopNRetriever retriever(model);
+  std::vector<int64_t> users;
+  for (int64_t repeat = 0; repeat < 2; ++repeat) {
+    for (int64_t u = 0; u < model->num_users; ++u) users.push_back(u);
+  }
+  std::vector<std::vector<RecEntry>> batch = retriever.RetrieveBatch(users, 9);
+  ASSERT_EQ(batch.size(), users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    ExpectExactlyEqual(batch[i], retriever.RetrieveTopN(users[i], 9));
+  }
+}
+
+TEST(TopNRetrieverTest, ScorerAdapterOutlivesRetriever) {
+  std::unique_ptr<eval::Scorer> scorer;
+  float direct = 0.0f;
+  {
+    auto model = RandomModel(6, 10, 4, 23);
+    direct = model->Score(2, 3);
+    TopNRetriever retriever(model);
+    scorer = retriever.MakeScorer();
+    // Both the retriever and the local model handle die here.
+  }
+  std::vector<int64_t> items = {3};
+  float out = 0.0f;
+  scorer->ScoreItems(2, items, &out);
+  EXPECT_EQ(out, direct);
+}
+
+// ----------------------------------------------------- shared scorer (io) ----
+
+TEST(MakeSharedScorerTest, SurvivesOriginalHandleReset) {
+  auto model = RandomModel(5, 8, 4, 29);
+  float want = model->Score(1, 2);
+  std::unique_ptr<eval::Scorer> scorer = core::MakeSharedScorer(model);
+  model.reset();  // scorer holds the only remaining reference
+  std::vector<int64_t> items = {2};
+  float got = 0.0f;
+  scorer->ScoreItems(1, items, &got);
+  EXPECT_EQ(got, want);
+}
+
+// ------------------------------------------------------------------ cache ----
+
+TEST(RecCacheTest, HitMissAndLruEviction) {
+  RecCache cache(/*capacity_per_shard=*/2, /*num_shards=*/1);
+  std::vector<RecEntry> out;
+  EXPECT_FALSE(cache.Get(0, 5, &out));
+  cache.Put(0, 5, cache.version(), {{1, 0.5f}});
+  cache.Put(1, 5, cache.version(), {{2, 0.4f}});
+  EXPECT_TRUE(cache.Get(0, 5, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].item, 1);
+  // Touch user 0, insert user 2 -> user 1 is LRU and gets evicted.
+  cache.Put(2, 5, cache.version(), {{3, 0.3f}});
+  EXPECT_FALSE(cache.Get(1, 5, &out));
+  EXPECT_TRUE(cache.Get(0, 5, &out));
+  EXPECT_TRUE(cache.Get(2, 5, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(RecCacheTest, DifferentKAreDifferentEntries) {
+  RecCache cache(8, 1);
+  std::vector<RecEntry> out;
+  cache.Put(0, 5, cache.version(), {{1, 1.0f}});
+  EXPECT_FALSE(cache.Get(0, 10, &out));
+  EXPECT_TRUE(cache.Get(0, 5, &out));
+}
+
+TEST(RecCacheTest, InvalidateMakesEverythingMiss) {
+  RecCache cache(8, 2);
+  std::vector<RecEntry> out;
+  cache.Put(0, 5, cache.version(), {{1, 1.0f}});
+  cache.Put(1, 5, cache.version(), {{2, 2.0f}});
+  EXPECT_TRUE(cache.Get(0, 5, &out));
+  uint64_t v = cache.Invalidate();
+  EXPECT_EQ(v, cache.version());
+  EXPECT_FALSE(cache.Get(0, 5, &out));
+  EXPECT_FALSE(cache.Get(1, 5, &out));
+  // Refill under the new version works.
+  cache.Put(0, 5, cache.version(), {{7, 7.0f}});
+  EXPECT_TRUE(cache.Get(0, 5, &out));
+  EXPECT_EQ(out[0].item, 7);
+}
+
+TEST(RecCacheTest, StaleVersionPutIsDropped) {
+  RecCache cache(8, 1);
+  uint64_t old_version = cache.version();
+  cache.Invalidate();
+  // A Put that raced a swap (stamped with the pre-swap version) must never
+  // be served.
+  cache.Put(0, 5, old_version, {{1, 1.0f}});
+  std::vector<RecEntry> out;
+  EXPECT_FALSE(cache.Get(0, 5, &out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------- service ----
+
+TEST(RecServiceTest, CachesRepeatRequests) {
+  auto model = RandomModel(10, 30, 8, 31);
+  RecService service(model);
+  std::vector<RecEntry> first = service.Recommend(3, 5);
+  ExpectExactlyEqual(first, BruteForceTopN(*model, 3, 5));
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+  std::vector<RecEntry> second = service.Recommend(3, 5);
+  ExpectExactlyEqual(second, first);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  EXPECT_EQ(service.stats().requests, 2u);
+}
+
+TEST(RecServiceTest, OversizedKClampsToCatalogueAndSharesCacheEntry) {
+  auto model = RandomModel(6, 20, 4, 71);
+  RecService service(model);
+  // A huge k must clamp to the catalogue BEFORE the cache key is formed:
+  // the clamped and explicit num_items requests share one entry.
+  std::vector<RecEntry> a = service.Recommend(0, int64_t{1} << 40);
+  EXPECT_EQ(a.size(), 20u);
+  std::vector<RecEntry> b = service.Recommend(0, 20);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  ExpectExactlyEqual(a, b);
+}
+
+TEST(RecServiceTest, SwapInvalidatesAndServesNewModel) {
+  auto model_a = RandomModel(10, 30, 8, 37);
+  auto model_b = RandomModel(10, 30, 8, 41);
+  RecService service(model_a);
+  std::vector<RecEntry> before = service.Recommend(4, 6);
+  ExpectExactlyEqual(before, BruteForceTopN(*model_a, 4, 6));
+  service.SwapModel(model_b);
+  EXPECT_EQ(service.model_version(), 1u);
+  EXPECT_EQ(service.stats().swaps, 1u);
+  std::vector<RecEntry> after = service.Recommend(4, 6);
+  ExpectExactlyEqual(after, BruteForceTopN(*model_b, 4, 6));
+  // The post-swap request was a miss (cache was invalidated).
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(RecServiceTest, BatchMixesHitsAndMisses) {
+  auto model = RandomModel(12, 40, 8, 43);
+  RecService service(model);
+  service.Recommend(0, 7);
+  service.Recommend(1, 7);
+  std::vector<int64_t> users = {0, 1, 2, 3, 0};
+  std::vector<std::vector<RecEntry>> got = service.RecommendBatch(users, 7);
+  ASSERT_EQ(got.size(), users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    ExpectExactlyEqual(got[i], BruteForceTopN(*model, users[i], 7));
+  }
+  // Users 0 and 1 were cached; the duplicate trailing 0 also hits.
+  EXPECT_EQ(service.stats().cache_hits, 3u);
+}
+
+TEST(RecServiceTest, LoadAndSwapFromArtifact) {
+  auto model_a = RandomModel(8, 20, 6, 47);
+  auto model_b = RandomModel(8, 20, 6, 53);
+  std::string path = testing::TempDir() + "/serve_swap.bin";
+  ASSERT_TRUE(core::SaveServingModel(*model_b, path).ok());
+  RecService service(model_a);
+  service.Recommend(1, 4);
+  ASSERT_TRUE(service.LoadAndSwap(path).ok());
+  ExpectExactlyEqual(service.Recommend(1, 4), BruteForceTopN(*model_b, 1, 4));
+  std::remove(path.c_str());
+
+  // Mismatched catalogue shape is refused and leaves the service serving.
+  auto model_wrong = RandomModel(9, 20, 6, 59);
+  std::string bad = testing::TempDir() + "/serve_swap_bad.bin";
+  ASSERT_TRUE(core::SaveServingModel(*model_wrong, bad).ok());
+  EXPECT_FALSE(service.LoadAndSwap(bad).ok());
+  ExpectExactlyEqual(service.Recommend(2, 4), BruteForceTopN(*model_b, 2, 4));
+  std::remove(bad.c_str());
+  EXPECT_FALSE(service.LoadAndSwap("/nonexistent/model.bin").ok());
+}
+
+TEST(RecServiceTest, ConcurrentRecommendUnderSwaps) {
+  const int64_t num_users = 24, num_items = 64, width = 8;
+  auto model_a = RandomModel(num_users, num_items, width, 61);
+  auto model_b = RandomModel(num_users, num_items, width, 67);
+  const int64_t k = 10;
+  // Precompute ground truth under both snapshots: every answer a reader
+  // ever observes must exactly match one of them.
+  std::vector<std::vector<RecEntry>> want_a, want_b;
+  for (int64_t u = 0; u < num_users; ++u) {
+    want_a.push_back(BruteForceTopN(*model_a, u, k));
+    want_b.push_back(BruteForceTopN(*model_b, u, k));
+  }
+
+  RecService service(model_a);
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      util::Rng rng(100 + static_cast<uint64_t>(t));
+      for (int64_t i = 0; i < 400; ++i) {
+        int64_t user = rng.UniformInt(0, num_users - 1);
+        std::vector<RecEntry> got = service.Recommend(user, k);
+        if (got != want_a[static_cast<size_t>(user)] &&
+            got != want_b[static_cast<size_t>(user)]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int s = 0; s < 24; ++s) {
+      service.SwapModel(s % 2 == 0 ? model_b : model_a);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& th : readers) th.join();
+  swapper.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 4u * 400u);
+  EXPECT_EQ(stats.swaps, 24u);
+}
+
+// ------------------------------------------- evaluator fast-path parity ----
+
+TEST(ServeEvalParityTest, RetrieverScorerBitIdenticalToCachedScorer) {
+  // Table-III-style check on synthetic data: HR/NDCG computed through the
+  // serving-path scorer must match the training-side CachedScorer path
+  // bit for bit.
+  data::Dataset full = data::GenerateSynthetic(data::YelpLike(0.08));
+  data::TrainTestSplit split = data::LeaveLatestOut(full);
+  util::Rng rng(7);
+  auto candidates = data::BuildEvalCandidates(split.train, split.test,
+                                              std::min<int64_t>(99, full.num_items / 3),
+                                              &rng);
+  core::GnmrConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.num_channels = 4;
+  cfg.epochs = 2;
+  cfg.use_pretrain = false;
+  core::GnmrTrainer trainer(cfg, split.train);
+  trainer.Train();
+  const std::vector<int64_t> cutoffs = {1, 3, 5, 7, 9};
+
+  std::unique_ptr<eval::Scorer> cached = trainer.MakeScorer();
+  eval::RankingMetrics want =
+      eval::EvaluateRanking(cached.get(), candidates, cutoffs);
+
+  auto serving = std::make_shared<const core::ServingModel>(
+      core::ExportServingModel(trainer.model()));
+  TopNRetriever retriever(serving);
+  std::unique_ptr<eval::Scorer> fast = retriever.MakeScorer();
+  eval::RankingMetrics got =
+      eval::EvaluateRanking(fast.get(), candidates, cutoffs);
+
+  ASSERT_EQ(got.num_users, want.num_users);
+  for (int64_t n : cutoffs) {
+    EXPECT_EQ(got.hr[n], want.hr[n]) << "HR@" << n;      // bitwise
+    EXPECT_EQ(got.ndcg[n], want.ndcg[n]) << "NDCG@" << n;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace gnmr
