@@ -6,9 +6,12 @@
 //   ./build/examples/gnmr_serve [--epochs=8] [--scale=0.3] [--k=10]
 //                               [--threads=4] [--requests=20000]
 //                               [--zipf=1.1] [--model=path] [--save=path]
+//                               [--backend=serial|omp|blocked]
 //
 // --model=path skips training and loads a SaveServingModel artifact;
-// --save=path writes the trained artifact for later runs.
+// --save=path writes the trained artifact for later runs. --backend=
+// selects the kernel backend (same choices as the GNMR_BACKEND env var;
+// see src/tensor/backend.h).
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -21,6 +24,7 @@
 #include "src/data/synthetic.h"
 #include "src/serve/rec_service.h"
 #include "src/serve/zipf_stream.h"
+#include "src/tensor/backend.h"
 #include "src/util/flags.h"
 #include "src/util/stopwatch.h"
 
@@ -73,6 +77,9 @@ int main(int argc, char** argv) {
   double zipf = flags.GetDouble("zipf", 1.1);
   std::string model_path = flags.GetString("model", "");
   std::string save_path = flags.GetString("save", "");
+  if (flags.Has("backend")) {
+    tensor::SetBackend(flags.GetString("backend", ""));
+  }
 
   // 1. Obtain the serving artifact: load from disk, or train + export.
   //    Either way the training dataset provides the seen-item filter.

@@ -1,6 +1,11 @@
 #include "src/core/gnmr_trainer.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "src/tensor/ad_ops.h"
 #include "src/util/check.h"
@@ -9,6 +14,19 @@
 
 namespace gnmr {
 namespace core {
+
+namespace {
+
+/// Producer-ahead bound: how many prepared batches may sit between the
+/// sampling thread and the training thread. 2 = classic double buffering
+/// plus one slot of slack against bursty batch costs.
+constexpr size_t kPipelineDepth = 2;
+
+/// Salt separating the per-batch sampling streams from every other
+/// consumer of the config seed (model init, epoch shuffle).
+constexpr uint64_t kBatchStreamSalt = 0x51ed270b9f8f2a4bULL;
+
+}  // namespace
 
 GnmrTrainer::GnmrTrainer(const GnmrConfig& config, const data::Dataset& train)
     : config_(config),
@@ -30,6 +48,61 @@ GnmrTrainer::GnmrTrainer(const GnmrConfig& config, const data::Dataset& train)
       << "no users with target-behavior positives";
 }
 
+util::Rng GnmrTrainer::BatchRng(int64_t epoch, int64_t batch_index) const {
+  return util::Rng(config_.seed ^ kBatchStreamSalt,
+                   (static_cast<uint64_t>(epoch) << 32) |
+                       static_cast<uint64_t>(batch_index));
+}
+
+GnmrTrainer::TripletBatch GnmrTrainer::BuildBatch(
+    const std::vector<int64_t>& order, size_t start, size_t end,
+    util::Rng* rng) const {
+  TripletBatch batch;
+  size_t samples_per_user = static_cast<size_t>(config_.positives_per_user *
+                                                config_.negatives_per_positive);
+  batch.users.reserve((end - start) * samples_per_user);
+  batch.pos_items.reserve((end - start) * samples_per_user);
+  batch.neg_items.reserve((end - start) * samples_per_user);
+  for (size_t i = start; i < end; ++i) {
+    int64_t u = order[i];
+    std::vector<int64_t> positives =
+        model_->graph().ItemsOf(u, target_behavior_);
+    if (positives.empty()) continue;
+    for (int64_t s = 0; s < config_.positives_per_user; ++s) {
+      int64_t pos = positives[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(positives.size()) - 1))];
+      for (int64_t n = 0; n < config_.negatives_per_positive; ++n) {
+        batch.users.push_back(u);
+        batch.pos_items.push_back(pos);
+        batch.neg_items.push_back(negative_sampler_->SampleOne(u, rng));
+      }
+    }
+  }
+  return batch;
+}
+
+void GnmrTrainer::TrainStep(const TripletBatch& batch, double* loss_sum,
+                            int64_t* steps, EpochStats* stats) {
+  if (batch.users.empty()) return;
+  std::vector<ad::Var> layers = model_->Propagate();
+  ad::Var pos_scores = model_->ScorePairs(layers, batch.users,
+                                          batch.pos_items);
+  ad::Var neg_scores = model_->ScorePairs(layers, batch.users,
+                                          batch.neg_items);
+  ad::Var loss =
+      ad::PairwiseHingeLoss(pos_scores, neg_scores, config_.margin);
+  GNMR_CHECK(!loss.value().HasNonFinite()) << "loss diverged (NaN/inf)";
+  *loss_sum += static_cast<double>(loss.value().at(0));
+  ++*steps;
+
+  ad::Backward(loss);
+  if (config_.grad_clip > 0.0) {
+    nn::ClipGradNorm(params_, config_.grad_clip);
+  }
+  stats->grad_norm = nn::GlobalGradNorm(params_);
+  optimizer_->Step(params_);
+}
+
 EpochStats GnmrTrainer::TrainEpoch() {
   util::Stopwatch timer;
   EpochStats stats;
@@ -38,46 +111,66 @@ EpochStats GnmrTrainer::TrainEpoch() {
   std::vector<int64_t> order = trainable_users_;
   rng_.Shuffle(&order);
 
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(config_.batch_users)) {
+    ranges.emplace_back(start,
+                        std::min(order.size(),
+                                 start + static_cast<size_t>(
+                                             config_.batch_users)));
+  }
+
   double loss_sum = 0.0;
   int64_t steps = 0;
 
-  for (size_t start = 0; start < order.size();
-       start += static_cast<size_t>(config_.batch_users)) {
-    size_t end = std::min(order.size(),
-                          start + static_cast<size_t>(config_.batch_users));
-    std::vector<int64_t> users, pos_items, neg_items;
-    for (size_t i = start; i < end; ++i) {
-      int64_t u = order[i];
-      std::vector<int64_t> positives =
-          model_->graph().ItemsOf(u, target_behavior_);
-      if (positives.empty()) continue;
-      for (int64_t s = 0; s < config_.positives_per_user; ++s) {
-        int64_t pos = positives[static_cast<size_t>(
-            rng_.UniformInt(0, static_cast<int64_t>(positives.size()) - 1))];
-        for (int64_t n = 0; n < config_.negatives_per_positive; ++n) {
-          users.push_back(u);
-          pos_items.push_back(pos);
-          neg_items.push_back(negative_sampler_->SampleOne(u, &rng_));
-        }
+  if (!config_.pipeline_batches || ranges.size() <= 1) {
+    for (size_t b = 0; b < ranges.size(); ++b) {
+      util::Rng batch_rng = BatchRng(epoch_, static_cast<int64_t>(b));
+      TripletBatch batch =
+          BuildBatch(order, ranges[b].first, ranges[b].second, &batch_rng);
+      TrainStep(batch, &loss_sum, &steps, &stats);
+    }
+  } else {
+    // Two-stage pipeline: the producer samples batch b+1 (read-only graph
+    // and sampler state, its own RNG stream) while this thread trains on
+    // batch b. Batches arrive in range order through a bounded queue, so
+    // optimizer updates happen in exactly the serial-loop order.
+    std::mutex mu;
+    std::condition_variable queue_has_room;
+    std::condition_variable queue_has_batch;
+    std::deque<TripletBatch> queue;
+    bool producer_done = false;
+
+    std::thread producer([&] {
+      for (size_t b = 0; b < ranges.size(); ++b) {
+        util::Rng batch_rng = BatchRng(epoch_, static_cast<int64_t>(b));
+        TripletBatch batch =
+            BuildBatch(order, ranges[b].first, ranges[b].second, &batch_rng);
+        std::unique_lock<std::mutex> lock(mu);
+        queue_has_room.wait(lock,
+                            [&] { return queue.size() < kPipelineDepth; });
+        queue.push_back(std::move(batch));
+        queue_has_batch.notify_one();
       }
-    }
-    if (users.empty()) continue;
+      std::lock_guard<std::mutex> lock(mu);
+      producer_done = true;
+      queue_has_batch.notify_one();
+    });
 
-    std::vector<ad::Var> layers = model_->Propagate();
-    ad::Var pos_scores = model_->ScorePairs(layers, users, pos_items);
-    ad::Var neg_scores = model_->ScorePairs(layers, users, neg_items);
-    ad::Var loss =
-        ad::PairwiseHingeLoss(pos_scores, neg_scores, config_.margin);
-    GNMR_CHECK(!loss.value().HasNonFinite()) << "loss diverged (NaN/inf)";
-    loss_sum += static_cast<double>(loss.value().at(0));
-    ++steps;
-
-    ad::Backward(loss);
-    if (config_.grad_clip > 0.0) {
-      nn::ClipGradNorm(params_, config_.grad_clip);
+    for (;;) {
+      TripletBatch batch;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        queue_has_batch.wait(
+            lock, [&] { return !queue.empty() || producer_done; });
+        if (queue.empty()) break;  // producer_done and drained
+        batch = std::move(queue.front());
+        queue.pop_front();
+      }
+      queue_has_room.notify_one();
+      TrainStep(batch, &loss_sum, &steps, &stats);
     }
-    stats.grad_norm = nn::GlobalGradNorm(params_);
-    optimizer_->Step(params_);
+    producer.join();
   }
 
   optimizer_->DecayLearningRate(config_.lr_decay);

@@ -1,6 +1,13 @@
 // Training loop for GNMR (Algorithm 1 of the paper): pairwise hinge loss
 // over sampled (user, positive, negative) triplets, Adam with exponential
 // learning-rate decay, full-graph propagation per step.
+//
+// Batch preparation (positive/negative sampling and index-list assembly)
+// is decoupled from the compute pass: each batch is sampled from its own
+// seeded RNG stream derived from (seed, epoch, batch index), so with
+// GnmrConfig::pipeline_batches a producer thread prepares batch b+1 while
+// the consumer runs forward/backward/Adam on batch b — and the loss
+// trajectory is bit-identical to the non-pipelined loop.
 #ifndef GNMR_CORE_GNMR_TRAINER_H_
 #define GNMR_CORE_GNMR_TRAINER_H_
 
@@ -31,6 +38,8 @@ class GnmrTrainer {
   GnmrTrainer(const GnmrConfig& config, const data::Dataset& train);
 
   /// Runs one epoch over all users (shuffled, batched). Returns stats.
+  /// With config.pipeline_batches the next batch is sampled on a producer
+  /// thread while the current one trains; results are identical either way.
   EpochStats TrainEpoch();
 
   /// Runs config.epochs epochs. `on_epoch` (optional) observes progress.
@@ -43,6 +52,30 @@ class GnmrTrainer {
   const GnmrModel& model() const { return *model_; }
 
  private:
+  /// One prepared training batch: aligned (user, positive, negative)
+  /// triplet columns, ready for ScorePairs.
+  struct TripletBatch {
+    std::vector<int64_t> users;
+    std::vector<int64_t> pos_items;
+    std::vector<int64_t> neg_items;
+  };
+
+  /// Independent RNG stream for one batch, derived from (config seed,
+  /// epoch, batch index) only — execution order and pipelining cannot
+  /// change what a batch samples.
+  util::Rng BatchRng(int64_t epoch, int64_t batch_index) const;
+
+  /// Samples triplets for order[start, end) (producer stage; touches only
+  /// read-only graph/sampler state plus its own RNG).
+  TripletBatch BuildBatch(const std::vector<int64_t>& order, size_t start,
+                          size_t end, util::Rng* rng) const;
+
+  /// Forward/backward/Adam on one batch (consumer stage). Updates the
+  /// running loss sum and step count; records the gradient norm in
+  /// `stats`. No-op on an empty batch.
+  void TrainStep(const TripletBatch& batch, double* loss_sum, int64_t* steps,
+                 EpochStats* stats);
+
   GnmrConfig config_;
   std::unique_ptr<GnmrModel> model_;
   std::unique_ptr<graph::NegativeSampler> negative_sampler_;
@@ -51,6 +84,7 @@ class GnmrTrainer {
   /// Users with at least one target-behavior positive.
   std::vector<int64_t> trainable_users_;
   int64_t target_behavior_ = 0;
+  /// Epoch-level RNG (user shuffle); batch sampling uses BatchRng streams.
   util::Rng rng_;
   int64_t epoch_ = 0;
 };

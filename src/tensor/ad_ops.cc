@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/tensor/backend.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/check.h"
 
@@ -11,6 +12,45 @@ namespace ad {
 
 namespace top = tensor::ops;
 using tensor::Tensor;
+
+namespace {
+
+// Backward rules of the unary activations are elementwise zips of the
+// upstream grad against the cached input/output; they dispatch through
+// the kernel backend like their forward counterparts. As in tensor_ops.cc,
+// the element bodies are named functions baked into the shared
+// tensor::ZipLoop instantiations (backend.h) so the backend pays one
+// indirect call per range, not per element.
+using ElZipFn = float (*)(float a, float g, float p);
+
+inline float ReluBwdEl(float x, float g, float) {
+  return x > 0.0f ? g : 0.0f;
+}
+inline float LeakyReluBwdEl(float x, float g, float p) {
+  return x > 0.0f ? g : p * g;
+}
+inline float SigmoidBwdEl(float y, float g, float) {
+  return g * y * (1.0f - y);
+}
+inline float TanhBwdEl(float y, float g, float) {
+  return g * (1.0f - y * y);
+}
+inline float LogBwdEl(float x, float g, float p) {
+  return x > p ? g / x : 0.0f;
+}
+inline float SqrtBwdEl(float y, float g, float) {
+  return y > 0.0f ? 0.5f * g / y : 0.0f;
+}
+
+template <ElZipFn F>
+Tensor BackwardZip(const Tensor& a, const Tensor& grad, float p = 0.0f) {
+  Tensor out(grad.shape());
+  tensor::GetBackend().EltwiseZip(a.data(), grad.data(), out.data(),
+                                  grad.numel(), tensor::ZipLoop<F>, p);
+  return out;
+}
+
+}  // namespace
 
 Var Add(const Var& a, const Var& b) {
   Tensor out = top::Add(a.value(), b.value());
@@ -132,12 +172,8 @@ Var Relu(const Var& a) {
   Tensor out = top::Relu(a.value());
   return MakeOpVar(std::move(out), {a}, [](Node* self) {
     Node* a_node = self->inputs[0].get();
-    Tensor da(self->grad.shape());
-    const float* av = a_node->value.data();
-    const float* g = self->grad.data();
-    float* d = da.data();
-    for (int64_t i = 0; i < da.numel(); ++i) d[i] = av[i] > 0.0f ? g[i] : 0.0f;
-    a_node->AccumulateGrad(da);
+    a_node->AccumulateGrad(
+        BackwardZip<&ReluBwdEl>(a_node->value, self->grad));
   });
 }
 
@@ -145,14 +181,8 @@ Var LeakyRelu(const Var& a, float alpha) {
   Tensor out = top::LeakyRelu(a.value(), alpha);
   return MakeOpVar(std::move(out), {a}, [alpha](Node* self) {
     Node* a_node = self->inputs[0].get();
-    Tensor da(self->grad.shape());
-    const float* av = a_node->value.data();
-    const float* g = self->grad.data();
-    float* d = da.data();
-    for (int64_t i = 0; i < da.numel(); ++i) {
-      d[i] = av[i] > 0.0f ? g[i] : alpha * g[i];
-    }
-    a_node->AccumulateGrad(da);
+    a_node->AccumulateGrad(
+        BackwardZip<&LeakyReluBwdEl>(a_node->value, self->grad, alpha));
   });
 }
 
@@ -160,14 +190,7 @@ Var Sigmoid(const Var& a) {
   Tensor out = top::Sigmoid(a.value());
   Tensor y = out;  // cache output for backward
   return MakeOpVar(std::move(out), {a}, [y = std::move(y)](Node* self) {
-    Tensor da(self->grad.shape());
-    const float* yv = y.data();
-    const float* g = self->grad.data();
-    float* d = da.data();
-    for (int64_t i = 0; i < da.numel(); ++i) {
-      d[i] = g[i] * yv[i] * (1.0f - yv[i]);
-    }
-    self->inputs[0]->AccumulateGrad(da);
+    self->inputs[0]->AccumulateGrad(BackwardZip<&SigmoidBwdEl>(y, self->grad));
   });
 }
 
@@ -175,14 +198,7 @@ Var Tanh(const Var& a) {
   Tensor out = top::Tanh(a.value());
   Tensor y = out;
   return MakeOpVar(std::move(out), {a}, [y = std::move(y)](Node* self) {
-    Tensor da(self->grad.shape());
-    const float* yv = y.data();
-    const float* g = self->grad.data();
-    float* d = da.data();
-    for (int64_t i = 0; i < da.numel(); ++i) {
-      d[i] = g[i] * (1.0f - yv[i] * yv[i]);
-    }
-    self->inputs[0]->AccumulateGrad(da);
+    self->inputs[0]->AccumulateGrad(BackwardZip<&TanhBwdEl>(y, self->grad));
   });
 }
 
@@ -198,14 +214,8 @@ Var Log(const Var& a, float eps) {
   Tensor out = top::Log(a.value(), eps);
   return MakeOpVar(std::move(out), {a}, [eps](Node* self) {
     Node* a_node = self->inputs[0].get();
-    Tensor da(self->grad.shape());
-    const float* av = a_node->value.data();
-    const float* g = self->grad.data();
-    float* d = da.data();
-    for (int64_t i = 0; i < da.numel(); ++i) {
-      d[i] = av[i] > eps ? g[i] / av[i] : 0.0f;
-    }
-    a_node->AccumulateGrad(da);
+    a_node->AccumulateGrad(
+        BackwardZip<&LogBwdEl>(a_node->value, self->grad, eps));
   });
 }
 
@@ -213,14 +223,7 @@ Var Sqrt(const Var& a) {
   Tensor out = top::Sqrt(a.value());
   Tensor y = out;
   return MakeOpVar(std::move(out), {a}, [y = std::move(y)](Node* self) {
-    Tensor da(self->grad.shape());
-    const float* yv = y.data();
-    const float* g = self->grad.data();
-    float* d = da.data();
-    for (int64_t i = 0; i < da.numel(); ++i) {
-      d[i] = yv[i] > 0.0f ? 0.5f * g[i] / yv[i] : 0.0f;
-    }
-    self->inputs[0]->AccumulateGrad(da);
+    self->inputs[0]->AccumulateGrad(BackwardZip<&SqrtBwdEl>(y, self->grad));
   });
 }
 

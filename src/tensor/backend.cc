@@ -1,0 +1,444 @@
+#include "src/tensor/backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "src/tensor/kernel_tunables.h"
+#include "src/util/check.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gnmr {
+namespace tensor {
+
+namespace {
+
+// ---- Shared kernel bodies ---------------------------------------------------
+// The serial loops below are the reference semantics; the OpenMP backend
+// reuses them per row/chunk so fan-out never changes an output element's
+// accumulation order.
+
+// One dense output row: out_row += a_row * b ([k] x [k,m]).
+inline void MatMulRow(const float* a_row, const float* b, float* out_row,
+                      int64_t k, int64_t m) {
+  for (int64_t kk = 0; kk < k; ++kk) {
+    float av = a_row[kk];
+    if (av == 0.0f) continue;
+    const float* brow = b + kk * m;
+    for (int64_t j = 0; j < m; ++j) out_row[j] += av * brow[j];
+  }
+}
+
+// One sparse output row: out_row += A[i, :] * x.
+inline void SpmmRow(const CsrMatrix& a, const float* x, float* out_row,
+                    int64_t i, int64_t d) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int64_t p = row_ptr[static_cast<size_t>(i)];
+       p < row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+    float v = values[static_cast<size_t>(p)];
+    const float* xrow = x + col_idx[static_cast<size_t>(p)] * d;
+    for (int64_t j = 0; j < d; ++j) out_row[j] += v * xrow[j];
+  }
+}
+
+// Scatter-add restricted to target rows in [row_lo, row_hi): scans all
+// source rows in ascending order and applies only in-range ones, so each
+// target row sees the same accumulation order as the serial loop no matter
+// how [0, rows) is partitioned.
+inline void ScatterAddRowRange(float* target, int64_t m, const int64_t* idx,
+                               int64_t count, const float* src,
+                               int64_t row_lo, int64_t row_hi) {
+  for (int64_t r = 0; r < count; ++r) {
+    int64_t dst = idx[r];
+    if (dst < row_lo || dst >= row_hi) continue;
+    const float* srow = src + r * m;
+    float* trow = target + dst * m;
+    for (int64_t j = 0; j < m; ++j) trow[j] += srow[j];
+  }
+}
+
+inline double RowDotOne(const float* a_row, const float* b_row, int64_t m) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < m; ++j) {
+    acc += static_cast<double>(a_row[j]) * b_row[j];
+  }
+  return acc;
+}
+
+// Double partial over one fixed-width chunk (the unit of ReduceSum's
+// backend-independent association).
+inline double ChunkSum(const float* in, int64_t begin, int64_t end) {
+  double acc = 0.0;
+  for (int64_t i = begin; i < end; ++i) acc += static_cast<double>(in[i]);
+  return acc;
+}
+
+// ---- SerialBackend ----------------------------------------------------------
+
+class SerialBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "serial"; }
+
+  void MatMul(const float* a, const float* b, float* out, int64_t n,
+              int64_t k, int64_t m) const override {
+    for (int64_t i = 0; i < n; ++i) {
+      MatMulRow(a + i * k, b, out + i * m, k, m);
+    }
+  }
+
+  void Spmm(const CsrMatrix& a, const float* x, float* out,
+            int64_t d) const override {
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      SpmmRow(a, x, out + i * d, i, d);
+    }
+  }
+
+  void GatherRows(const float* a, int64_t m, const int64_t* idx,
+                  int64_t count, float* out) const override {
+    for (int64_t r = 0; r < count; ++r) {
+      std::copy(a + idx[r] * m, a + (idx[r] + 1) * m, out + r * m);
+    }
+  }
+
+  void ScatterAddRows(float* target, int64_t rows, int64_t m,
+                      const int64_t* idx, int64_t count,
+                      const float* src) const override {
+    ScatterAddRowRange(target, m, idx, count, src, 0, rows);
+  }
+
+  void RowDot(const float* a, const float* b, float* out, int64_t n,
+              int64_t m) const override {
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = static_cast<float>(RowDotOne(a + i * m, b + i * m, m));
+    }
+  }
+
+  void EltwiseMap(const float* in, float* out, int64_t n, MapFn f,
+                  float p) const override {
+    f(in, out, n, p);
+  }
+
+  void EltwiseZip(const float* a, const float* b, float* out, int64_t n,
+                  ZipFn f, float p) const override {
+    f(a, b, out, n, p);
+  }
+
+  double ReduceSum(const float* in, int64_t n) const override {
+    double total = 0.0;
+    for (int64_t start = 0; start < n; start += kReduceSumChunk) {
+      total += ChunkSum(in, start, std::min(n, start + kReduceSumChunk));
+    }
+    return total;
+  }
+};
+
+// ---- OmpBackend -------------------------------------------------------------
+// Row/chunk fan-out with the serial per-row bodies; deterministic at any
+// thread count. Compiles without OpenMP too (the pragmas vanish and every
+// kernel degrades to its serial loop), so GNMR_BACKEND=omp is always a
+// valid selection.
+
+class OmpBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "omp"; }
+
+  void MatMul(const float* a, const float* b, float* out, int64_t n,
+              int64_t k, int64_t m) const override {
+    // Rows of the output are independent; parallelizing the outer loop
+    // keeps each row's accumulation order unchanged.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) \
+    if (n > 1 && n * k * m >= kParallelMatMulMinWork)
+#endif
+    for (int64_t i = 0; i < n; ++i) {
+      MatMulRow(a + i * k, b, out + i * m, k, m);
+    }
+  }
+
+  void Spmm(const CsrMatrix& a, const float* x, float* out,
+            int64_t d) const override {
+    int64_t n = a.rows();
+    // Dynamic chunks balance skewed per-row nnz (power-law degrees).
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, kSpmmRowChunk) \
+    if (n > 1 && a.nnz() * d >= kParallelSpmmMinWork)
+#endif
+    for (int64_t i = 0; i < n; ++i) {
+      SpmmRow(a, x, out + i * d, i, d);
+    }
+  }
+
+  void GatherRows(const float* a, int64_t m, const int64_t* idx,
+                  int64_t count, float* out) const override {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) \
+    if (count > 1 && count * m >= kParallelRowsMinWork)
+#endif
+    for (int64_t r = 0; r < count; ++r) {
+      std::copy(a + idx[r] * m, a + (idx[r] + 1) * m, out + r * m);
+    }
+  }
+
+  void ScatterAddRows(float* target, int64_t rows, int64_t m,
+                      const int64_t* idx, int64_t count,
+                      const float* src) const override {
+    // Duplicate destinations make the source loop unsafe to split, so
+    // partition *target* rows across threads instead: every thread scans
+    // the whole index list and applies only its own rows. Accumulation
+    // order per target row stays ascending-r — bit-identical to serial.
+#ifdef _OPENMP
+    if (rows > 1 && count * m >= kParallelRowsMinWork) {
+#pragma omp parallel
+      {
+        int64_t nt = omp_get_num_threads();
+        int64_t tid = omp_get_thread_num();
+        int64_t lo = rows * tid / nt;
+        int64_t hi = rows * (tid + 1) / nt;
+        ScatterAddRowRange(target, m, idx, count, src, lo, hi);
+      }
+      return;
+    }
+#endif
+    ScatterAddRowRange(target, m, idx, count, src, 0, rows);
+  }
+
+  void RowDot(const float* a, const float* b, float* out, int64_t n,
+              int64_t m) const override {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) \
+    if (n > 1 && n * m >= kParallelRowsMinWork)
+#endif
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = static_cast<float>(RowDotOne(a + i * m, b + i * m, m));
+    }
+  }
+
+  void EltwiseMap(const float* in, float* out, int64_t n, MapFn f,
+                  float p) const override {
+#ifdef _OPENMP
+    if (n >= kParallelEltwiseMinWork) {
+      // Contiguous per-thread ranges; the kernel runs once per range.
+#pragma omp parallel
+      {
+        int64_t nt = omp_get_num_threads();
+        int64_t tid = omp_get_thread_num();
+        int64_t lo = n * tid / nt;
+        int64_t hi = n * (tid + 1) / nt;
+        f(in + lo, out + lo, hi - lo, p);
+      }
+      return;
+    }
+#endif
+    f(in, out, n, p);
+  }
+
+  void EltwiseZip(const float* a, const float* b, float* out, int64_t n,
+                  ZipFn f, float p) const override {
+#ifdef _OPENMP
+    if (n >= kParallelEltwiseMinWork) {
+#pragma omp parallel
+      {
+        int64_t nt = omp_get_num_threads();
+        int64_t tid = omp_get_thread_num();
+        int64_t lo = n * tid / nt;
+        int64_t hi = n * (tid + 1) / nt;
+        f(a + lo, b + lo, out + lo, hi - lo, p);
+      }
+      return;
+    }
+#endif
+    f(a, b, out, n, p);
+  }
+
+  double ReduceSum(const float* in, int64_t n) const override {
+    int64_t num_chunks = (n + kReduceSumChunk - 1) / kReduceSumChunk;
+    if (num_chunks <= 1) return ChunkSum(in, 0, n);
+    // Chunk partials in parallel, combined serially in chunk order: the
+    // association is fixed by kReduceSumChunk, not the thread count.
+    std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      int64_t begin = c * kReduceSumChunk;
+      partial[static_cast<size_t>(c)] =
+          ChunkSum(in, begin, std::min(n, begin + kReduceSumChunk));
+    }
+    double total = 0.0;
+    for (double v : partial) total += v;
+    return total;
+  }
+};
+
+// ---- BlockedBackend ---------------------------------------------------------
+
+// One output row with the k loop unrolled kMatMulKUnroll-wide: the
+// combined update orow[j] = (((orow[j] + a0*b0[j]) + a1*b1[j]) + ...)
+// amortises the output row's load/store over four multiply-adds instead
+// of one, while evaluating in exactly the serial ascending-k order, so
+// results stay numerically identical to MatMulRow (FMA contraction under
+// -march=native being the only permitted divergence).
+void MatMulRowBlocked(const float* a_row, const float* b, float* out_row,
+                      int64_t k, int64_t m) {
+  static_assert(kMatMulKUnroll == 4, "unrolled body matches the tunable");
+  int64_t kk = 0;
+  for (; kk + kMatMulKUnroll <= k; kk += kMatMulKUnroll) {
+    float a0 = a_row[kk];
+    float a1 = a_row[kk + 1];
+    float a2 = a_row[kk + 2];
+    float a3 = a_row[kk + 3];
+    if (a0 == 0.0f || a1 == 0.0f || a2 == 0.0f || a3 == 0.0f) {
+      // Preserve the serial reference's zero-skip (it matters when b holds
+      // non-finite values: 0*inf would poison the row). Rare, so the
+      // group falls back to the single-k form; same accumulation order.
+      for (int64_t p = kk; p < kk + kMatMulKUnroll; ++p) {
+        float av = a_row[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * m;
+        for (int64_t j = 0; j < m; ++j) out_row[j] += av * brow[j];
+      }
+      continue;
+    }
+    const float* b0 = b + kk * m;
+    const float* b1 = b0 + m;
+    const float* b2 = b1 + m;
+    const float* b3 = b2 + m;
+    for (int64_t j = 0; j < m; ++j) {
+      out_row[j] = (((out_row[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) +
+                   a3 * b3[j];
+    }
+  }
+  for (; kk < k; ++kk) {
+    float av = a_row[kk];
+    if (av == 0.0f) continue;
+    const float* brow = b + kk * m;
+    for (int64_t j = 0; j < m; ++j) out_row[j] += av * brow[j];
+  }
+}
+
+class BlockedBackend : public OmpBackend {
+ public:
+  const char* name() const override { return "blocked"; }
+
+  void MatMul(const float* a, const float* b, float* out, int64_t n,
+              int64_t k, int64_t m) const override {
+    // Rows are independent, so the OpenMP fan-out composes with the
+    // blocked row kernel (single-threaded builds just run the loop).
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) \
+    if (n > 1 && n * k * m >= kParallelMatMulMinWork)
+#endif
+    for (int64_t i = 0; i < n; ++i) {
+      MatMulRowBlocked(a + i * k, b, out + i * m, k, m);
+    }
+  }
+
+  void Spmm(const CsrMatrix& a, const float* x, float* out,
+            int64_t d) const override {
+    int64_t n = a.rows();
+    if (n <= 1 || a.nnz() * d < kParallelSpmmMinWork) {
+      for (int64_t i = 0; i < n; ++i) SpmmRow(a, x, out + i * d, i, d);
+      return;
+    }
+    // Row-binned schedule: contiguous row ranges of ~kSpmmBinNnz nonzeros
+    // each, so a few power-law heavy rows can't serialize a whole static
+    // chunk. Per-row arithmetic is untouched — results match serial.
+    const auto& row_ptr = a.row_ptr();
+    std::vector<int64_t> bin_start;
+    bin_start.push_back(0);
+    int64_t bin_nnz = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      bin_nnz +=
+          row_ptr[static_cast<size_t>(i) + 1] - row_ptr[static_cast<size_t>(i)];
+      if (bin_nnz >= kSpmmBinNnz) {
+        bin_start.push_back(i + 1);
+        bin_nnz = 0;
+      }
+    }
+    if (bin_start.back() != n) bin_start.push_back(n);
+    int64_t num_bins = static_cast<int64_t>(bin_start.size()) - 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (num_bins > 1)
+#endif
+    for (int64_t bin = 0; bin < num_bins; ++bin) {
+      for (int64_t i = bin_start[static_cast<size_t>(bin)];
+           i < bin_start[static_cast<size_t>(bin) + 1]; ++i) {
+        SpmmRow(a, x, out + i * d, i, d);
+      }
+    }
+  }
+};
+
+// ---- Registry ---------------------------------------------------------------
+
+const SerialBackend kSerialBackend;
+const OmpBackend kOmpBackend;
+const BlockedBackend kBlockedBackend;
+
+std::atomic<const KernelBackend*> g_backend{nullptr};
+
+const KernelBackend* DefaultBackend() {
+  if (const char* env = std::getenv("GNMR_BACKEND")) {
+    if (*env != '\0') {
+      const KernelBackend* b = FindBackend(env);
+      if (b != nullptr) return b;
+      GNMR_CHECK(false) << "unknown GNMR_BACKEND '" << env
+                        << "' (available: serial, omp, blocked)";
+    }
+  }
+#ifdef _OPENMP
+  return &kOmpBackend;
+#else
+  return &kSerialBackend;
+#endif
+}
+
+}  // namespace
+
+const std::vector<const KernelBackend*>& AllBackends() {
+  static const std::vector<const KernelBackend*> all = {
+      &kSerialBackend, &kOmpBackend, &kBlockedBackend};
+  return all;
+}
+
+const KernelBackend* FindBackend(const std::string& name) {
+  for (const KernelBackend* b : AllBackends()) {
+    if (name == b->name()) return b;
+  }
+  return nullptr;
+}
+
+const KernelBackend& GetBackend() {
+  const KernelBackend* b = g_backend.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    b = DefaultBackend();
+    const KernelBackend* expected = nullptr;
+    // First caller wins; a concurrent first call resolves identically.
+    g_backend.compare_exchange_strong(expected, b, std::memory_order_acq_rel);
+  }
+  return *b;
+}
+
+void SetBackend(const std::string& name) {
+  const KernelBackend* b = FindBackend(name);
+  GNMR_CHECK(b != nullptr) << "unknown backend '" << name
+                           << "' (available: serial, omp, blocked)";
+  g_backend.store(b, std::memory_order_release);
+}
+
+ScopedBackend::ScopedBackend(const std::string& name)
+    : previous_(&GetBackend()) {
+  SetBackend(name);
+}
+
+ScopedBackend::~ScopedBackend() {
+  g_backend.store(previous_, std::memory_order_release);
+}
+
+}  // namespace tensor
+}  // namespace gnmr

@@ -1,0 +1,148 @@
+// Pluggable kernel backends for the compute hot path. tensor::ops (dense)
+// and tensor::ops::Spmm (sparse) dispatch every hot kernel — MatMul, SpMM,
+// GatherRows, ScatterAddRows, RowDot, elementwise map/zip and the scalar
+// reduction — through the active KernelBackend, so swapping the execution
+// strategy (serial reference, OpenMP fan-out, cache-blocked) never touches
+// the call sites. This is the cut point the ROADMAP names for future BLAS,
+// SIMD and sharded implementations.
+//
+// Registered backends:
+//   "serial"  — straight-line loops; the bit-exact reference.
+//   "omp"     — OpenMP fan-out over rows/chunks with deterministic
+//               (thread-count independent) accumulation order. Compiles in
+//               every build; without OpenMP it degrades to serial loops.
+//   "blocked" — cache-blocked kernels (k-unrolled MatMul, nnz-binned SpMM)
+//               layered on the OpenMP fan-out; the blocking also pays off
+//               single-threaded.
+//
+// Selection: SetBackend()/ScopedBackend at runtime, or the GNMR_BACKEND
+// environment variable read on first use (bench/example binaries also map
+// a --backend= flag onto SetBackend). Default: "omp" in OpenMP builds,
+// "serial" otherwise — matching the pre-backend behavior of each build.
+//
+// Contract: all kernels are pure (no hidden state), write into
+// caller-allocated zero-initialised outputs, and must accumulate each
+// output element in the same order as the serial reference, so results are
+// bit-identical across backends and thread counts (ReduceSum re-associates
+// across fixed chunks — see kReduceSumChunk — identically in every
+// backend). Bounds checking happens in the ops layer before dispatch.
+#ifndef GNMR_TENSOR_BACKEND_H_
+#define GNMR_TENSOR_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/sparse.h"
+
+namespace gnmr {
+namespace tensor {
+
+/// Strategy interface over the raw hot-path kernels.
+class KernelBackend {
+ public:
+  /// Elementwise map kernel over a contiguous range: out[i] = f(in[i], p)
+  /// for i in [0, n). `p` carries the op's scalar parameter (AddScalar's
+  /// addend, LeakyRelu's slope, ...), 0 when unused. The granularity is a
+  /// *range*, not an element: backends split [0, n) and make one indirect
+  /// call per chunk, while the ops layer instantiates the pointed-to loop
+  /// from a template (tensor_ops.cc MapLoop/ZipLoop) so the per-element
+  /// body stays fully inlined and vectorised.
+  using MapFn = void (*)(const float* in, float* out, int64_t n, float p);
+  /// Elementwise zip kernel: out[i] = f(a[i], b[i], p) for i in [0, n).
+  using ZipFn = void (*)(const float* a, const float* b, float* out,
+                         int64_t n, float p);
+
+  virtual ~KernelBackend() = default;
+
+  /// Registry name ("serial", "omp", "blocked").
+  virtual const char* name() const = 0;
+
+  /// Dense [n,k] x [k,m] -> out [n,m]; out is zero-initialised.
+  virtual void MatMul(const float* a, const float* b, float* out, int64_t n,
+                      int64_t k, int64_t m) const = 0;
+
+  /// Sparse-dense product a [n,m] x x [m,d] -> out [n,d]; out zeroed.
+  virtual void Spmm(const CsrMatrix& a, const float* x, float* out,
+                    int64_t d) const = 0;
+
+  /// out[r, :] = a[idx[r], :]; a has `m` columns, idx has `count` entries
+  /// (pre-validated by the caller).
+  virtual void GatherRows(const float* a, int64_t m, const int64_t* idx,
+                          int64_t count, float* out) const = 0;
+
+  /// target[idx[r], :] += src[r, :] for r in [0, count), applied in
+  /// ascending r order per target row (duplicates accumulate
+  /// deterministically). target has `rows` x `m`.
+  virtual void ScatterAddRows(float* target, int64_t rows, int64_t m,
+                              const int64_t* idx, int64_t count,
+                              const float* src) const = 0;
+
+  /// out[i] = dot(a[i, :], b[i, :]) in double, for i in [0, n).
+  virtual void RowDot(const float* a, const float* b, float* out, int64_t n,
+                      int64_t m) const = 0;
+
+  /// Runs the map kernel over [0, n), possibly split across threads.
+  virtual void EltwiseMap(const float* in, float* out, int64_t n, MapFn f,
+                          float p) const = 0;
+
+  /// Runs the zip kernel over [0, n), possibly split across threads.
+  virtual void EltwiseZip(const float* a, const float* b, float* out,
+                          int64_t n, ZipFn f, float p) const = 0;
+
+  /// Sum of all elements via fixed-chunk double partials (kReduceSumChunk);
+  /// bit-identical across backends and thread counts.
+  virtual double ReduceSum(const float* in, int64_t n) const = 0;
+};
+
+// ---- Range-kernel instantiation helpers -------------------------------------
+// Element bodies are named functions passed as compile-time constants;
+// these templates instantiate the MapFn/ZipFn range kernels with the body
+// fully inlined and vectorised — one indirect call per range, none per
+// element. Shared by tensor_ops.cc (forward ops) and ad_ops.cc (backward
+// zips).
+
+template <float (*F)(float x, float p)>
+void MapLoop(const float* in, float* out, int64_t n, float p) {
+  for (int64_t i = 0; i < n; ++i) out[i] = F(in[i], p);
+}
+
+template <float (*F)(float x, float y, float p)>
+void ZipLoop(const float* a, const float* b, float* out, int64_t n,
+             float p) {
+  for (int64_t i = 0; i < n; ++i) out[i] = F(a[i], b[i], p);
+}
+
+/// The active backend (GNMR_BACKEND env or build default until SetBackend).
+/// Thread-safe to call; kernels themselves are pure and may run from any
+/// thread.
+const KernelBackend& GetBackend();
+
+/// Selects the active backend by name; aborts on unknown names. Intended
+/// for startup/flag wiring — do not race it against in-flight kernels.
+void SetBackend(const std::string& name);
+
+/// Backend by name, or nullptr if not registered. Lets tests and benches
+/// drive a specific implementation without switching the global.
+const KernelBackend* FindBackend(const std::string& name);
+
+/// All registered backends, in registration order.
+const std::vector<const KernelBackend*>& AllBackends();
+
+/// RAII backend switch for tests: sets on construction, restores the
+/// previous backend on destruction.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const std::string& name);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  const KernelBackend* previous_;
+};
+
+}  // namespace tensor
+}  // namespace gnmr
+
+#endif  // GNMR_TENSOR_BACKEND_H_

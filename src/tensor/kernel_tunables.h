@@ -1,0 +1,60 @@
+// Shared size thresholds and tile shapes for the kernel backends
+// (backend.h). Every backend reads its cutoffs from here so "when is it
+// worth fanning out / blocking" is decided in exactly one place.
+//
+// The parallel thresholds were measured on the seed container (see
+// BENCH_micro_kernels.json): below them, thread fork/join overhead exceeds
+// the kernel's serial runtime. They were previously duplicated inline at
+// the two OpenMP call sites in tensor_ops.cc and sparse.cc.
+#ifndef GNMR_TENSOR_KERNEL_TUNABLES_H_
+#define GNMR_TENSOR_KERNEL_TUNABLES_H_
+
+#include <cstdint>
+
+namespace gnmr {
+namespace tensor {
+
+// ---- Parallel fan-out thresholds (OmpBackend, BlockedBackend) ---------------
+
+/// MatMul fans out only when n*k*m (multiply-adds) reaches this.
+inline constexpr int64_t kParallelMatMulMinWork = int64_t{1} << 16;
+
+/// SpMM fans out only when nnz*d (multiply-adds) reaches this.
+inline constexpr int64_t kParallelSpmmMinWork = int64_t{1} << 16;
+
+/// Row-indexed kernels (GatherRows / ScatterAddRows / RowDot) fan out only
+/// when rows*cols (floats moved) reaches this.
+inline constexpr int64_t kParallelRowsMinWork = int64_t{1} << 15;
+
+/// Elementwise map/zip kernels fan out only at this many elements.
+inline constexpr int64_t kParallelEltwiseMinWork = int64_t{1} << 15;
+
+/// Chunk size of the dynamic row schedule in parallel SpMM; balances
+/// power-law per-row nnz skew against scheduling overhead.
+inline constexpr int64_t kSpmmRowChunk = 64;
+
+// ---- Deterministic reductions ----------------------------------------------
+
+/// ReduceSum accumulates double partials over fixed chunks of this many
+/// elements, then combines partials in chunk order. The chunking is part of
+/// the op's contract (independent of backend and thread count), so every
+/// backend produces bit-identical sums. Tensors at or below one chunk reduce
+/// exactly like a plain sequential double accumulation.
+inline constexpr int64_t kReduceSumChunk = 4096;
+
+// ---- BlockedBackend tile shapes --------------------------------------------
+
+/// MatMul k-loop unroll width: the blocked row kernel folds this many
+/// rank-1 updates into one pass over the output row, dividing the output
+/// load/store traffic by the same factor while preserving ascending-k
+/// accumulation order.
+inline constexpr int64_t kMatMulKUnroll = 4;
+
+/// Blocked SpMM groups rows into bins of roughly this many nonzeros; bins
+/// are the scheduling unit, so skewed rows can't serialize a whole chunk.
+inline constexpr int64_t kSpmmBinNnz = int64_t{1} << 12;
+
+}  // namespace tensor
+}  // namespace gnmr
+
+#endif  // GNMR_TENSOR_KERNEL_TUNABLES_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/tensor/backend.h"
 #include "src/util/check.h"
 
 namespace gnmr {
@@ -133,31 +134,8 @@ Tensor Spmm(const CsrMatrix& a, const Tensor& x) {
   GNMR_CHECK_EQ(a.cols(), x.rows())
       << "Spmm shape mismatch: A cols " << a.cols() << " vs x rows "
       << x.rows();
-  int64_t n = a.rows();
-  int64_t d = x.cols();
-  Tensor out({n, d});
-  const float* xd = x.data();
-  float* od = out.data();
-  const auto& row_ptr = a.row_ptr();
-  const auto& col_idx = a.col_idx();
-  const auto& values = a.values();
-  // Each output row touches only its own CSR range, so the row loop
-  // parallelizes without changing any row's accumulation order — results
-  // are bit-identical at any thread count. Dynamic chunks balance skewed
-  // per-row nnz (power-law degree distributions).
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 64) \
-    if (n > 1 && a.nnz() * d >= (1 << 16))
-#endif
-  for (int64_t i = 0; i < n; ++i) {
-    float* orow = od + i * d;
-    for (int64_t p = row_ptr[static_cast<size_t>(i)];
-         p < row_ptr[static_cast<size_t>(i) + 1]; ++p) {
-      float v = values[static_cast<size_t>(p)];
-      const float* xrow = xd + col_idx[static_cast<size_t>(p)] * d;
-      for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
-    }
-  }
+  Tensor out({a.rows(), x.cols()});
+  GetBackend().Spmm(a, x.data(), out.data(), x.cols());
   return out;
 }
 

@@ -65,6 +65,7 @@ class CsrMatrix {
 namespace ops {
 
 /// Sparse-dense product: out = A * x, A: [n,m] CSR, x: [m,d] -> out: [n,d].
+/// Executes through the active tensor::KernelBackend (backend.h).
 Tensor Spmm(const CsrMatrix& a, const Tensor& x);
 
 }  // namespace ops

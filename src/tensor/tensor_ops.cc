@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "src/tensor/backend.h"
+
 namespace gnmr {
 namespace tensor {
 namespace ops {
@@ -32,8 +34,26 @@ std::vector<int64_t> BroadcastStrides(const std::vector<int64_t>& padded,
   return strides;
 }
 
-template <typename F>
-Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
+// Element bodies are named functions so they can parameterize the shared
+// MapLoop/ZipLoop templates (backend.h) as compile-time constants: the
+// backend receives a pointer to an instantiated loop whose per-element
+// body is fully inlined and vectorised, and pays one indirect call per
+// range.
+using ElMapFn = float (*)(float x, float p);
+using ElZipFn = float (*)(float x, float y, float p);
+
+// Binary elementwise with broadcasting. The contiguous same-shape case —
+// the hot path (layer outputs, gradients) — dispatches to the backend's
+// EltwiseZip; strided broadcasts (bias rows, column vectors) stay serial
+// here since they touch little data.
+template <ElZipFn F>
+Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, float p = 0.0f) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    GetBackend().EltwiseZip(a.data(), b.data(), out.data(), a.numel(),
+                            ZipLoop<F>, p);
+    return out;
+  }
   std::vector<int64_t> out_shape = BroadcastShapes(a.shape(), b.shape());
   size_t rank = out_shape.size();
   std::vector<int64_t> pa = PadShape(a.shape(), rank);
@@ -48,7 +68,7 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
 
   if (rank == 1) {
     for (int64_t i = 0; i < out_shape[0]; ++i) {
-      od[i] = f(ad[i * sa[0]], bd[i * sb[0]]);
+      od[i] = F(ad[i * sa[0]], bd[i * sb[0]], p);
     }
     return out;
   }
@@ -60,20 +80,47 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F f) {
     const float* brow = bd + i * sb[0];
     float* orow = od + i * m;
     for (int64_t j = 0; j < m; ++j) {
-      orow[j] = f(arow[j * sa[1]], brow[j * sb[1]]);
+      orow[j] = F(arow[j * sa[1]], brow[j * sb[1]], p);
     }
   }
   return out;
 }
 
-template <typename F>
-Tensor UnaryOp(const Tensor& a, F f) {
+template <ElMapFn F>
+Tensor UnaryOp(const Tensor& a, float p = 0.0f) {
   Tensor out(a.shape());
-  const float* ad = a.data();
-  float* od = out.data();
-  int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) od[i] = f(ad[i]);
+  GetBackend().EltwiseMap(a.data(), out.data(), a.numel(), MapLoop<F>, p);
   return out;
+}
+
+// ---- Element bodies --------------------------------------------------------
+
+inline float AddEl(float x, float y, float) { return x + y; }
+inline float SubEl(float x, float y, float) { return x - y; }
+inline float MulEl(float x, float y, float) { return x * y; }
+inline float DivEl(float x, float y, float) { return x / y; }
+inline float AddScalarEl(float x, float p) { return x + p; }
+inline float MulScalarEl(float x, float p) { return x * p; }
+inline float NegEl(float x, float) { return -x; }
+inline float ReluEl(float x, float) { return x > 0.0f ? x : 0.0f; }
+inline float LeakyReluEl(float x, float p) { return x > 0.0f ? x : p * x; }
+inline float SigmoidEl(float x, float) {
+  // Branch on sign for numerical stability.
+  if (x >= 0.0f) {
+    float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  float z = std::exp(x);
+  return z / (1.0f + z);
+}
+inline float TanhEl(float x, float) { return std::tanh(x); }
+inline float ExpEl(float x, float) { return std::exp(x); }
+inline float LogEl(float x, float p) { return std::log(std::max(x, p)); }
+inline float SqrtEl(float x, float) { return std::sqrt(x); }
+inline float SquareEl(float x, float) { return x * x; }
+inline float SoftplusEl(float x, float) {
+  // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
+  return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
 }
 
 }  // namespace
@@ -140,32 +187,30 @@ Tensor ReduceToShape(const Tensor& t,
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x + y; });
+  return BinaryBroadcast<&AddEl>(a, b);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x - y; });
+  return BinaryBroadcast<&SubEl>(a, b);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x * y; });
+  return BinaryBroadcast<&MulEl>(a, b);
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast(a, b, [](float x, float y) { return x / y; });
+  return BinaryBroadcast<&DivEl>(a, b);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return UnaryOp<&AddScalarEl>(a, s);
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return UnaryOp<&MulScalarEl>(a, s);
 }
 
-Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
-}
+Tensor Neg(const Tensor& a) { return UnaryOp<&NegEl>(a); }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   GNMR_CHECK_EQ(a.rank(), 2);
@@ -176,28 +221,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   int64_t k = a.cols();
   int64_t m = b.cols();
   Tensor out({n, m});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* od = out.data();
-  // i-k-j loop order: streams through b and out rows, cache-friendly for
-  // row-major layouts. Rows of the output are independent, so the outer
-  // loop parallelizes without changing any row's accumulation order —
-  // results are bit-identical at any thread count.
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) if (n > 1 && n * k * m >= (1 << 16))
-#endif
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = ad + i * k;
-    float* orow = od + i * m;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = bd + kk * m;
-      for (int64_t j = 0; j < m; ++j) {
-        orow[j] += av * brow[j];
-      }
-    }
-  }
+  GetBackend().MatMul(a.data(), b.data(), out.data(), n, k, m);
   return out;
 }
 
@@ -216,52 +240,25 @@ Tensor Transpose(const Tensor& a) {
   return out;
 }
 
-Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
-}
+Tensor Relu(const Tensor& a) { return UnaryOp<&ReluEl>(a); }
 
 Tensor LeakyRelu(const Tensor& a, float alpha) {
-  return UnaryOp(a, [alpha](float x) { return x > 0.0f ? x : alpha * x; });
+  return UnaryOp<&LeakyReluEl>(a, alpha);
 }
 
-Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
-    // Branch on sign for numerical stability.
-    if (x >= 0.0f) {
-      float z = std::exp(-x);
-      return 1.0f / (1.0f + z);
-    }
-    float z = std::exp(x);
-    return z / (1.0f + z);
-  });
-}
+Tensor Sigmoid(const Tensor& a) { return UnaryOp<&SigmoidEl>(a); }
 
-Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
-}
+Tensor Tanh(const Tensor& a) { return UnaryOp<&TanhEl>(a); }
 
-Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
-}
+Tensor Exp(const Tensor& a) { return UnaryOp<&ExpEl>(a); }
 
-Tensor Log(const Tensor& a, float eps) {
-  return UnaryOp(a, [eps](float x) { return std::log(std::max(x, eps)); });
-}
+Tensor Log(const Tensor& a, float eps) { return UnaryOp<&LogEl>(a, eps); }
 
-Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
-}
+Tensor Sqrt(const Tensor& a) { return UnaryOp<&SqrtEl>(a); }
 
-Tensor Square(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x * x; });
-}
+Tensor Square(const Tensor& a) { return UnaryOp<&SquareEl>(a); }
 
-Tensor Softplus(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
-    // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
-    return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
-  });
-}
+Tensor Softplus(const Tensor& a) { return UnaryOp<&SoftplusEl>(a); }
 
 Tensor SoftmaxRows(const Tensor& a) {
   GNMR_CHECK_EQ(a.rank(), 2);
@@ -306,9 +303,17 @@ Tensor LogSoftmaxRows(const Tensor& a) {
   return out;
 }
 
-Tensor SumAll(const Tensor& a) { return Tensor::Scalar(a.SumValue()); }
+Tensor SumAll(const Tensor& a) {
+  return Tensor::Scalar(
+      static_cast<float>(GetBackend().ReduceSum(a.data(), a.numel())));
+}
 
-Tensor MeanAll(const Tensor& a) { return Tensor::Scalar(a.MeanValue()); }
+Tensor MeanAll(const Tensor& a) {
+  GNMR_CHECK_GT(a.numel(), 0);
+  return Tensor::Scalar(
+      static_cast<float>(GetBackend().ReduceSum(a.data(), a.numel()) /
+                         static_cast<double>(a.numel())));
+}
 
 Tensor SumAxis(const Tensor& a, int axis) {
   GNMR_CHECK_EQ(a.rank(), 2);
@@ -414,15 +419,12 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
   GNMR_CHECK_EQ(a.rank(), 2);
   int64_t n = a.rows();
   int64_t m = a.cols();
-  Tensor out({static_cast<int64_t>(idx.size()), m});
-  const float* ad = a.data();
-  float* od = out.data();
-  for (size_t r = 0; r < idx.size(); ++r) {
-    int64_t src = idx[r];
+  for (int64_t src : idx) {
     GNMR_CHECK(src >= 0 && src < n) << "gather index " << src;
-    std::copy(ad + src * m, ad + (src + 1) * m,
-              od + static_cast<int64_t>(r) * m);
   }
+  Tensor out({static_cast<int64_t>(idx.size()), m});
+  GetBackend().GatherRows(a.data(), m, idx.data(),
+                          static_cast<int64_t>(idx.size()), out.data());
   return out;
 }
 
@@ -433,16 +435,11 @@ void ScatterAddRows(Tensor* target, const std::vector<int64_t>& idx,
   GNMR_CHECK_EQ(src.rows(), static_cast<int64_t>(idx.size()));
   GNMR_CHECK_EQ(src.cols(), target->cols());
   int64_t n = target->rows();
-  int64_t m = target->cols();
-  float* td = target->data();
-  const float* sd = src.data();
-  for (size_t r = 0; r < idx.size(); ++r) {
-    int64_t dst = idx[r];
+  for (int64_t dst : idx) {
     GNMR_CHECK(dst >= 0 && dst < n) << "scatter index " << dst;
-    const float* srow = sd + static_cast<int64_t>(r) * m;
-    float* trow = td + dst * m;
-    for (int64_t j = 0; j < m; ++j) trow[j] += srow[j];
   }
+  GetBackend().ScatterAddRows(target->data(), n, target->cols(), idx.data(),
+                              static_cast<int64_t>(idx.size()), src.data());
 }
 
 Tensor RowDot(const Tensor& a, const Tensor& b) {
@@ -451,16 +448,7 @@ Tensor RowDot(const Tensor& a, const Tensor& b) {
   int64_t n = a.rows();
   int64_t m = a.cols();
   Tensor out({n, 1});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* od = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < m; ++j) {
-      acc += static_cast<double>(ad[i * m + j]) * bd[i * m + j];
-    }
-    od[i] = static_cast<float>(acc);
-  }
+  GetBackend().RowDot(a.data(), b.data(), out.data(), n, m);
   return out;
 }
 

@@ -1,6 +1,12 @@
 // Forward-only math kernels on raw Tensors. The autodiff layer (ad_ops.h)
 // wraps these with gradient rules; tests exercise them directly.
 //
+// The hot entry points (MatMul, GatherRows, ScatterAddRows, RowDot, the
+// elementwise ops and the whole-tensor reductions) validate shapes here
+// and dispatch the actual loops through the active tensor::KernelBackend
+// (backend.h); shape plumbing (transpose/concat/slice/softmax) stays
+// local.
+//
 // Broadcasting: binary elementwise ops follow NumPy semantics restricted to
 // rank <= 2 — shapes are right-aligned, each dim must match or be 1.
 // Examples of legal pairs: [n,d]+[n,d], [n,d]+[1,d], [n,d]+[d], [n,d]+[n,1],

@@ -1,0 +1,342 @@
+// Parity tests of the pluggable kernel backends (backend.h): every
+// registered backend must match the SerialBackend reference bit-for-bit on
+// order-preserving kernels (MatMul/SpMM/Gather/Scatter/RowDot/map/zip and
+// the fixed-chunk ReduceSum). The one sanctioned slack is EXPECT_FLOAT_EQ
+// (4 ulps) on BlockedBackend MatMul, whose register micro-panels keep the
+// serial accumulation order but may legally contract multiply-adds into
+// FMAs under -march=native builds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/tensor/ad_ops.h"
+#include "src/tensor/autodiff.h"
+#include "src/tensor/backend.h"
+#include "src/tensor/gradcheck.h"
+#include "src/tensor/kernel_tunables.h"
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace tensor {
+namespace {
+
+// Backends under test, always compared against the serial reference.
+const char* const kVariants[] = {"omp", "blocked"};
+
+void ExpectBitIdentical(const Tensor& ref, const Tensor& got,
+                        const std::string& context) {
+  ASSERT_EQ(ref.shape(), got.shape()) << context;
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    ASSERT_EQ(ref.data()[i], got.data()[i])
+        << context << " at flat index " << i;
+  }
+}
+
+void ExpectFloatEq(const Tensor& ref, const Tensor& got,
+                   const std::string& context) {
+  ASSERT_EQ(ref.shape(), got.shape()) << context;
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    ASSERT_FLOAT_EQ(ref.data()[i], got.data()[i])
+        << context << " at flat index " << i;
+  }
+}
+
+// Random CSR with the requested shape; row `r` gets ~density*cols entries,
+// and every third row is forced empty so ragged layouts are exercised.
+CsrMatrix RandomCsr(int64_t rows, int64_t cols, double density,
+                    util::Rng* rng, bool with_empty_rows = true) {
+  std::vector<Coo> entries;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (with_empty_rows && r % 3 == 2) continue;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng->Bernoulli(density)) {
+        entries.push_back({r, c, rng->Normal()});
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(rows, cols, entries);
+}
+
+// ------------------------------------------------------------------ registry --
+
+TEST(BackendRegistryTest, AllThreeBackendsRegistered) {
+  EXPECT_EQ(AllBackends().size(), 3u);
+  for (const char* name : {"serial", "omp", "blocked"}) {
+    const KernelBackend* b = FindBackend(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_STREQ(b->name(), name);
+  }
+  EXPECT_EQ(FindBackend("cuda"), nullptr);
+}
+
+TEST(BackendRegistryTest, ScopedBackendSwitchesAndRestores) {
+  const char* before = GetBackend().name();
+  {
+    ScopedBackend scoped("blocked");
+    EXPECT_STREQ(GetBackend().name(), "blocked");
+  }
+  EXPECT_STREQ(GetBackend().name(), before);
+}
+
+TEST(BackendRegistryTest, SetBackendSelectsByName) {
+  const char* before = GetBackend().name();
+  SetBackend("serial");
+  EXPECT_STREQ(GetBackend().name(), "serial");
+  SetBackend(before);
+}
+
+TEST(BackendRegistryDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(SetBackend("no-such-backend"), "unknown backend");
+}
+
+// -------------------------------------------------------------------- MatMul --
+
+TEST(BackendParityTest, MatMulAllShapes) {
+  // Includes 1-row/1-col panels and sizes that are not multiples of the
+  // blocked tile shape, so edge micro-kernels run.
+  const struct { int64_t n, k, m; } shapes[] = {
+      {1, 1, 1},   {1, 7, 1},   {5, 1, 3},    {3, 5, 7},
+      {4, 16, 16}, {33, 17, 29}, {64, 64, 64}, {70, 31, 90},
+  };
+  const KernelBackend* serial = FindBackend("serial");
+  util::Rng rng(11);
+  for (const auto& s : shapes) {
+    Tensor a = Tensor::RandomNormal({s.n, s.k}, &rng);
+    Tensor b = Tensor::RandomNormal({s.k, s.m}, &rng);
+    Tensor ref({s.n, s.m});
+    serial->MatMul(a.data(), b.data(), ref.data(), s.n, s.k, s.m);
+    for (const char* name : kVariants) {
+      Tensor got({s.n, s.m});
+      FindBackend(name)->MatMul(a.data(), b.data(), got.data(), s.n, s.k,
+                                s.m);
+      std::string context = std::string(name) + " matmul " +
+                            a.ShapeString() + "x" + b.ShapeString();
+      if (std::string(name) == "blocked") {
+        ExpectFloatEq(ref, got, context);
+      } else {
+        ExpectBitIdentical(ref, got, context);
+      }
+    }
+  }
+}
+
+TEST(BackendParityTest, MatMulAgainstNaiveTripleLoop) {
+  util::Rng rng(12);
+  int64_t n = 9, k = 13, m = 21;
+  Tensor a = Tensor::RandomNormal({n, k}, &rng);
+  Tensor b = Tensor::RandomNormal({k, m}, &rng);
+  for (const KernelBackend* backend : AllBackends()) {
+    Tensor got({n, m});
+    backend->MatMul(a.data(), b.data(), got.data(), n, k, m);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        double want = 0.0;
+        for (int64_t p = 0; p < k; ++p) {
+          want += static_cast<double>(a.at(i, p)) * b.at(p, j);
+        }
+        EXPECT_NEAR(got.at(i, j), want, 1e-4)
+            << backend->name() << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------- SpMM --
+
+TEST(BackendParityTest, SpmmRaggedAndEmptyCsr) {
+  util::Rng rng(13);
+  const struct { int64_t rows, cols, d; double density; } cases[] = {
+      {1, 1, 1, 1.0},    {1, 40, 8, 0.3},  {60, 40, 1, 0.1},
+      {60, 40, 9, 0.15}, {200, 100, 17, 0.05},
+  };
+  for (const auto& c : cases) {
+    CsrMatrix m = RandomCsr(c.rows, c.cols, c.density, &rng);
+    Tensor x = Tensor::RandomNormal({c.cols, c.d}, &rng);
+    Tensor ref({c.rows, c.d});
+    FindBackend("serial")->Spmm(m, x.data(), ref.data(), c.d);
+    for (const char* name : kVariants) {
+      Tensor got({c.rows, c.d});
+      FindBackend(name)->Spmm(m, x.data(), got.data(), c.d);
+      ExpectBitIdentical(ref, got, std::string(name) + " spmm nnz=" +
+                                       std::to_string(m.nnz()));
+    }
+  }
+  // Fully empty matrix: all outputs stay zero in every backend.
+  CsrMatrix empty = CsrMatrix::FromCoo(5, 4, {});
+  Tensor x = Tensor::RandomNormal({4, 3}, &rng);
+  for (const KernelBackend* backend : AllBackends()) {
+    Tensor got({5, 3});
+    backend->Spmm(empty, x.data(), got.data(), 3);
+    EXPECT_EQ(got.SumValue(), 0.0f) << backend->name();
+  }
+}
+
+TEST(BackendParityTest, SpmmSkewedRowsCrossBinBoundaries) {
+  // One pathological heavy row plus many light ones: exercises the blocked
+  // backend's nnz-binned schedule with bins that split mid-matrix.
+  util::Rng rng(14);
+  std::vector<Coo> entries;
+  int64_t rows = 900, cols = 500, d = 16;
+  for (int64_t c = 0; c < cols; ++c) entries.push_back({0, c, rng.Normal()});
+  for (int64_t r = 1; r < rows; ++r) {
+    for (int64_t k = 0; k < 6; ++k) {
+      entries.push_back({r, rng.UniformInt(0, cols - 1), rng.Normal()});
+    }
+  }
+  CsrMatrix m = CsrMatrix::FromCoo(rows, cols, entries);
+  ASSERT_GT(m.nnz() * d, kParallelSpmmMinWork) << "case too small to fan out";
+  Tensor x = Tensor::RandomNormal({cols, d}, &rng);
+  Tensor ref({rows, d});
+  FindBackend("serial")->Spmm(m, x.data(), ref.data(), d);
+  for (const char* name : kVariants) {
+    Tensor got({rows, d});
+    FindBackend(name)->Spmm(m, x.data(), got.data(), d);
+    ExpectBitIdentical(ref, got, std::string(name) + " skewed spmm");
+  }
+}
+
+// ----------------------------------------------------------- gather/scatter --
+
+TEST(BackendParityTest, GatherRowsIncludingRepeats) {
+  util::Rng rng(15);
+  Tensor table = Tensor::RandomNormal({40, 24}, &rng);
+  std::vector<int64_t> idx = {0, 39, 7, 7, 7, 12, 0, 39};
+  for (int64_t i = 0; i < 400; ++i) idx.push_back(rng.UniformInt(0, 39));
+  Tensor ref({static_cast<int64_t>(idx.size()), 24});
+  FindBackend("serial")->GatherRows(table.data(), 24, idx.data(),
+                                    static_cast<int64_t>(idx.size()),
+                                    ref.data());
+  for (const char* name : kVariants) {
+    Tensor got({static_cast<int64_t>(idx.size()), 24});
+    FindBackend(name)->GatherRows(table.data(), 24, idx.data(),
+                                  static_cast<int64_t>(idx.size()),
+                                  got.data());
+    ExpectBitIdentical(ref, got, std::string(name) + " gather");
+  }
+}
+
+TEST(BackendParityTest, ScatterAddRowsDuplicateDestinations) {
+  // Heavy duplication: accumulation order per target row must stay
+  // ascending-source-row in every backend, so sums are bit-identical.
+  util::Rng rng(16);
+  int64_t rows = 50, m = 33;
+  std::vector<int64_t> idx;
+  for (int64_t r = 0; r < 2000; ++r) {
+    // Zipf-ish: low target rows collide massively.
+    idx.push_back(rng.UniformInt(0, rng.UniformInt(0, rows - 1)));
+  }
+  Tensor src = Tensor::RandomNormal({static_cast<int64_t>(idx.size()), m},
+                                    &rng);
+  Tensor ref({rows, m});
+  FindBackend("serial")->ScatterAddRows(ref.data(), rows, m, idx.data(),
+                                        static_cast<int64_t>(idx.size()),
+                                        src.data());
+  for (const char* name : kVariants) {
+    Tensor got({rows, m});
+    FindBackend(name)->ScatterAddRows(got.data(), rows, m, idx.data(),
+                                      static_cast<int64_t>(idx.size()),
+                                      src.data());
+    ExpectBitIdentical(ref, got, std::string(name) + " scatter-add");
+  }
+}
+
+// ------------------------------------------------------- rowdot / map / zip --
+
+TEST(BackendParityTest, RowDotAndEltwiseKernels) {
+  util::Rng rng(17);
+  for (int64_t n : {int64_t{1}, int64_t{7}, int64_t{500}}) {
+    Tensor a = Tensor::RandomNormal({n, 65}, &rng);
+    Tensor b = Tensor::RandomNormal({n, 65}, &rng);
+    Tensor dot_ref({n, 1}), map_ref(a.shape()), zip_ref(a.shape());
+    KernelBackend::MapFn relu = [](const float* in, float* out, int64_t len,
+                                   float) {
+      for (int64_t i = 0; i < len; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    };
+    KernelBackend::ZipFn mul = [](const float* x, const float* y, float* out,
+                                  int64_t len, float) {
+      for (int64_t i = 0; i < len; ++i) out[i] = x[i] * y[i];
+    };
+    const KernelBackend* serial = FindBackend("serial");
+    serial->RowDot(a.data(), b.data(), dot_ref.data(), n, 65);
+    serial->EltwiseMap(a.data(), map_ref.data(), a.numel(), relu, 0.0f);
+    serial->EltwiseZip(a.data(), b.data(), zip_ref.data(), a.numel(), mul,
+                       0.0f);
+    for (const char* name : kVariants) {
+      const KernelBackend* backend = FindBackend(name);
+      Tensor dot({n, 1}), map(a.shape()), zip(a.shape());
+      backend->RowDot(a.data(), b.data(), dot.data(), n, 65);
+      backend->EltwiseMap(a.data(), map.data(), a.numel(), relu, 0.0f);
+      backend->EltwiseZip(a.data(), b.data(), zip.data(), a.numel(), mul,
+                          0.0f);
+      ExpectBitIdentical(dot_ref, dot, std::string(name) + " rowdot");
+      ExpectBitIdentical(map_ref, map, std::string(name) + " map");
+      ExpectBitIdentical(zip_ref, zip, std::string(name) + " zip");
+    }
+  }
+}
+
+TEST(BackendParityTest, ReduceSumBitIdenticalAcrossBackends) {
+  util::Rng rng(18);
+  // Spans multiple kReduceSumChunk chunks plus a ragged tail; the chunked
+  // association is part of the contract, so doubles compare with ==.
+  for (int64_t n : {int64_t{1}, kReduceSumChunk - 1, kReduceSumChunk + 1,
+                    3 * kReduceSumChunk + 123}) {
+    Tensor a = Tensor::RandomNormal({n}, &rng);
+    double ref = FindBackend("serial")->ReduceSum(a.data(), n);
+    for (const char* name : kVariants) {
+      EXPECT_EQ(ref, FindBackend(name)->ReduceSum(a.data(), n))
+          << name << " n=" << n;
+    }
+  }
+}
+
+// --------------------------------------------------------- ops-level dispatch --
+
+TEST(BackendDispatchTest, OpsRouteThroughSelectedBackend) {
+  util::Rng rng(19);
+  Tensor a = Tensor::RandomNormal({30, 20}, &rng);
+  Tensor b = Tensor::RandomNormal({20, 10}, &rng);
+  Tensor ref, blocked;
+  {
+    ScopedBackend scoped("serial");
+    ref = ops::MatMul(a, b);
+  }
+  {
+    ScopedBackend scoped("blocked");
+    blocked = ops::MatMul(a, b);
+  }
+  ExpectFloatEq(ref, blocked, "ops::MatMul dispatch");
+}
+
+// The GatherRows gradient is a ScatterAddRows with duplicate destinations;
+// gradcheck it with the OpenMP backend active so the parallel (row-
+// partitioned) scatter path backs a real autodiff computation.
+TEST(BackendDispatchTest, GatherScatterGradCheckUnderOmpBackend) {
+  ScopedBackend scoped("omp");
+  util::Rng rng(20);
+  ad::Var table =
+      ad::Var::Param(Tensor::RandomNormal({6, 5}, &rng));
+  std::vector<int64_t> idx = {0, 3, 3, 5, 0, 0, 2};
+  util::Rng wrng(21);
+  Tensor w = Tensor::RandomNormal({static_cast<int64_t>(idx.size()), 5},
+                                  &wrng);
+  auto report = ad::GradCheck(
+      [&] {
+        return ad::SumAll(
+            ad::Mul(ad::GatherRows(table, idx), ad::Var::Constant(w)));
+      },
+      {table});
+  EXPECT_TRUE(report.Accept(2e-2, 2e-3))
+      << "rel=" << report.max_rel_err << " abs=" << report.max_abs_err
+      << " at " << report.worst;
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace gnmr
