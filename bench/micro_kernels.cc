@@ -1,9 +1,9 @@
 // google-benchmark microbenchmarks of the kernels underneath GNMR:
 // dense matmul, sparse SpMM, graph construction, negative sampling, one
 // GNMR layer forward and a full training step — plus per-backend variants
-// of the hot kernels (serial / omp / blocked, see backend.h) and the
-// pipelined-vs-serial trainer epoch. These back the scalability claims in
-// DESIGN.md and catch kernel-level performance regressions.
+// of the hot kernels (serial / omp / blocked / sharded, see backend.h) and
+// the pipelined-vs-serial trainer epoch. These back the scalability claims
+// in DESIGN.md and catch kernel-level performance regressions.
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -54,7 +54,9 @@ BENCHMARK(BM_SpmmPerNnz)->Arg(5)->Arg(20)->Arg(80);
 
 // ---- Per-backend kernel variants -------------------------------------------
 // Named <kernel>_backend/<name>; the 512^3 MatMul case is the acceptance
-// gauge for the blocked backend (>= 1.3x serial).
+// gauge for the blocked backend (>= 1.3x serial). The sharded cases track
+// shard scaling: they run on the std::thread shard pool (GNMR_SHARD_WORKERS
+// governs the worker count; 1 worker degrades to serial + dispatch cost).
 
 void BM_MatMulBackend(benchmark::State& state, const std::string& backend) {
   const tensor::KernelBackend* b = tensor::FindBackend(backend);
@@ -72,6 +74,7 @@ void BM_MatMulBackend(benchmark::State& state, const std::string& backend) {
 BENCHMARK_CAPTURE(BM_MatMulBackend, serial, "serial")->Arg(256)->Arg(512);
 BENCHMARK_CAPTURE(BM_MatMulBackend, omp, "omp")->Arg(256)->Arg(512);
 BENCHMARK_CAPTURE(BM_MatMulBackend, blocked, "blocked")->Arg(256)->Arg(512);
+BENCHMARK_CAPTURE(BM_MatMulBackend, sharded, "sharded")->Arg(256)->Arg(512);
 
 void BM_SpmmBackend(benchmark::State& state, const std::string& backend) {
   const tensor::KernelBackend* b = tensor::FindBackend(backend);
@@ -95,6 +98,7 @@ void BM_SpmmBackend(benchmark::State& state, const std::string& backend) {
 BENCHMARK_CAPTURE(BM_SpmmBackend, serial, "serial");
 BENCHMARK_CAPTURE(BM_SpmmBackend, omp, "omp");
 BENCHMARK_CAPTURE(BM_SpmmBackend, blocked, "blocked");
+BENCHMARK_CAPTURE(BM_SpmmBackend, sharded, "sharded");
 
 void BM_ScatterAddRowsBackend(benchmark::State& state,
                               const std::string& backend) {
@@ -115,6 +119,7 @@ void BM_ScatterAddRowsBackend(benchmark::State& state,
 BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, serial, "serial");
 BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, omp, "omp");
 BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, blocked, "blocked");
+BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, sharded, "sharded");
 
 void BM_GraphBuild(benchmark::State& state) {
   data::Dataset d = data::GenerateSynthetic(

@@ -1,6 +1,7 @@
 // google-benchmark suite for the serving read path: blocked top-K
 // retrieval vs the per-item eval::Scorer loop it replaces, batched
-// retrieval (OpenMP-parallel across user blocks), and the RecService
+// retrieval (OpenMP-parallel across user blocks), item-sharded retrieval
+// over the shard pool (single-user and batched), and the RecService
 // cache cold vs warm under a Zipf-distributed request stream. Runs on a
 // 10k-user x 20k-item synthetic ServingModel; CI uploads the JSON next to
 // BENCH_micro_kernels so the serving perf trajectory is recorded per run.
@@ -14,6 +15,7 @@
 #include "src/serve/rec_service.h"
 #include "src/serve/topn_retriever.h"
 #include "src/serve/zipf_stream.h"
+#include "src/tensor/shard_pool.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -64,7 +66,8 @@ BENCHMARK(BM_PerItemScorerTopN)->Arg(10)->Arg(100);
 
 void BM_BlockedRetrievalTopN(benchmark::State& state) {
   const int64_t k = state.range(0);
-  serve::TopNRetriever retriever(GlobalModel());
+  serve::TopNRetriever retriever(GlobalModel(), nullptr,
+                                 serve::ItemShardMode::kOff);
   int64_t user = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(retriever.RetrieveTopN(user, k));
@@ -73,6 +76,44 @@ void BM_BlockedRetrievalTopN(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kItems);
 }
 BENCHMARK(BM_BlockedRetrievalTopN)->Arg(10)->Arg(100);
+
+// Item-sharded single-user retrieval: the 20k-item catalogue splits into
+// per-worker ranges on the shard pool and the per-shard top-k candidates
+// merge by (score, item). Tracks shard scaling of single-request latency;
+// compare against BM_BlockedRetrievalTopN (the unsharded scan) — with one
+// worker the delta is pure dispatch+merge overhead, with several it is the
+// per-request speedup (GNMR_SHARD_WORKERS governs the pool size).
+void BM_ShardedRetrievalTopN(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  serve::TopNRetriever retriever(GlobalModel(), nullptr,
+                                 serve::ItemShardMode::kOn);
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveTopN(user, k));
+    user = (user + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+  state.counters["shard_workers"] =
+      static_cast<double>(tensor::ShardWorkers());
+}
+BENCHMARK(BM_ShardedRetrievalTopN)->Arg(10)->Arg(100);
+
+// Batched retrieval with user blocks fanned over the shard pool (the
+// sharded analogue of BM_BatchRetrieval's OpenMP fan-out).
+void BM_ShardedBatchRetrieval(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  serve::TopNRetriever retriever(GlobalModel(), nullptr,
+                                 serve::ItemShardMode::kOn);
+  std::vector<int64_t> users(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    users[static_cast<size_t>(i)] = (i * 131) % kUsers;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveBatch(users, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);  // users/sec
+}
+BENCHMARK(BM_ShardedBatchRetrieval)->Arg(64)->Arg(256);
 
 // Batched retrieval amortises the item tiles across a user block and
 // fans user blocks out over OpenMP threads.

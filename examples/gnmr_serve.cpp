@@ -6,12 +6,15 @@
 //   ./build/examples/gnmr_serve [--epochs=8] [--scale=0.3] [--k=10]
 //                               [--threads=4] [--requests=20000]
 //                               [--zipf=1.1] [--model=path] [--save=path]
-//                               [--backend=serial|omp|blocked]
+//                               [--backend=serial|omp|blocked|sharded]
+//                               [--shard_workers=N]
 //
 // --model=path skips training and loads a SaveServingModel artifact;
 // --save=path writes the trained artifact for later runs. --backend=
 // selects the kernel backend (same choices as the GNMR_BACKEND env var;
-// see src/tensor/backend.h).
+// see src/tensor/backend.h). --shard_workers= sizes the shard pool used
+// by --backend=sharded and the item-sharded retriever (same as the
+// GNMR_SHARD_WORKERS env var).
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -25,6 +28,7 @@
 #include "src/serve/rec_service.h"
 #include "src/serve/zipf_stream.h"
 #include "src/tensor/backend.h"
+#include "src/tensor/shard_pool.h"
 #include "src/util/flags.h"
 #include "src/util/stopwatch.h"
 
@@ -77,6 +81,9 @@ int main(int argc, char** argv) {
   double zipf = flags.GetDouble("zipf", 1.1);
   std::string model_path = flags.GetString("model", "");
   std::string save_path = flags.GetString("save", "");
+  if (flags.Has("shard_workers")) {
+    tensor::SetShardWorkers(flags.GetInt("shard_workers", 0));
+  }
   if (flags.Has("backend")) {
     tensor::SetBackend(flags.GetString("backend", ""));
   }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/tensor/ad_ops.h"
+#include "src/tensor/shard_pool.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
@@ -25,6 +26,30 @@ constexpr size_t kPipelineDepth = 2;
 /// Salt separating the per-batch sampling streams from every other
 /// consumer of the config seed (model init, epoch shuffle).
 constexpr uint64_t kBatchStreamSalt = 0x51ed270b9f8f2a4bULL;
+
+/// Pool activity between two snapshots, as per-worker busy seconds. The
+/// counters are process-global, so concurrent pool users (e.g. a serving
+/// thread) are attributed too — epoch stats are diagnostics, not an exact
+/// ledger. A worker-count change mid-epoch truncates to the common prefix.
+ShardEpochStats ShardDelta(const tensor::ShardPoolStats& before,
+                           const tensor::ShardPoolStats& after) {
+  // Saturating deltas: if the pool was rebuilt (SetShardWorkers) between
+  // the snapshots, its counters restarted from zero — attribute only the
+  // new pool's activity instead of wrapping.
+  auto delta_of = [](uint64_t b, uint64_t a) { return a >= b ? a - b : a; };
+  ShardEpochStats delta;
+  delta.workers = after.workers;
+  delta.dispatches = delta_of(before.dispatches, after.dispatches);
+  delta.tasks = delta_of(before.tasks, after.tasks);
+  bool same_pool = before.worker_busy_ns.size() == after.worker_busy_ns.size();
+  delta.busy_seconds.reserve(after.worker_busy_ns.size());
+  for (size_t w = 0; w < after.worker_busy_ns.size(); ++w) {
+    uint64_t b = same_pool ? before.worker_busy_ns[w] : 0;
+    delta.busy_seconds.push_back(
+        static_cast<double>(delta_of(b, after.worker_busy_ns[w])) * 1e-9);
+  }
+  return delta;
+}
 
 }  // namespace
 
@@ -107,6 +132,12 @@ EpochStats GnmrTrainer::TrainEpoch() {
   util::Stopwatch timer;
   EpochStats stats;
   stats.epoch = epoch_;
+  // Per-shard attribution: under the "sharded" backend every propagation
+  // pass (each behavior's SpMM plus the dense layer kernels) fans out over
+  // the shard pool; the delta of these snapshots is this epoch's per-worker
+  // busy time. Reading the stats never instantiates the pool, so the other
+  // backends pay nothing.
+  tensor::ShardPoolStats shard_before = tensor::GlobalShardPoolStats();
 
   std::vector<int64_t> order = trainable_users_;
   rng_.Shuffle(&order);
@@ -176,10 +207,18 @@ EpochStats GnmrTrainer::TrainEpoch() {
   optimizer_->DecayLearningRate(config_.lr_decay);
   stats.mean_loss = steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0;
   stats.seconds = timer.ElapsedSeconds();
+  stats.shard = ShardDelta(shard_before, tensor::GlobalShardPoolStats());
   if (config_.verbose) {
     GNMR_LOG(INFO) << "epoch " << epoch_ << " loss=" << stats.mean_loss
                    << " grad=" << stats.grad_norm << " ("
                    << stats.seconds << "s)";
+    if (stats.shard.dispatches > 0) {
+      GNMR_LOG(INFO) << "  shard pool: " << stats.shard.workers
+                     << " workers, " << stats.shard.dispatches
+                     << " dispatches, " << stats.shard.tasks
+                     << " tasks, busy max=" << stats.shard.MaxBusySeconds()
+                     << "s total=" << stats.shard.TotalBusySeconds() << "s";
+    }
   }
   ++epoch_;
   return stats;

@@ -22,13 +22,46 @@
 namespace gnmr {
 namespace core {
 
+/// Shard-execution diagnostics for one epoch, snapshotted from the global
+/// shard pool (tensor/shard_pool.h). All-zero unless kernels dispatched to
+/// the pool during the epoch — i.e. unless the "sharded" backend (or the
+/// item-sharded retriever) ran. busy_seconds[w] is worker w's time inside
+/// shard task bodies; the spread between min and max is the epoch's load
+/// imbalance.
+struct ShardEpochStats {
+  int64_t workers = 0;
+  /// Kernel dispatches that fanned out to the pool.
+  uint64_t dispatches = 0;
+  /// Shard tasks executed across all workers.
+  uint64_t tasks = 0;
+  /// Per-worker busy seconds during the epoch.
+  std::vector<double> busy_seconds;
+
+  double TotalBusySeconds() const {
+    double total = 0.0;
+    for (double s : busy_seconds) total += s;
+    return total;
+  }
+  double MaxBusySeconds() const {
+    double worst = 0.0;
+    for (double s : busy_seconds) worst = s > worst ? s : worst;
+    return worst;
+  }
+};
+
 /// Per-epoch training diagnostics.
 struct EpochStats {
   int64_t epoch = 0;
   double mean_loss = 0.0;
   double grad_norm = 0.0;
   double seconds = 0.0;
+  /// Shard-pool activity attributed to this epoch (see ShardEpochStats).
+  ShardEpochStats shard;
 };
+
+/// Alias for callers that track training-run rather than epoch
+/// granularity; the record is the same.
+using TrainStats = EpochStats;
 
 /// Owns a GnmrModel plus its optimiser and sampling state.
 class GnmrTrainer {

@@ -1,6 +1,7 @@
 #include "src/serve/rec_service.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <utility>
 
 #include "src/util/check.h"
@@ -8,6 +9,18 @@
 
 namespace gnmr {
 namespace serve {
+
+// Single-flight state for one (user, k) retrieval. Waiters copy `result`
+// under `mu` once `done` flips; the leader is the thread that created the
+// entry in flights_. A waiter may receive a result computed on the
+// snapshot that was current when the LEADER started — the same staleness
+// window any request that began before a hot swap already has.
+struct RecService::Flight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<RecEntry> result;
+};
 
 RecService::RecService(std::shared_ptr<const core::ServingModel> model,
                        std::shared_ptr<const SeenItems> seen,
@@ -29,6 +42,50 @@ RecService::Snapshot() const {
   return {retriever_, cache_.version()};
 }
 
+std::shared_ptr<RecService::Flight> RecService::JoinOrLead(uint64_t key) {
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  std::shared_ptr<Flight>& slot = flights_[key];
+  if (slot != nullptr) return slot;  // join: wait on the leader's result
+  slot = std::make_shared<Flight>();
+  return nullptr;  // lead: compute and publish
+}
+
+void RecService::PublishFlight(uint64_t key,
+                               const std::vector<RecEntry>& result) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    GNMR_CHECK(it != flights_.end()) << "publishing a flight nobody leads";
+    flight = std::move(it->second);
+    // Unregister before waking waiters: a request arriving after this
+    // point starts fresh (and will usually hit the cache anyway).
+    flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+void RecService::AbandonFlight(uint64_t key) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return;  // already published normally
+    flight = std::move(it->second);
+    flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;  // result stays empty
+  }
+  flight->cv.notify_all();
+}
+
 std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k) {
   util::Stopwatch timer;
   // Clamp before the cache lookup: the cache packs k into the low 32 key
@@ -40,13 +97,25 @@ std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k) {
   std::vector<RecEntry> out;
   if (cache_.Get(user, k, &out)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::shared_ptr<Flight> flight = JoinOrLead(FlightKey(user, k))) {
+    // Another thread is already retrieving this exact list; wait for its
+    // result instead of burning a full catalogue scan on the same key.
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    out = flight->result;
   } else {
+    // Leader: if retrieval unwinds (e.g. allocation failure), the lease
+    // abandons the flight so waiters don't hang on a dead key.
+    FlightLease lease(this);
+    lease.Add(FlightKey(user, k));
     // Snapshot pins the model: a concurrent swap cannot free it from under
     // this retrieval, and the version captured here matches the snapshot,
     // so the Put below can never surface a pre-swap list post-swap.
     auto [retriever, version] = Snapshot();
     out = retriever->RetrieveTopN(user, k);
     cache_.Put(user, k, version, out);
+    PublishFlight(FlightKey(user, k), out);
   }
   latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
                         std::memory_order_relaxed);
@@ -73,12 +142,44 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
     }
   }
   if (!miss_users.empty()) {
-    auto [retriever, version] = Snapshot();
-    std::vector<std::vector<RecEntry>> fetched =
-        retriever->RetrieveBatch(miss_users, k);
+    // Split the misses into leads (this batch computes them) and joins
+    // (another thread is already computing them). A duplicated user within
+    // this batch leads once and joins its own flight — safe, because every
+    // lead publishes before any join waits.
+    std::vector<int64_t> lead_users;
+    std::vector<int64_t> lead_slots;
+    struct Join {
+      int64_t slot;
+      std::shared_ptr<Flight> flight;
+    };
+    std::vector<Join> joins;
+    FlightLease lease(this);
     for (size_t m = 0; m < miss_users.size(); ++m) {
-      cache_.Put(miss_users[m], k, version, fetched[m]);
-      out[static_cast<size_t>(miss_slots[m])] = std::move(fetched[m]);
+      uint64_t key = FlightKey(miss_users[m], k);
+      if (std::shared_ptr<Flight> flight = JoinOrLead(key)) {
+        joins.push_back({miss_slots[m], std::move(flight)});
+      } else {
+        lease.Add(key);
+        lead_users.push_back(miss_users[m]);
+        lead_slots.push_back(miss_slots[m]);
+      }
+    }
+    if (!lead_users.empty()) {
+      auto [retriever, version] = Snapshot();
+      std::vector<std::vector<RecEntry>> fetched =
+          retriever->RetrieveBatch(lead_users, k);
+      for (size_t m = 0; m < lead_users.size(); ++m) {
+        cache_.Put(lead_users[m], k, version, fetched[m]);
+        PublishFlight(FlightKey(lead_users[m], k), fetched[m]);
+        out[static_cast<size_t>(lead_slots[m])] = std::move(fetched[m]);
+      }
+    }
+    for (Join& join : joins) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(join.flight->mu);
+      join.flight->cv.wait(lock,
+                           [&join] { return join.flight->done; });
+      out[static_cast<size_t>(join.slot)] = join.flight->result;
     }
   }
   latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
@@ -141,6 +242,7 @@ ServiceStats RecService::stats() const {
   ServiceStats out;
   out.requests = requests_.load(std::memory_order_relaxed);
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
   out.swaps = swaps_.load(std::memory_order_relaxed);
   out.latency_us_total = latency_us_.load(std::memory_order_relaxed);
   out.model_version = model_version();

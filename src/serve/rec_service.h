@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/serve/rec_cache.h"
@@ -28,6 +29,9 @@ namespace serve {
 struct ServiceStats {
   uint64_t requests = 0;
   uint64_t cache_hits = 0;
+  /// Requests that piggybacked on another thread's in-flight retrieval of
+  /// the same (user, k) instead of recomputing it (single-flight misses).
+  uint64_t coalesced = 0;
   uint64_t swaps = 0;
   /// Cumulative request latency in microseconds.
   uint64_t latency_us_total = 0;
@@ -63,7 +67,9 @@ class RecService {
                       std::shared_ptr<const SeenItems> seen = nullptr);
 
   /// Exact top-k for `user` (best first, seen items excluded), served from
-  /// cache when fresh. Thread-safe.
+  /// cache when fresh. Concurrent misses for the same (user, k) coalesce:
+  /// one thread retrieves while the rest wait on its in-flight result, so
+  /// a thundering herd costs one retrieval instead of N. Thread-safe.
   std::vector<RecEntry> Recommend(int64_t user, int64_t k);
 
   /// Batched Recommend: cache lookups first, then one blocked (OpenMP)
@@ -96,12 +102,54 @@ class RecService {
   void InvalidateCache() { cache_.Invalidate(); }
 
  private:
+  /// One in-flight retrieval for a (user, k) key; later misses for the
+  /// same key block on it instead of recomputing (see rec_service.cc).
+  struct Flight;
+
   /// Reads (retriever, cache version) as one consistent pair.
   std::pair<std::shared_ptr<const TopNRetriever>, uint64_t> Snapshot() const;
 
   /// Replaces the snapshot + invalidates the cache; swap_mu_ must be held.
   void InstallLocked(std::shared_ptr<const core::ServingModel> next,
                      std::shared_ptr<const SeenItems> seen);
+
+  /// Joins the in-flight retrieval for `key` if one exists (returns the
+  /// flight to wait on), else registers this thread as its leader and
+  /// returns nullptr.
+  std::shared_ptr<Flight> JoinOrLead(uint64_t key);
+
+  /// Publishes a leader's result and wakes the waiters; unregisters `key`.
+  void PublishFlight(uint64_t key, const std::vector<RecEntry>& result);
+
+  /// Unwind path for a leader that dies before publishing: if `key` is
+  /// still registered, publishes an empty result so waiters unblock
+  /// (they degrade to an empty list; the next miss recomputes). No-op
+  /// when the flight was already published.
+  void AbandonFlight(uint64_t key);
+
+  /// Scope guard leading one or more flights: keys are abandoned on
+  /// destruction unless the normal PublishFlight ran first (which
+  /// unregisters them, making the abandon a no-op).
+  class FlightLease {
+   public:
+    explicit FlightLease(RecService* service) : service_(service) {}
+    ~FlightLease() {
+      for (uint64_t key : keys_) service_->AbandonFlight(key);
+    }
+    FlightLease(const FlightLease&) = delete;
+    FlightLease& operator=(const FlightLease&) = delete;
+    void Add(uint64_t key) { keys_.push_back(key); }
+
+   private:
+    RecService* service_;
+    std::vector<uint64_t> keys_;
+  };
+
+  static uint64_t FlightKey(int64_t user, int64_t k) {
+    // Same packing as RecCache: user in the high bits, catalogue-bounded k
+    // below — collision-free for valid requests.
+    return (static_cast<uint64_t>(user) << 32) ^ static_cast<uint64_t>(k);
+  }
 
   Options options_;
   /// Guards retriever_ replacement (readers copy the shared_ptr).
@@ -114,8 +162,13 @@ class RecService {
   std::atomic<uint64_t> version_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> latency_us_{0};
+  /// Guards flights_; held only for map lookups/insert/erase, never across
+  /// a retrieval.
+  std::mutex flights_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Flight>> flights_;
 };
 
 }  // namespace serve

@@ -1,15 +1,23 @@
 #include "src/serve/topn_retriever.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "src/tensor/backend.h"
+#include "src/tensor/kernel_tunables.h"
+#include "src/tensor/shard_plan.h"
+#include "src/tensor/shard_pool.h"
 #include "src/util/check.h"
 
 namespace gnmr {
 namespace serve {
 
 TopNRetriever::TopNRetriever(std::shared_ptr<const core::ServingModel> model,
-                             std::shared_ptr<const SeenItems> seen)
-    : model_(std::move(model)), seen_(std::move(seen)) {
+                             std::shared_ptr<const SeenItems> seen,
+                             ItemShardMode shard_mode)
+    : model_(std::move(model)),
+      seen_(std::move(seen)),
+      shard_mode_(shard_mode) {
   GNMR_CHECK(model_ != nullptr);
   GNMR_CHECK(model_->num_users > 0 && model_->num_items > 0);
   GNMR_CHECK(model_->embeddings.rows() ==
@@ -20,12 +28,29 @@ TopNRetriever::TopNRetriever(std::shared_ptr<const core::ServingModel> model,
   }
 }
 
+bool TopNRetriever::UseItemSharding() const {
+  switch (shard_mode_) {
+    case ItemShardMode::kOn:
+      return true;
+    case ItemShardMode::kOff:
+      return false;
+    case ItemShardMode::kAuto:
+      // Follow the kernel-backend selection: if compute runs sharded, so
+      // does retrieval. strcmp against the registry name, not a string
+      // compare per entry — this is on the per-request path.
+      return std::strcmp(tensor::GetBackend().name(), "sharded") == 0;
+  }
+  return false;
+}
+
 void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
-                                  int64_t k,
+                                  int64_t k, int64_t item_begin,
+                                  int64_t item_end,
                                   std::vector<RecEntry>* outs) const {
   GNMR_CHECK(count >= 1 && count <= kUserBlock);
+  GNMR_CHECK(item_begin >= 0 && item_begin <= item_end &&
+             item_end <= model_->num_items);
   const int64_t num_users = model_->num_users;
-  const int64_t num_items = model_->num_items;
   const int64_t width = model_->embeddings.cols();
   const float* emb = model_->embeddings.data();
   const float* item_base = emb + num_users * width;
@@ -40,14 +65,15 @@ void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
   }
 
   float scores[kUserBlock * kItemBlock];
-  for (int64_t i0 = 0; i0 < num_items; i0 += kItemBlock) {
-    const int64_t tile = std::min(kItemBlock, num_items - i0);
+  for (int64_t i0 = item_begin; i0 < item_end; i0 += kItemBlock) {
+    const int64_t tile = std::min(kItemBlock, item_end - i0);
     // Blocked matmul tile: `count` user rows x `tile` item rows. Scoring
     // every user in the block against the same item tile keeps the tile
     // resident in cache. Four items advance together so their accumulation
     // chains pipeline, but each item's sum still runs over c in ascending
     // order in double — exactly ServingModel::Score — so every score is
-    // bit-identical to the per-item path.
+    // bit-identical to the per-item path (and independent of where the
+    // item range starts, which is what makes shard outputs mergeable).
     for (int64_t u = 0; u < count; ++u) {
       const float* urow = emb + users[u] * width;
       float* srow = scores + u * kItemBlock;
@@ -110,28 +136,86 @@ void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
 std::vector<RecEntry> TopNRetriever::RetrieveTopN(int64_t user,
                                                   int64_t k) const {
   GNMR_CHECK_GE(k, 1);
-  k = std::min(k, model_->num_items);
-  std::vector<RecEntry> out;
-  RetrieveBlock(&user, 1, k, &out);
-  return out;
+  const int64_t num_items = model_->num_items;
+  k = std::min(k, num_items);
+
+  tensor::ShardPlan plan;
+  if (UseItemSharding()) {
+    plan = tensor::ShardPlan::Uniform(num_items, tensor::ShardWorkers(),
+                                      tensor::kShardMinItemsPerShard);
+  }
+  if (plan.num_shards() <= 1) {
+    std::vector<RecEntry> out;
+    RetrieveBlock(&user, 1, k, 0, num_items, &out);
+    return out;
+  }
+
+  // Item-sharded scan: each worker scans its own catalogue range with a
+  // bounded heap. The global top-k is a subset of the union of per-shard
+  // top-k's, and BetterThan is a total order (ties broken by item id), so
+  // sorting the merged candidates reproduces the unsharded output exactly.
+  const int64_t num_shards = plan.num_shards();
+  std::vector<std::vector<RecEntry>> candidates(
+      static_cast<size_t>(num_shards));
+  tensor::ShardPool::Global().Run(num_shards, [&](int64_t s) {
+    const tensor::ShardRange& r = plan.shard(s);
+    RetrieveBlock(&user, 1, k, r.begin, r.end,
+                  &candidates[static_cast<size_t>(s)]);
+  });
+
+  std::vector<RecEntry> merged;
+  merged.reserve(static_cast<size_t>(num_shards * k));
+  for (const std::vector<RecEntry>& c : candidates) {
+    merged.insert(merged.end(), c.begin(), c.end());
+  }
+  std::sort(merged.begin(), merged.end(), BetterThan);
+  if (static_cast<int64_t>(merged.size()) > k) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
 }
 
 std::vector<std::vector<RecEntry>> TopNRetriever::RetrieveBatch(
     const std::vector<int64_t>& users, int64_t k) const {
   GNMR_CHECK_GE(k, 1);
-  k = std::min(k, model_->num_items);
+  const int64_t num_items = model_->num_items;
+  k = std::min(k, num_items);
   const int64_t n = static_cast<int64_t>(users.size());
   std::vector<std::vector<RecEntry>> outs(static_cast<size_t>(n));
   const int64_t num_blocks = (n + kUserBlock - 1) / kUserBlock;
   // User blocks are independent (each writes its own output slots), so the
   // block loop parallelizes without changing any per-user result.
+  if (UseItemSharding()) {
+    if (num_blocks == 1) {
+      // Too few users to fan blocks out (the common shape of a warm
+      // RecService miss list): shard each user's item range instead, so
+      // a small batch is as parallel as the equivalent single requests.
+      for (int64_t i = 0; i < n; ++i) {
+        outs[static_cast<size_t>(i)] =
+            RetrieveTopN(users[static_cast<size_t>(i)], k);
+      }
+      return outs;
+    }
+    // Sharded execution: fan whole user blocks over the shard pool — with
+    // many users in flight, outer parallelism keeps every worker on its
+    // own block instead of splitting each block's item range. On a pool
+    // worker (nested dispatch) this degrades to the inline loop.
+    tensor::ShardPool::Global().Run(num_blocks, [&](int64_t b) {
+      const int64_t start = b * kUserBlock;
+      const int64_t count = std::min(kUserBlock, n - start);
+      RetrieveBlock(users.data() + start, count, k, 0, num_items,
+                    outs.data() + start);
+    });
+    return outs;
+  }
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) if (num_blocks > 1)
 #endif
   for (int64_t b = 0; b < num_blocks; ++b) {
     const int64_t start = b * kUserBlock;
     const int64_t count = std::min(kUserBlock, n - start);
-    RetrieveBlock(users.data() + start, count, k, outs.data() + start);
+    RetrieveBlock(users.data() + start, count, k, 0, num_items,
+                  outs.data() + start);
   }
   return outs;
 }

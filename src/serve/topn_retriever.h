@@ -10,6 +10,15 @@
 // Results are exact: scores are accumulated in double in the same order as
 // ServingModel::Score, and ties break by ascending item id, so the output
 // is bit-identical to brute-force scoring + std::sort at any thread count.
+//
+// Item sharding: when the "sharded" kernel backend is active (or sharding
+// is forced via ItemShardMode::kOn), single-user retrieval partitions the
+// catalogue with a ShardPlan and scans the shards on the global shard
+// pool; each shard keeps its own bounded heap and the per-shard top-k
+// candidates merge by (score desc, item asc) — the same total order as the
+// unsharded scan, so the output stays bit-identical. Batched retrieval
+// fans user blocks over the same pool instead (outer parallelism beats
+// splitting the item range when many users are in flight).
 #ifndef GNMR_SERVE_TOPN_RETRIEVER_H_
 #define GNMR_SERVE_TOPN_RETRIEVER_H_
 
@@ -38,6 +47,16 @@ inline bool BetterThan(const RecEntry& a, const RecEntry& b) {
   return a.item < b.item;
 }
 
+/// Whether a retriever splits the catalogue across the shard pool.
+enum class ItemShardMode {
+  /// Shard when the active kernel backend is "sharded" (checked per call).
+  kAuto,
+  /// Always shard (tests / benches driving the pool directly).
+  kOn,
+  /// Never shard; the single-threaded blocked scan.
+  kOff,
+};
+
 /// Read-only exact top-K retriever over a ServingModel snapshot. Shares
 /// ownership of the model (and optionally of per-user seen sets), so it
 /// stays valid while any caller holds it — the property the hot-swapping
@@ -46,17 +65,20 @@ class TopNRetriever {
  public:
   /// `model` must be non-null and consistent. `seen` (optional) marks
   /// items to exclude per user; pass nullptr to disable filtering.
+  /// `shard_mode` controls catalogue sharding (see ItemShardMode).
   explicit TopNRetriever(std::shared_ptr<const core::ServingModel> model,
-                         std::shared_ptr<const SeenItems> seen = nullptr);
+                         std::shared_ptr<const SeenItems> seen = nullptr,
+                         ItemShardMode shard_mode = ItemShardMode::kAuto);
 
   /// Exact top-k items for `user`, best first, ties by ascending item id,
   /// excluding the user's seen items. k is clamped to the catalogue size;
   /// fewer than k entries come back when filtering leaves fewer items.
   std::vector<RecEntry> RetrieveTopN(int64_t user, int64_t k) const;
 
-  /// RetrieveTopN for every user in `users`, OpenMP-parallel across user
-  /// blocks. Output order matches input order; results are identical to
-  /// per-user RetrieveTopN calls at any thread count.
+  /// RetrieveTopN for every user in `users`, parallel across user blocks
+  /// (shard pool when item sharding is active, OpenMP otherwise). Output
+  /// order matches input order; results are identical to per-user
+  /// RetrieveTopN calls at any thread/worker count.
   std::vector<std::vector<RecEntry>> RetrieveBatch(
       const std::vector<int64_t>& users, int64_t k) const;
 
@@ -80,12 +102,21 @@ class TopNRetriever {
   static constexpr int64_t kItemBlock = 256;
 
  private:
-  /// Retrieves for users[0..count) (count <= kUserBlock) into outs[0..count).
+  /// Retrieves over the item range [item_begin, item_end) for
+  /// users[0..count) (count <= kUserBlock) into outs[0..count): each out is
+  /// the range's top-k (at most k entries), sorted best-first by
+  /// BetterThan. [0, num_items) yields the final answer directly; a shard's
+  /// sub-range yields candidates for the deterministic merge.
   void RetrieveBlock(const int64_t* users, int64_t count, int64_t k,
+                     int64_t item_begin, int64_t item_end,
                      std::vector<RecEntry>* outs) const;
+
+  /// True when this call should split the catalogue across the shard pool.
+  bool UseItemSharding() const;
 
   std::shared_ptr<const core::ServingModel> model_;
   std::shared_ptr<const SeenItems> seen_;
+  ItemShardMode shard_mode_ = ItemShardMode::kAuto;
 };
 
 }  // namespace serve

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_map>
 
+#include "src/tensor/backend_kernels.h"
 #include "src/tensor/kernel_tunables.h"
+#include "src/tensor/shard_plan.h"
+#include "src/tensor/shard_pool.h"
 #include "src/util/check.h"
 
 #ifdef _OPENMP
@@ -16,67 +21,11 @@ namespace tensor {
 
 namespace {
 
-// ---- Shared kernel bodies ---------------------------------------------------
-// The serial loops below are the reference semantics; the OpenMP backend
-// reuses them per row/chunk so fan-out never changes an output element's
-// accumulation order.
-
-// One dense output row: out_row += a_row * b ([k] x [k,m]).
-inline void MatMulRow(const float* a_row, const float* b, float* out_row,
-                      int64_t k, int64_t m) {
-  for (int64_t kk = 0; kk < k; ++kk) {
-    float av = a_row[kk];
-    if (av == 0.0f) continue;
-    const float* brow = b + kk * m;
-    for (int64_t j = 0; j < m; ++j) out_row[j] += av * brow[j];
-  }
-}
-
-// One sparse output row: out_row += A[i, :] * x.
-inline void SpmmRow(const CsrMatrix& a, const float* x, float* out_row,
-                    int64_t i, int64_t d) {
-  const auto& row_ptr = a.row_ptr();
-  const auto& col_idx = a.col_idx();
-  const auto& values = a.values();
-  for (int64_t p = row_ptr[static_cast<size_t>(i)];
-       p < row_ptr[static_cast<size_t>(i) + 1]; ++p) {
-    float v = values[static_cast<size_t>(p)];
-    const float* xrow = x + col_idx[static_cast<size_t>(p)] * d;
-    for (int64_t j = 0; j < d; ++j) out_row[j] += v * xrow[j];
-  }
-}
-
-// Scatter-add restricted to target rows in [row_lo, row_hi): scans all
-// source rows in ascending order and applies only in-range ones, so each
-// target row sees the same accumulation order as the serial loop no matter
-// how [0, rows) is partitioned.
-inline void ScatterAddRowRange(float* target, int64_t m, const int64_t* idx,
-                               int64_t count, const float* src,
-                               int64_t row_lo, int64_t row_hi) {
-  for (int64_t r = 0; r < count; ++r) {
-    int64_t dst = idx[r];
-    if (dst < row_lo || dst >= row_hi) continue;
-    const float* srow = src + r * m;
-    float* trow = target + dst * m;
-    for (int64_t j = 0; j < m; ++j) trow[j] += srow[j];
-  }
-}
-
-inline double RowDotOne(const float* a_row, const float* b_row, int64_t m) {
-  double acc = 0.0;
-  for (int64_t j = 0; j < m; ++j) {
-    acc += static_cast<double>(a_row[j]) * b_row[j];
-  }
-  return acc;
-}
-
-// Double partial over one fixed-width chunk (the unit of ReduceSum's
-// backend-independent association).
-inline double ChunkSum(const float* in, int64_t begin, int64_t end) {
-  double acc = 0.0;
-  for (int64_t i = begin; i < end; ++i) acc += static_cast<double>(in[i]);
-  return acc;
-}
+using kernels::ChunkSum;
+using kernels::MatMulRow;
+using kernels::RowDotOne;
+using kernels::ScatterAddRowRange;
+using kernels::SpmmRow;
 
 // ---- SerialBackend ----------------------------------------------------------
 
@@ -374,11 +323,208 @@ class BlockedBackend : public OmpBackend {
   }
 };
 
+// ---- ShardedBackend ---------------------------------------------------------
+// Row-range partitioning over the persistent shard pool (shard_pool.h):
+// every kernel cuts its row (or chunk) dimension with a ShardPlan and runs
+// the serial body per shard, so results are bit-identical to serial at any
+// worker count — including 1, where plans collapse to a single inline
+// range. No OpenMP anywhere: this is the execution layer the ROADMAP's
+// sharding item calls for, and the seam future multi-process / NUMA
+// sharding slots into.
+
+class ShardedBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "sharded"; }
+
+  void MatMul(const float* a, const float* b, float* out, int64_t n,
+              int64_t k, int64_t m) const override {
+    if (n <= 1 || n * k * m < kParallelMatMulMinWork) {
+      for (int64_t i = 0; i < n; ++i) {
+        MatMulRow(a + i * k, b, out + i * m, k, m);
+      }
+      return;
+    }
+    ShardPlan plan =
+        ShardPlan::Uniform(n, ShardWorkers(), kShardMinRowsPerShard);
+    RunPlan(plan, [=](const ShardRange& r) {
+      for (int64_t i = r.begin; i < r.end; ++i) {
+        MatMulRow(a + i * k, b, out + i * m, k, m);
+      }
+    });
+  }
+
+  void Spmm(const CsrMatrix& a, const float* x, float* out,
+            int64_t d) const override {
+    int64_t n = a.rows();
+    if (n <= 1 || a.nnz() * d < kParallelSpmmMinWork) {
+      for (int64_t i = 0; i < n; ++i) SpmmRow(a, x, out + i * d, i, d);
+      return;
+    }
+    ShardPlan plan = PlanForSpmm(a);
+    RunPlan(plan, [&a, x, out, d](const ShardRange& r) {
+      // Each worker walks a zero-copy row-range view of its shard; the
+      // per-row entry order matches the serial loop exactly.
+      CsrRowRange view = a.RowRangeView(r.begin, r.end);
+      kernels::SpmmRange(view, x, out + r.begin * d, d);
+    });
+  }
+
+  void GatherRows(const float* a, int64_t m, const int64_t* idx,
+                  int64_t count, float* out) const override {
+    if (count <= 1 || count * m < kParallelRowsMinWork) {
+      kernels::GatherRowRange(a, m, idx, out, 0, count);
+      return;
+    }
+    ShardPlan plan =
+        ShardPlan::Uniform(count, ShardWorkers(), kShardMinRowsPerShard);
+    RunPlan(plan, [=](const ShardRange& r) {
+      kernels::GatherRowRange(a, m, idx, out, r.begin, r.end);
+    });
+  }
+
+  void ScatterAddRows(float* target, int64_t rows, int64_t m,
+                      const int64_t* idx, int64_t count,
+                      const float* src) const override {
+    // Target-row partitioning (same trick as the omp backend): duplicate
+    // destinations make splitting the source loop unsafe, so each shard
+    // scans the full index list and applies only its own target rows.
+    if (rows <= 1 || count * m < kParallelRowsMinWork) {
+      ScatterAddRowRange(target, m, idx, count, src, 0, rows);
+      return;
+    }
+    ShardPlan plan =
+        ShardPlan::Uniform(rows, ShardWorkers(), kShardMinRowsPerShard);
+    RunPlan(plan, [=](const ShardRange& r) {
+      ScatterAddRowRange(target, m, idx, count, src, r.begin, r.end);
+    });
+  }
+
+  void RowDot(const float* a, const float* b, float* out, int64_t n,
+              int64_t m) const override {
+    if (n <= 1 || n * m < kParallelRowsMinWork) {
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(RowDotOne(a + i * m, b + i * m, m));
+      }
+      return;
+    }
+    ShardPlan plan =
+        ShardPlan::Uniform(n, ShardWorkers(), kShardMinRowsPerShard);
+    RunPlan(plan, [=](const ShardRange& r) {
+      for (int64_t i = r.begin; i < r.end; ++i) {
+        out[i] = static_cast<float>(RowDotOne(a + i * m, b + i * m, m));
+      }
+    });
+  }
+
+  void EltwiseMap(const float* in, float* out, int64_t n, MapFn f,
+                  float p) const override {
+    if (n < kParallelEltwiseMinWork) {
+      f(in, out, n, p);
+      return;
+    }
+    ShardPlan plan =
+        ShardPlan::Uniform(n, ShardWorkers(), kShardMinElemsPerShard);
+    RunPlan(plan, [=](const ShardRange& r) {
+      f(in + r.begin, out + r.begin, r.end - r.begin, p);
+    });
+  }
+
+  void EltwiseZip(const float* a, const float* b, float* out, int64_t n,
+                  ZipFn f, float p) const override {
+    if (n < kParallelEltwiseMinWork) {
+      f(a, b, out, n, p);
+      return;
+    }
+    ShardPlan plan =
+        ShardPlan::Uniform(n, ShardWorkers(), kShardMinElemsPerShard);
+    RunPlan(plan, [=](const ShardRange& r) {
+      f(a + r.begin, b + r.begin, out + r.begin, r.end - r.begin, p);
+    });
+  }
+
+  double ReduceSum(const float* in, int64_t n) const override {
+    int64_t num_chunks = (n + kReduceSumChunk - 1) / kReduceSumChunk;
+    if (num_chunks <= 1) return ChunkSum(in, 0, n);
+    // Fixed-chunk double partials, chunk indices sharded across workers,
+    // combined serially in chunk order — the association is set by
+    // kReduceSumChunk alone, so sums match every other backend exactly.
+    std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+    ShardPlan plan = ShardPlan::Uniform(num_chunks, ShardWorkers(), 1);
+    double* partials = partial.data();
+    RunPlan(plan, [=](const ShardRange& r) {
+      for (int64_t c = r.begin; c < r.end; ++c) {
+        int64_t begin = c * kReduceSumChunk;
+        partials[c] = ChunkSum(in, begin, std::min(n, begin + kReduceSumChunk));
+      }
+    });
+    double total = 0.0;
+    for (double v : partial) total += v;
+    return total;
+  }
+
+ private:
+  /// Dispatches one task per shard to the pool; single-shard plans run
+  /// inline (no dispatch latency for small inputs).
+  template <typename Fn>
+  void RunPlan(const ShardPlan& plan, const Fn& fn) const {
+    if (plan.num_shards() <= 1) {
+      for (const ShardRange& r : plan.ranges()) fn(r);
+      return;
+    }
+    std::function<void(int64_t)> task = [&plan, &fn](int64_t s) {
+      fn(plan.shard(s));
+    };
+    ShardPool::Global().Run(plan.num_shards(), task);
+  }
+
+  /// Cached per-matrix SpMM plan: propagation re-runs the same per-behavior
+  /// adjacency every step, and the nnz-balanced cut only needs row_ptr, so
+  /// build it once and reuse while the matrix (and worker count) is
+  /// unchanged. Keyed by the row_ptr storage address; a stale hit after a
+  /// matrix is freed and another allocated in its place is detected by the
+  /// rows/nnz/workers fingerprint — and even an undetected collision would
+  /// still be a valid (merely unbalanced) partition of [0, rows).
+  ShardPlan PlanForSpmm(const CsrMatrix& a) const {
+    const int64_t* key = a.row_ptr().data();
+    const int64_t workers = ShardWorkers();
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      auto it = plan_cache_.find(key);
+      if (it != plan_cache_.end() && it->second.rows == a.rows() &&
+          it->second.nnz == a.nnz() && it->second.workers == workers) {
+        return it->second.plan;
+      }
+    }
+    ShardPlan plan =
+        kShardSpmmNnzBalanced
+            ? ShardPlan::NnzBalanced(a, workers, kShardMinRowsPerShard)
+            : ShardPlan::Uniform(a.rows(), workers, kShardMinRowsPerShard);
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      if (plan_cache_.size() >= kMaxCachedPlans) plan_cache_.clear();
+      plan_cache_[key] = {a.rows(), a.nnz(), workers, plan};
+    }
+    return plan;
+  }
+
+  struct CachedPlan {
+    int64_t rows = 0;
+    int64_t nnz = 0;
+    int64_t workers = 0;
+    ShardPlan plan;
+  };
+  static constexpr size_t kMaxCachedPlans = 64;
+
+  mutable std::mutex plan_mu_;
+  mutable std::unordered_map<const int64_t*, CachedPlan> plan_cache_;
+};
+
 // ---- Registry ---------------------------------------------------------------
 
 const SerialBackend kSerialBackend;
 const OmpBackend kOmpBackend;
 const BlockedBackend kBlockedBackend;
+const ShardedBackend kShardedBackend;
 
 std::atomic<const KernelBackend*> g_backend{nullptr};
 
@@ -388,7 +534,7 @@ const KernelBackend* DefaultBackend() {
       const KernelBackend* b = FindBackend(env);
       if (b != nullptr) return b;
       GNMR_CHECK(false) << "unknown GNMR_BACKEND '" << env
-                        << "' (available: serial, omp, blocked)";
+                        << "' (available: serial, omp, blocked, sharded)";
     }
   }
 #ifdef _OPENMP
@@ -402,7 +548,7 @@ const KernelBackend* DefaultBackend() {
 
 const std::vector<const KernelBackend*>& AllBackends() {
   static const std::vector<const KernelBackend*> all = {
-      &kSerialBackend, &kOmpBackend, &kBlockedBackend};
+      &kSerialBackend, &kOmpBackend, &kBlockedBackend, &kShardedBackend};
   return all;
 }
 
@@ -427,7 +573,7 @@ const KernelBackend& GetBackend() {
 void SetBackend(const std::string& name) {
   const KernelBackend* b = FindBackend(name);
   GNMR_CHECK(b != nullptr) << "unknown backend '" << name
-                           << "' (available: serial, omp, blocked)";
+                           << "' (available: serial, omp, blocked, sharded)";
   g_backend.store(b, std::memory_order_release);
 }
 

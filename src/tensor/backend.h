@@ -14,6 +14,11 @@
 //   "blocked" — cache-blocked kernels (k-unrolled MatMul, nnz-binned SpMM)
 //               layered on the OpenMP fan-out; the blocking also pays off
 //               single-threaded.
+//   "sharded" — row-range partitioning (shard_plan.h) over a persistent
+//               std::thread worker pool (shard_pool.h); no OpenMP
+//               dependency. Serial bodies per shard, so bit-identical to
+//               "serial" at any worker count (GNMR_SHARD_WORKERS /
+//               SetShardWorkers).
 //
 // Selection: SetBackend()/ScopedBackend at runtime, or the GNMR_BACKEND
 // environment variable read on first use (bench/example binaries also map
@@ -55,7 +60,7 @@ class KernelBackend {
 
   virtual ~KernelBackend() = default;
 
-  /// Registry name ("serial", "omp", "blocked").
+  /// Registry name ("serial", "omp", "blocked", "sharded").
   virtual const char* name() const = 0;
 
   /// Dense [n,k] x [k,m] -> out [n,m]; out is zero-initialised.

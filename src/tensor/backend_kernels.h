@@ -1,0 +1,106 @@
+// Shared serial kernel bodies for the pluggable backends (backend.h).
+//
+// These loops ARE the reference semantics: SerialBackend runs them over
+// [0, rows), and the omp / sharded backends run the same bodies over
+// disjoint row ranges, so fan-out never changes an output element's
+// accumulation order and every backend stays bit-identical to serial.
+// Internal header — include only from backend implementation files.
+#ifndef GNMR_TENSOR_BACKEND_KERNELS_H_
+#define GNMR_TENSOR_BACKEND_KERNELS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/tensor/sparse.h"
+
+namespace gnmr {
+namespace tensor {
+namespace kernels {
+
+// One dense output row: out_row += a_row * b ([k] x [k,m]).
+inline void MatMulRow(const float* a_row, const float* b, float* out_row,
+                      int64_t k, int64_t m) {
+  for (int64_t kk = 0; kk < k; ++kk) {
+    float av = a_row[kk];
+    if (av == 0.0f) continue;
+    const float* brow = b + kk * m;
+    for (int64_t j = 0; j < m; ++j) out_row[j] += av * brow[j];
+  }
+}
+
+// One sparse output row: out_row += A[i, :] * x.
+inline void SpmmRow(const CsrMatrix& a, const float* x, float* out_row,
+                    int64_t i, int64_t d) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int64_t p = row_ptr[static_cast<size_t>(i)];
+       p < row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+    float v = values[static_cast<size_t>(p)];
+    const float* xrow = x + col_idx[static_cast<size_t>(p)] * d;
+    for (int64_t j = 0; j < d; ++j) out_row[j] += v * xrow[j];
+  }
+}
+
+// SpMM over one zero-copy row-range view: out rows are the view's rows, in
+// view order. Per-row arithmetic matches SpmmRow exactly (same entries,
+// same ascending order), so a partitioned run concatenates to the serial
+// result bit-for-bit.
+inline void SpmmRange(const CsrRowRange& view, const float* x, float* out,
+                      int64_t d) {
+  const int64_t* col_idx = view.col_idx();
+  const float* values = view.values();
+  for (int64_t r = 0; r < view.rows(); ++r) {
+    float* out_row = out + r * d;
+    for (int64_t p = view.RowBegin(r); p < view.RowEnd(r); ++p) {
+      float v = values[p];
+      const float* xrow = x + col_idx[p] * d;
+      for (int64_t j = 0; j < d; ++j) out_row[j] += v * xrow[j];
+    }
+  }
+}
+
+// Scatter-add restricted to target rows in [row_lo, row_hi): scans all
+// source rows in ascending order and applies only in-range ones, so each
+// target row sees the same accumulation order as the serial loop no matter
+// how [0, rows) is partitioned.
+inline void ScatterAddRowRange(float* target, int64_t m, const int64_t* idx,
+                               int64_t count, const float* src,
+                               int64_t row_lo, int64_t row_hi) {
+  for (int64_t r = 0; r < count; ++r) {
+    int64_t dst = idx[r];
+    if (dst < row_lo || dst >= row_hi) continue;
+    const float* srow = src + r * m;
+    float* trow = target + dst * m;
+    for (int64_t j = 0; j < m; ++j) trow[j] += srow[j];
+  }
+}
+
+inline void GatherRowRange(const float* a, int64_t m, const int64_t* idx,
+                           float* out, int64_t lo, int64_t hi) {
+  for (int64_t r = lo; r < hi; ++r) {
+    std::copy(a + idx[r] * m, a + (idx[r] + 1) * m, out + r * m);
+  }
+}
+
+inline double RowDotOne(const float* a_row, const float* b_row, int64_t m) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < m; ++j) {
+    acc += static_cast<double>(a_row[j]) * b_row[j];
+  }
+  return acc;
+}
+
+// Double partial over one fixed-width chunk (the unit of ReduceSum's
+// backend-independent association, kReduceSumChunk).
+inline double ChunkSum(const float* in, int64_t begin, int64_t end) {
+  double acc = 0.0;
+  for (int64_t i = begin; i < end; ++i) acc += static_cast<double>(in[i]);
+  return acc;
+}
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace gnmr
+
+#endif  // GNMR_TENSOR_BACKEND_KERNELS_H_

@@ -54,6 +54,30 @@ inline constexpr int64_t kMatMulKUnroll = 4;
 /// are the scheduling unit, so skewed rows can't serialize a whole chunk.
 inline constexpr int64_t kSpmmBinNnz = int64_t{1} << 12;
 
+// ---- ShardedBackend (shard_plan.h / shard_pool.h) ---------------------------
+
+/// Worker-thread count of the global shard pool. 0 means "one per hardware
+/// thread". Overridable at process start via the GNMR_SHARD_WORKERS
+/// environment variable, and at runtime via tensor::SetShardWorkers().
+inline constexpr int64_t kShardWorkersDefault = 0;
+
+/// Row-indexed kernels never split below this many rows per shard; tiny
+/// matrices stay on one worker instead of paying dispatch latency.
+inline constexpr int64_t kShardMinRowsPerShard = 8;
+
+/// Elementwise / reduction kernels never split below this many elements
+/// per shard.
+inline constexpr int64_t kShardMinElemsPerShard = int64_t{1} << 12;
+
+/// The sharded TopNRetriever never splits the catalogue below this many
+/// items per shard (one retrieval tile, see TopNRetriever::kItemBlock).
+inline constexpr int64_t kShardMinItemsPerShard = 256;
+
+/// Whether sharded SpMM partitions rows nnz-balanced (true) or uniformly
+/// (false). Nnz balancing absorbs power-law degree skew at the cost of one
+/// pass over row_ptr when a plan is first built for a matrix.
+inline constexpr bool kShardSpmmNnzBalanced = true;
+
 }  // namespace tensor
 }  // namespace gnmr
 

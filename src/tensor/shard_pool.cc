@@ -1,0 +1,173 @@
+#include "src/tensor/shard_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "src/tensor/kernel_tunables.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace tensor {
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread; Run() uses it to
+/// detect re-entrant dispatch and fall back to an inline loop.
+thread_local bool t_on_pool_worker = false;
+
+int64_t ResolvedDefaultWorkers() {
+  if (const char* env = std::getenv("GNMR_SHARD_WORKERS")) {
+    if (*env != '\0') {
+      int64_t n = std::strtoll(env, nullptr, 10);
+      GNMR_CHECK_GT(n, 0) << "GNMR_SHARD_WORKERS must be a positive integer, "
+                          << "got '" << env << "'";
+      return std::min<int64_t>(n, 1024);
+    }
+  }
+  if (kShardWorkersDefault > 0) return kShardWorkersDefault;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ShardPool>& GlobalSlot() {
+  static std::unique_ptr<ShardPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+/// Completion latch shared by all tasks of one Run() call.
+struct ShardPool::Completion {
+  std::atomic<int64_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+ShardPool::ShardPool(int64_t workers) {
+  GNMR_CHECK_GE(workers, 1);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int64_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start threads only after the vector is fully built: a worker never
+  // touches its siblings, but the loop captures `this`.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ShardPool::WorkerLoop(Worker* w) {
+  t_on_pool_worker = true;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(w->mu);
+      w->cv.wait(lock, [w] { return w->stop || !w->queue.empty(); });
+      if (w->queue.empty()) return;  // stop requested and drained
+      task = w->queue.front();
+      w->queue.pop_front();
+    }
+    auto start = std::chrono::steady_clock::now();
+    (*task.fn)(task.index);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    w->busy_ns.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    w->tasks_run.fetch_add(1, std::memory_order_relaxed);
+    if (task.completion->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+      std::lock_guard<std::mutex> lock(task.completion->mu);
+      task.completion->done = true;
+      task.completion->cv.notify_all();
+    }
+  }
+}
+
+void ShardPool::Run(int64_t num_tasks,
+                    const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  if (t_on_pool_worker || num_tasks == 1 || workers() == 1) {
+    // Nested dispatch, nothing to fan out, or a single-worker pool (where
+    // a thread handoff buys nothing): run inline. Same results, no
+    // self-deadlock.
+    for (int64_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  Completion completion;
+  completion.remaining.store(num_tasks, std::memory_order_relaxed);
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t nw = workers();
+  for (int64_t t = 0; t < num_tasks; ++t) {
+    Worker* w = workers_[static_cast<size_t>(t % nw)].get();
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->queue.push_back(Task{&fn, t, &completion});
+    }
+    w->cv.notify_one();
+  }
+  std::unique_lock<std::mutex> lock(completion.mu);
+  completion.cv.wait(lock, [&completion] { return completion.done; });
+}
+
+ShardPoolStats ShardPool::stats() const {
+  ShardPoolStats out;
+  out.workers = workers();
+  out.dispatches = dispatches_.load(std::memory_order_relaxed);
+  out.worker_busy_ns.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    out.tasks += w->tasks_run.load(std::memory_order_relaxed);
+    out.worker_busy_ns.push_back(w->busy_ns.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+ShardPool& ShardPool::Global() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  std::unique_ptr<ShardPool>& slot = GlobalSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<ShardPool>(ResolvedDefaultWorkers());
+  }
+  return *slot;
+}
+
+int64_t ShardWorkers() { return ShardPool::Global().workers(); }
+
+ShardPoolStats GlobalShardPoolStats() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const std::unique_ptr<ShardPool>& slot = GlobalSlot();
+  return slot == nullptr ? ShardPoolStats{} : slot->stats();
+}
+
+void SetShardWorkers(int64_t workers) {
+  workers = std::max<int64_t>(workers, 1);
+  // Build the replacement outside the slot lock (thread spawn is slow),
+  // then swap; the old pool joins its workers on destruction.
+  auto next = std::make_unique<ShardPool>(workers);
+  std::unique_ptr<ShardPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    old = std::move(GlobalSlot());
+    GlobalSlot() = std::move(next);
+  }
+}
+
+}  // namespace tensor
+}  // namespace gnmr

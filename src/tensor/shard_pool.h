@@ -1,0 +1,113 @@
+// Persistent worker pool backing the "sharded" kernel backend.
+//
+// Plain std::thread — no OpenMP dependency — so sharded execution behaves
+// identically in serial and OpenMP builds. Each worker owns its own task
+// queue (one mutex + condvar per worker, no shared run queue), and Run()
+// deals tasks round-robin across the queues: when the task count equals
+// the worker count — the common case, one ShardPlan range per worker —
+// every worker receives exactly one task with no cross-worker contention.
+//
+// Determinism: the pool never reorders or splits a task; whatever
+// accumulation order the task body uses is preserved. Combined with the
+// serial per-row kernel bodies (backend_kernels.h) this is what keeps the
+// sharded backend bit-identical to the serial reference.
+//
+// Re-entrancy: a task that calls Run() again (e.g. a sharded retriever
+// block landing on a pool worker) executes the nested tasks inline on the
+// calling worker instead of enqueueing — queueing to ourselves while the
+// outer Run() holds the completion would deadlock.
+#ifndef GNMR_TENSOR_SHARD_POOL_H_
+#define GNMR_TENSOR_SHARD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gnmr {
+namespace tensor {
+
+/// Cumulative pool counters (monotonic since pool construction; snapshot
+/// twice and subtract to attribute work to a phase, e.g. one train epoch).
+struct ShardPoolStats {
+  int64_t workers = 0;
+  /// Run() calls that fanned out to the pool (inline runs not counted).
+  uint64_t dispatches = 0;
+  /// Shard tasks executed on pool workers.
+  uint64_t tasks = 0;
+  /// Per-worker busy time (nanoseconds spent inside task bodies).
+  std::vector<uint64_t> worker_busy_ns;
+};
+
+/// Fixed-size pool of shard workers with per-worker task queues.
+class ShardPool {
+ public:
+  explicit ShardPool(int64_t workers);
+  ~ShardPool();
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int64_t workers() const { return static_cast<int64_t>(workers_.size()); }
+
+  /// Executes fn(0) .. fn(num_tasks - 1), each exactly once, and returns
+  /// when all have finished. Task i runs on worker i % workers(), so a
+  /// plan with one range per worker maps ranges to workers 1:1. Safe to
+  /// call concurrently from multiple threads; called from a pool worker it
+  /// degrades to an inline loop (see header comment).
+  void Run(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+  ShardPoolStats stats() const;
+
+  /// The process-wide pool used by the sharded backend and the sharded
+  /// retriever. Sized on first use from GNMR_SHARD_WORKERS, else
+  /// kShardWorkersDefault, else std::thread::hardware_concurrency().
+  static ShardPool& Global();
+
+ private:
+  /// Completion latch shared by all tasks of one Run() call (shard_pool.cc).
+  struct Completion;
+
+  struct Task {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t index = 0;
+    Completion* completion = nullptr;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Task> queue;
+    std::thread thread;
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> tasks_run{0};
+    bool stop = false;
+  };
+
+  void WorkerLoop(Worker* w);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> dispatches_{0};
+};
+
+/// Worker count of the global pool.
+int64_t ShardWorkers();
+
+/// Stats of the global pool WITHOUT instantiating it: all-zero (workers ==
+/// 0) while no kernel has dispatched yet. Lets diagnostics snapshot pool
+/// activity for free when sharded execution is idle or unused.
+ShardPoolStats GlobalShardPoolStats();
+
+/// Replaces the global pool with one of `workers` threads (clamped to
+/// >= 1). Intended for startup wiring and tests — like SetBackend, do not
+/// race it against in-flight sharded kernels.
+void SetShardWorkers(int64_t workers);
+
+}  // namespace tensor
+}  // namespace gnmr
+
+#endif  // GNMR_TENSOR_SHARD_POOL_H_

@@ -397,6 +397,52 @@ TEST(RecServiceTest, ConcurrentRecommendUnderSwaps) {
   EXPECT_EQ(stats.swaps, 24u);
 }
 
+TEST(RecServiceTest, BatchCoalescesDuplicateMisses) {
+  // A cold batch holding the same (user, k) three times misses three
+  // times but retrieves once: the first occurrence leads, the other two
+  // join its flight (published before any join waits, so no self-wait).
+  auto model = RandomModel(8, 32, 8, 71);
+  RecService service(model);
+  std::vector<int64_t> users = {3, 3, 3, 5};
+  auto out = service.RecommendBatch(users, 10);
+  ASSERT_EQ(out.size(), 4u);
+  std::vector<RecEntry> want = BruteForceTopN(*model, 3, 10);
+  ExpectExactlyEqual(out[0], want);
+  ExpectExactlyEqual(out[1], want);
+  ExpectExactlyEqual(out[2], want);
+  ExpectExactlyEqual(out[3], BruteForceTopN(*model, 5, 10));
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(RecServiceTest, ConcurrentMissesForSameKeySingleFlight) {
+  // A thundering herd on one cold (user, k): every thread gets the exact
+  // list, and each request is accounted as exactly one of {cache hit,
+  // coalesced wait, leader retrieval}.
+  auto model = RandomModel(8, 128, 8, 73);
+  RecService service(model);
+  std::vector<RecEntry> want = BruteForceTopN(*model, 2, 10);
+  constexpr int kThreads = 8;
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<RecEntry> got = service.Recommend(2, 10);
+      if (got != want) mismatches.fetch_add(1);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads));
+  // hits + coalesced + leader-retrievals partition the requests; at least
+  // one thread had to do the real scan.
+  uint64_t retrieved = stats.requests - stats.cache_hits - stats.coalesced;
+  EXPECT_GE(retrieved, 1u);
+  EXPECT_LE(retrieved, static_cast<uint64_t>(kThreads));
+}
+
 // ------------------------------------------- evaluator fast-path parity ----
 
 TEST(ServeEvalParityTest, RetrieverScorerBitIdenticalToCachedScorer) {

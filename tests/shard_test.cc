@@ -1,0 +1,622 @@
+// Tests of the sharded execution layer: zero-copy CsrMatrix row-range
+// views, ShardPlan partition invariants (uniform and nnz-balanced), the
+// shard pool, bit-identical parity of the "sharded" backend against the
+// serial reference at 1/2/7 workers across all eight kernel entry points,
+// item-sharded TopNRetriever vs brute force (including exact ties), and
+// the per-shard timings surfaced through the trainer's epoch stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/core/gnmr_trainer.h"
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+#include "src/serve/seen_items.h"
+#include "src/serve/topn_retriever.h"
+#include "src/tensor/backend.h"
+#include "src/tensor/kernel_tunables.h"
+#include "src/tensor/shard_plan.h"
+#include "src/tensor/shard_pool.h"
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace {
+
+/// RAII worker-count switch: sets the global pool size, restores on exit
+/// so later tests see the default again. Shared by the tensor- and
+/// serve-layer sections below.
+class ScopedShardWorkers {
+ public:
+  explicit ScopedShardWorkers(int64_t workers)
+      : previous_(tensor::ShardWorkers()) {
+    tensor::SetShardWorkers(workers);
+  }
+  ~ScopedShardWorkers() { tensor::SetShardWorkers(previous_); }
+
+ private:
+  int64_t previous_;
+};
+
+}  // namespace
+
+namespace tensor {
+namespace {
+
+// Random CSR with ~density*cols entries per row; every third row is forced
+// empty so ragged layouts are exercised.
+CsrMatrix RandomCsr(int64_t rows, int64_t cols, double density,
+                    util::Rng* rng, bool with_empty_rows = true) {
+  std::vector<Coo> entries;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (with_empty_rows && r % 3 == 2) continue;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng->Bernoulli(density)) {
+        entries.push_back({r, c, rng->Normal()});
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(rows, cols, entries);
+}
+
+// ------------------------------------------------------------ RowRangeView --
+
+// The view of [begin, end) must reproduce the parent's rows entry for
+// entry, with extents re-based onto the view's col/val storage.
+void ExpectViewMatchesParent(const CsrMatrix& m, int64_t begin, int64_t end) {
+  CsrRowRange view = m.RowRangeView(begin, end);
+  ASSERT_EQ(view.rows(), end - begin);
+  EXPECT_EQ(view.cols(), m.cols());
+  EXPECT_EQ(view.first_row(), begin);
+  int64_t expected_nnz = 0;
+  for (int64_t r = begin; r < end; ++r) expected_nnz += m.RowNnz(r);
+  EXPECT_EQ(view.nnz(), expected_nnz);
+  for (int64_t r = 0; r < view.rows(); ++r) {
+    int64_t parent_row = begin + r;
+    ASSERT_EQ(view.RowNnz(r), m.RowNnz(parent_row)) << "row " << parent_row;
+    int64_t parent_p = m.row_ptr()[static_cast<size_t>(parent_row)];
+    for (int64_t p = view.RowBegin(r); p < view.RowEnd(r); ++p, ++parent_p) {
+      EXPECT_EQ(view.col_idx()[p],
+                m.col_idx()[static_cast<size_t>(parent_p)]);
+      EXPECT_EQ(view.values()[p], m.values()[static_cast<size_t>(parent_p)]);
+    }
+  }
+}
+
+TEST(CsrRowRangeTest, ViewsOfRaggedMatrixMatchParent) {
+  util::Rng rng(31);
+  CsrMatrix m = RandomCsr(37, 20, 0.3, &rng);
+  ExpectViewMatchesParent(m, 0, 37);   // full view
+  ExpectViewMatchesParent(m, 0, 1);    // single leading row
+  ExpectViewMatchesParent(m, 36, 37);  // single trailing row
+  ExpectViewMatchesParent(m, 2, 3);    // a forced-empty row alone
+  ExpectViewMatchesParent(m, 5, 23);   // interior span crossing empties
+}
+
+TEST(CsrRowRangeTest, EmptyRangesAndEmptyMatrix) {
+  util::Rng rng(32);
+  CsrMatrix m = RandomCsr(12, 9, 0.4, &rng);
+  for (int64_t at : {int64_t{0}, int64_t{5}, int64_t{12}}) {
+    CsrRowRange view = m.RowRangeView(at, at);
+    EXPECT_EQ(view.rows(), 0);
+    EXPECT_EQ(view.nnz(), 0);
+  }
+  CsrMatrix empty = CsrMatrix::FromCoo(4, 3, {});
+  ExpectViewMatchesParent(empty, 0, 4);
+  CsrMatrix zero_rows = CsrMatrix::FromCoo(0, 3, {});
+  CsrRowRange view = zero_rows.RowRangeView(0, 0);
+  EXPECT_EQ(view.rows(), 0);
+  EXPECT_EQ(view.nnz(), 0);
+}
+
+TEST(CsrRowRangeTest, ViewsTileTheMatrixExactly) {
+  // Consecutive views partition the entry list: concatenating their
+  // (col, value) streams reproduces the parent's.
+  util::Rng rng(33);
+  CsrMatrix m = RandomCsr(50, 16, 0.25, &rng);
+  std::vector<int64_t> cuts = {0, 7, 8, 23, 50};
+  int64_t entries_seen = 0;
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    CsrRowRange view = m.RowRangeView(cuts[c], cuts[c + 1]);
+    for (int64_t r = 0; r < view.rows(); ++r) {
+      for (int64_t p = view.RowBegin(r); p < view.RowEnd(r); ++p) {
+        EXPECT_EQ(view.col_idx()[p],
+                  m.col_idx()[static_cast<size_t>(entries_seen)]);
+        EXPECT_EQ(view.values()[p],
+                  m.values()[static_cast<size_t>(entries_seen)]);
+        ++entries_seen;
+      }
+    }
+  }
+  EXPECT_EQ(entries_seen, m.nnz());
+}
+
+TEST(CsrRowRangeDeathTest, OutOfRangeAborts) {
+  CsrMatrix m = CsrMatrix::FromCoo(3, 3, {{0, 0, 1.0f}});
+  EXPECT_DEATH(m.RowRangeView(-1, 2), "row range");
+  EXPECT_DEATH(m.RowRangeView(2, 1), "row range");
+  EXPECT_DEATH(m.RowRangeView(0, 4), "row range");
+}
+
+// --------------------------------------------------------------- ShardPlan --
+
+TEST(ShardPlanTest, UniformInvariantsAndClamping) {
+  for (int64_t rows : {int64_t{1}, int64_t{7}, int64_t{64}, int64_t{1000}}) {
+    for (int64_t shards : {int64_t{1}, int64_t{3}, int64_t{8}}) {
+      ShardPlan plan = ShardPlan::Uniform(rows, shards, /*min_rows=*/4);
+      plan.CheckInvariants();
+      EXPECT_LE(plan.num_shards(), shards);
+      EXPECT_LE(plan.num_shards(), std::max<int64_t>(1, rows / 4));
+      for (const ShardRange& r : plan.ranges()) {
+        if (plan.num_shards() > 1) {
+          EXPECT_GE(r.rows(), 4);
+        }
+      }
+    }
+  }
+  // Zero rows: empty plan, invariants still hold.
+  ShardPlan empty = ShardPlan::Uniform(0, 4);
+  empty.CheckInvariants();
+  EXPECT_EQ(empty.num_shards(), 0);
+}
+
+TEST(ShardPlanTest, NnzBalancedInvariantsOnRandomMatrices) {
+  util::Rng rng(34);
+  for (int64_t rows : {int64_t{10}, int64_t{128}, int64_t{777}}) {
+    CsrMatrix m = RandomCsr(rows, 64, 0.2, &rng);
+    for (int64_t shards : {int64_t{1}, int64_t{2}, int64_t{7}}) {
+      ShardPlan plan = ShardPlan::NnzBalanced(m, shards);
+      plan.CheckInvariants();
+      EXPECT_EQ(plan.total_rows(), rows);
+      // Recorded per-shard nnz matches the matrix.
+      int64_t total = 0;
+      for (const ShardRange& r : plan.ranges()) {
+        int64_t nnz = 0;
+        for (int64_t i = r.begin; i < r.end; ++i) nnz += m.RowNnz(i);
+        EXPECT_EQ(r.nnz, nnz);
+        total += nnz;
+      }
+      EXPECT_EQ(total, m.nnz());
+    }
+  }
+}
+
+TEST(ShardPlanTest, NnzBalancedBoundsShardWeight) {
+  // Bounded-degree rows: every shard stays within one max-degree row of
+  // the ideal even split (the greedy cut overshoots by at most one row).
+  util::Rng rng(35);
+  CsrMatrix m = RandomCsr(500, 100, 0.15, &rng, /*with_empty_rows=*/false);
+  int64_t max_row_nnz = 0;
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    max_row_nnz = std::max(max_row_nnz, m.RowNnz(r));
+  }
+  for (int64_t shards : {int64_t{2}, int64_t{5}, int64_t{7}}) {
+    ShardPlan plan = ShardPlan::NnzBalanced(m, shards);
+    ASSERT_EQ(plan.num_shards(), shards);
+    int64_t ideal = (m.nnz() + shards - 1) / shards;
+    for (const ShardRange& r : plan.ranges()) {
+      EXPECT_LE(r.nnz, ideal + max_row_nnz)
+          << "shard [" << r.begin << ", " << r.end << ")";
+    }
+  }
+}
+
+TEST(ShardPlanTest, NnzBalancedSurvivesPathologicalSkew) {
+  // All mass in one super-heavy row (a power-law hub): the plan must stay
+  // a valid partition, with the hub isolated in its own small shard.
+  std::vector<Coo> entries;
+  for (int64_t c = 0; c < 200; ++c) entries.push_back({100, c, 1.0f});
+  for (int64_t r = 0; r < 300; r += 10) entries.push_back({r, 0, 1.0f});
+  CsrMatrix m = CsrMatrix::FromCoo(300, 200, entries);
+  ShardPlan plan = ShardPlan::NnzBalanced(m, 4);
+  plan.CheckInvariants();
+  EXPECT_GT(plan.num_shards(), 1);
+  // Trailing rows after the hub still get covered (adaptive re-targeting).
+  EXPECT_EQ(plan.ranges().back().end, 300);
+}
+
+TEST(ShardPlanTest, NnzBalancedRespectsMinRows) {
+  util::Rng rng(36);
+  CsrMatrix m = RandomCsr(40, 30, 0.3, &rng);
+  ShardPlan plan = ShardPlan::NnzBalanced(m, 16, /*min_rows=*/8);
+  plan.CheckInvariants();
+  EXPECT_LE(plan.num_shards(), 5);  // 40 rows / 8 min
+  for (const ShardRange& r : plan.ranges()) EXPECT_GE(r.rows(), 8);
+}
+
+// --------------------------------------------------------------- ShardPool --
+
+TEST(ShardPoolTest, RunsEveryTaskExactlyOnce) {
+  ScopedShardWorkers workers(3);
+  constexpr int64_t kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  ShardPool::Global().Run(kTasks,
+                          [&](int64_t t) { hits[static_cast<size_t>(t)]++; });
+  for (int64_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[static_cast<size_t>(t)].load(), 1) << "task " << t;
+  }
+}
+
+TEST(ShardPoolTest, NestedRunExecutesInline) {
+  ScopedShardWorkers workers(2);
+  std::atomic<int> inner_runs{0};
+  ShardPool::Global().Run(4, [&](int64_t) {
+    // Re-entrant dispatch from a pool worker must not deadlock.
+    ShardPool::Global().Run(3, [&](int64_t) { inner_runs++; });
+  });
+  EXPECT_EQ(inner_runs.load(), 12);
+}
+
+TEST(ShardPoolTest, StatsCountDispatchesAndBusyTime) {
+  ScopedShardWorkers workers(2);
+  ShardPoolStats before = ShardPool::Global().stats();
+  EXPECT_EQ(before.workers, 2);
+  std::atomic<int64_t> sink{0};
+  ShardPool::Global().Run(8, [&](int64_t t) { sink += t; });
+  ShardPoolStats after = ShardPool::Global().stats();
+  EXPECT_EQ(after.dispatches, before.dispatches + 1);
+  EXPECT_EQ(after.tasks, before.tasks + 8);
+  ASSERT_EQ(after.worker_busy_ns.size(), 2u);
+}
+
+TEST(ShardPoolTest, WorkerCountFollowsSetShardWorkers) {
+  ScopedShardWorkers workers(5);
+  EXPECT_EQ(ShardWorkers(), 5);
+  SetShardWorkers(2);
+  EXPECT_EQ(ShardWorkers(), 2);
+}
+
+// ------------------------------------------- sharded backend parity 1/2/7 --
+
+void ExpectBitIdentical(const Tensor& ref, const Tensor& got,
+                        const std::string& context) {
+  ASSERT_EQ(ref.shape(), got.shape()) << context;
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    ASSERT_EQ(ref.data()[i], got.data()[i])
+        << context << " at flat index " << i;
+  }
+}
+
+// Every kernel input is sized past its fan-out threshold so the sharded
+// paths actually dispatch (at 1 worker the plans collapse to one inline
+// range — that degenerate path must stay bit-identical too).
+TEST(ShardedBackendParityTest, AllOpsBitIdenticalToSerialAt127Workers) {
+  const KernelBackend* serial = FindBackend("serial");
+  const KernelBackend* sharded = FindBackend("sharded");
+  ASSERT_NE(sharded, nullptr);
+  util::Rng rng(37);
+
+  // MatMul: 128*32*48 = 196k multiply-adds >= kParallelMatMulMinWork.
+  const int64_t mm_n = 128, mm_k = 32, mm_m = 48;
+  Tensor mm_a = Tensor::RandomNormal({mm_n, mm_k}, &rng);
+  Tensor mm_b = Tensor::RandomNormal({mm_k, mm_m}, &rng);
+  // SpMM: ~4.8k nnz * 24 cols >= kParallelSpmmMinWork; ragged with empty
+  // rows so nnz-balanced shard cuts land mid-matrix.
+  CsrMatrix sp = RandomCsr(400, 120, 0.15, &rng);
+  Tensor sp_x = Tensor::RandomNormal({120, 24}, &rng);
+  // Gather/ScatterAdd/RowDot: 2500 rows * 24 >= kParallelRowsMinWork.
+  Tensor table = Tensor::RandomNormal({90, 24}, &rng);
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < 2500; ++i) {
+    // Zipf-ish duplicates: low rows collide massively.
+    idx.push_back(rng.UniformInt(0, rng.UniformInt(0, 89)));
+  }
+  Tensor src = Tensor::RandomNormal({static_cast<int64_t>(idx.size()), 24},
+                                    &rng);
+  Tensor rd_a = Tensor::RandomNormal({2500, 24}, &rng);
+  Tensor rd_b = Tensor::RandomNormal({2500, 24}, &rng);
+  // Eltwise / ReduceSum: 40000 elements >= kParallelEltwiseMinWork, ~10
+  // kReduceSumChunk chunks with a ragged tail.
+  Tensor ew = Tensor::RandomNormal({40000 + 123}, &rng);
+  Tensor ew2 = Tensor::RandomNormal({40000 + 123}, &rng);
+  KernelBackend::MapFn relu = [](const float* in, float* out, int64_t len,
+                                 float) {
+    for (int64_t i = 0; i < len; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  };
+  KernelBackend::ZipFn mul = [](const float* x, const float* y, float* out,
+                                int64_t len, float) {
+    for (int64_t i = 0; i < len; ++i) out[i] = x[i] * y[i];
+  };
+
+  // Serial references, computed once.
+  Tensor mm_ref({mm_n, mm_m});
+  serial->MatMul(mm_a.data(), mm_b.data(), mm_ref.data(), mm_n, mm_k, mm_m);
+  Tensor sp_ref({sp.rows(), 24});
+  serial->Spmm(sp, sp_x.data(), sp_ref.data(), 24);
+  Tensor ga_ref({static_cast<int64_t>(idx.size()), 24});
+  serial->GatherRows(table.data(), 24, idx.data(),
+                     static_cast<int64_t>(idx.size()), ga_ref.data());
+  Tensor sc_ref({90, 24});
+  serial->ScatterAddRows(sc_ref.data(), 90, 24, idx.data(),
+                         static_cast<int64_t>(idx.size()), src.data());
+  Tensor rd_ref({2500, 1});
+  serial->RowDot(rd_a.data(), rd_b.data(), rd_ref.data(), 2500, 24);
+  Tensor map_ref(ew.shape()), zip_ref(ew.shape());
+  serial->EltwiseMap(ew.data(), map_ref.data(), ew.numel(), relu, 0.0f);
+  serial->EltwiseZip(ew.data(), ew2.data(), zip_ref.data(), ew.numel(), mul,
+                     0.0f);
+  double sum_ref = serial->ReduceSum(ew.data(), ew.numel());
+
+  for (int64_t workers : {int64_t{1}, int64_t{2}, int64_t{7}}) {
+    ScopedShardWorkers scoped(workers);
+    std::string ctx = "sharded@" + std::to_string(workers) + " workers ";
+
+    Tensor mm_got({mm_n, mm_m});
+    sharded->MatMul(mm_a.data(), mm_b.data(), mm_got.data(), mm_n, mm_k,
+                    mm_m);
+    ExpectBitIdentical(mm_ref, mm_got, ctx + "matmul");
+
+    Tensor sp_got({sp.rows(), 24});
+    sharded->Spmm(sp, sp_x.data(), sp_got.data(), 24);
+    ExpectBitIdentical(sp_ref, sp_got, ctx + "spmm");
+
+    Tensor ga_got({static_cast<int64_t>(idx.size()), 24});
+    sharded->GatherRows(table.data(), 24, idx.data(),
+                        static_cast<int64_t>(idx.size()), ga_got.data());
+    ExpectBitIdentical(ga_ref, ga_got, ctx + "gather");
+
+    Tensor sc_got({90, 24});
+    sharded->ScatterAddRows(sc_got.data(), 90, 24, idx.data(),
+                            static_cast<int64_t>(idx.size()), src.data());
+    ExpectBitIdentical(sc_ref, sc_got, ctx + "scatter-add");
+
+    Tensor rd_got({2500, 1});
+    sharded->RowDot(rd_a.data(), rd_b.data(), rd_got.data(), 2500, 24);
+    ExpectBitIdentical(rd_ref, rd_got, ctx + "rowdot");
+
+    Tensor map_got(ew.shape()), zip_got(ew.shape());
+    sharded->EltwiseMap(ew.data(), map_got.data(), ew.numel(), relu, 0.0f);
+    sharded->EltwiseZip(ew.data(), ew2.data(), zip_got.data(), ew.numel(),
+                        mul, 0.0f);
+    ExpectBitIdentical(map_ref, map_got, ctx + "map");
+    ExpectBitIdentical(zip_ref, zip_got, ctx + "zip");
+
+    EXPECT_EQ(sum_ref, sharded->ReduceSum(ew.data(), ew.numel()))
+        << ctx << "reduce-sum";
+  }
+}
+
+TEST(ShardedBackendParityTest, SpmmPlanCacheSurvivesWorkerChanges) {
+  // Re-running the same matrix across worker counts must re-plan, not
+  // reuse a cached cut built for another pool size.
+  const KernelBackend* serial = FindBackend("serial");
+  const KernelBackend* sharded = FindBackend("sharded");
+  util::Rng rng(38);
+  CsrMatrix m = RandomCsr(300, 80, 0.15, &rng);
+  Tensor x = Tensor::RandomNormal({80, 32}, &rng);
+  Tensor ref({300, 32});
+  serial->Spmm(m, x.data(), ref.data(), 32);
+  for (int64_t workers : {int64_t{2}, int64_t{7}, int64_t{2}}) {
+    ScopedShardWorkers scoped(workers);
+    for (int round = 0; round < 2; ++round) {  // second hit uses the cache
+      Tensor got({300, 32});
+      sharded->Spmm(m, x.data(), got.data(), 32);
+      ExpectBitIdentical(ref, got, "plan-cache spmm @" +
+                                       std::to_string(workers) + " round " +
+                                       std::to_string(round));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tensor
+
+// ---------------------------------------------------- sharded retrieval ----
+
+namespace serve {
+namespace {
+
+using tensor::ScopedBackend;
+
+// Serving model big enough for several catalogue shards
+// (kShardMinItemsPerShard = 256), with duplicated item rows so exact ties
+// cross shard boundaries.
+std::shared_ptr<const core::ServingModel> TiedModel(int64_t num_users,
+                                                    int64_t num_items,
+                                                    int64_t width,
+                                                    uint64_t seed) {
+  core::ServingModel m;
+  m.num_users = num_users;
+  m.num_items = num_items;
+  util::Rng rng(seed);
+  m.embeddings = tensor::Tensor::RandomNormal({num_users + num_items, width},
+                                              &rng);
+  float* data = m.embeddings.data();
+  // Clone item 3's embedding across the catalogue, including into other
+  // shards, so the global top-k must break score ties by item id across
+  // shard merges.
+  for (int64_t clone : {int64_t{700}, int64_t{1400}, int64_t{2741}}) {
+    for (int64_t c = 0; c < width; ++c) {
+      data[(num_users + clone) * width + c] =
+          data[(num_users + 3) * width + c];
+    }
+  }
+  return std::make_shared<const core::ServingModel>(std::move(m));
+}
+
+std::vector<RecEntry> BruteForceTopN(const core::ServingModel& m,
+                                     int64_t user, int64_t k,
+                                     const SeenItems* seen = nullptr) {
+  std::vector<RecEntry> all;
+  for (int64_t item = 0; item < m.num_items; ++item) {
+    if (seen != nullptr && seen->Contains(user, item)) continue;
+    all.push_back({item, m.Score(user, item)});
+  }
+  std::sort(all.begin(), all.end(), BetterThan);
+  if (static_cast<int64_t>(all.size()) > k) {
+    all.resize(static_cast<size_t>(k));
+  }
+  return all;
+}
+
+void ExpectExactlyEqual(const std::vector<RecEntry>& got,
+                        const std::vector<RecEntry>& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item) << context << " position " << i;
+    EXPECT_EQ(got[i].score, want[i].score)
+        << context << " position " << i;  // bitwise
+  }
+}
+
+TEST(ShardedRetrieverTest, MatchesBruteForceIncludingTies) {
+  auto model = TiedModel(12, 3000, 8, 41);
+  TopNRetriever unsharded(model, nullptr, ItemShardMode::kOff);
+  TopNRetriever sharded(model, nullptr, ItemShardMode::kOn);
+  for (int64_t workers : {int64_t{1}, int64_t{2}, int64_t{7}}) {
+    ScopedShardWorkers scoped(workers);
+    for (int64_t user : {int64_t{0}, int64_t{5}, int64_t{11}}) {
+      for (int64_t k : {int64_t{1}, int64_t{10}, int64_t{300}}) {
+        std::string ctx = "user " + std::to_string(user) + " k=" +
+                          std::to_string(k) + " @" +
+                          std::to_string(workers) + " workers";
+        std::vector<RecEntry> want = BruteForceTopN(*model, user, k);
+        ExpectExactlyEqual(sharded.RetrieveTopN(user, k), want, ctx);
+        // The sharded merge must be bit-identical to the unsharded scan.
+        ExpectExactlyEqual(sharded.RetrieveTopN(user, k),
+                           unsharded.RetrieveTopN(user, k), ctx);
+      }
+    }
+  }
+}
+
+TEST(ShardedRetrieverTest, SeenFilteringUnderSharding) {
+  const int64_t num_users = 6, num_items = 2000;
+  auto model = TiedModel(num_users, num_items, 8, 42);
+  // Synthetic seen sets: user u has interacted with every item where
+  // item % (u + 2) == 0 under the target behavior.
+  data::Dataset d;
+  d.name = "shard-seen";
+  d.num_users = num_users;
+  d.num_items = num_items;
+  d.behavior_names = {"buy"};
+  d.target_behavior = 0;
+  for (int64_t u = 0; u < num_users; ++u) {
+    for (int64_t item = 0; item < num_items; item += u + 2) {
+      d.interactions.push_back({u, item, 0, item});
+    }
+  }
+  auto seen = std::make_shared<const SeenItems>(SeenItems::FromDataset(d));
+  TopNRetriever sharded(model, seen, ItemShardMode::kOn);
+  ScopedShardWorkers scoped(3);
+  for (int64_t u = 0; u < num_users; ++u) {
+    ExpectExactlyEqual(sharded.RetrieveTopN(u, 25),
+                       BruteForceTopN(*model, u, 25, seen.get()),
+                       "seen user " + std::to_string(u));
+  }
+}
+
+TEST(ShardedRetrieverTest, AutoModeFollowsActiveBackend) {
+  auto model = TiedModel(4, 1500, 8, 43);
+  TopNRetriever retriever(model);  // kAuto
+  ScopedShardWorkers scoped(3);
+  std::vector<RecEntry> serial_out, sharded_out;
+  {
+    ScopedBackend backend("serial");
+    serial_out = retriever.RetrieveTopN(2, 40);
+  }
+  {
+    ScopedBackend backend("sharded");
+    sharded_out = retriever.RetrieveTopN(2, 40);
+  }
+  ExpectExactlyEqual(sharded_out, serial_out, "auto-mode parity");
+  ExpectExactlyEqual(serial_out, BruteForceTopN(*model, 2, 40),
+                     "serial vs brute force");
+}
+
+TEST(ShardedRetrieverTest, BatchMatchesPerUserUnderSharding) {
+  auto model = TiedModel(40, 2000, 8, 44);
+  TopNRetriever sharded(model, nullptr, ItemShardMode::kOn);
+  TopNRetriever unsharded(model, nullptr, ItemShardMode::kOff);
+  ScopedShardWorkers scoped(4);
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 40; ++u) users.push_back((u * 17) % 40);
+  auto got = sharded.RetrieveBatch(users, 15);
+  auto want = unsharded.RetrieveBatch(users, 15);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ExpectExactlyEqual(got[i], want[i], "batch slot " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace serve
+
+// ------------------------------------------------- trainer shard timings ----
+
+namespace core {
+namespace {
+
+TEST(TrainerShardStatsTest, EpochReportsPerShardTimingsUnderShardedBackend) {
+  tensor::ScopedBackend backend("sharded");
+  tensor::SetShardWorkers(2);
+  data::Dataset full = data::GenerateSynthetic(data::MovieLensLike(0.4));
+  data::TrainTestSplit split = data::LeaveLatestOut(full);
+  GnmrConfig cfg;
+  cfg.use_pretrain = false;
+  cfg.num_layers = 1;
+  cfg.epochs = 1;
+  GnmrTrainer trainer(cfg, split.train);
+  TrainStats stats = trainer.TrainEpoch();
+  EXPECT_GT(stats.shard.dispatches, 0u)
+      << "no kernel fanned out to the shard pool";
+  EXPECT_GT(stats.shard.tasks, 0u);
+  EXPECT_EQ(stats.shard.workers, 2);
+  ASSERT_EQ(stats.shard.busy_seconds.size(), 2u);
+  EXPECT_GT(stats.shard.TotalBusySeconds(), 0.0);
+  EXPECT_GE(stats.shard.MaxBusySeconds(), 0.0);
+}
+
+TEST(TrainerShardStatsTest, LossCurveBitIdenticalToSerialBackend) {
+  // Whole-training parity: the sharded backend must reproduce the serial
+  // loss trajectory exactly (it reuses the serial kernel bodies per shard
+  // and the fixed-chunk ReduceSum association).
+  auto run_losses = [](const std::string& backend_name) {
+    tensor::ScopedBackend backend(backend_name);
+    data::Dataset full = data::GenerateSynthetic(data::MovieLensLike(0.3));
+    data::TrainTestSplit split = data::LeaveLatestOut(full);
+    GnmrConfig cfg;
+    cfg.use_pretrain = false;
+    cfg.num_layers = 1;
+    cfg.epochs = 2;
+    GnmrTrainer trainer(cfg, split.train);
+    std::vector<double> losses;
+    for (int64_t e = 0; e < cfg.epochs; ++e) {
+      losses.push_back(trainer.TrainEpoch().mean_loss);
+    }
+    return losses;
+  };
+  tensor::SetShardWorkers(3);
+  std::vector<double> serial = run_losses("serial");
+  std::vector<double> sharded = run_losses("sharded");
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial[e], sharded[e]) << "epoch " << e;  // bitwise
+  }
+}
+
+TEST(TrainerShardStatsTest, OtherBackendsReportZeroShardActivity) {
+  tensor::ScopedBackend backend("serial");
+  data::Dataset full = data::GenerateSynthetic(data::MovieLensLike(0.3));
+  data::TrainTestSplit split = data::LeaveLatestOut(full);
+  GnmrConfig cfg;
+  cfg.use_pretrain = false;
+  cfg.num_layers = 1;
+  cfg.epochs = 1;
+  GnmrTrainer trainer(cfg, split.train);
+  EpochStats stats = trainer.TrainEpoch();
+  EXPECT_EQ(stats.shard.dispatches, 0u);
+  EXPECT_EQ(stats.shard.tasks, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gnmr

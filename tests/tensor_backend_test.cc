@@ -27,7 +27,9 @@ namespace tensor {
 namespace {
 
 // Backends under test, always compared against the serial reference.
-const char* const kVariants[] = {"omp", "blocked"};
+// ("sharded" runs here with the pool's default worker count; shard_test
+// additionally sweeps explicit 1/2/7-worker pools.)
+const char* const kVariants[] = {"omp", "blocked", "sharded"};
 
 void ExpectBitIdentical(const Tensor& ref, const Tensor& got,
                         const std::string& context) {
@@ -65,9 +67,9 @@ CsrMatrix RandomCsr(int64_t rows, int64_t cols, double density,
 
 // ------------------------------------------------------------------ registry --
 
-TEST(BackendRegistryTest, AllThreeBackendsRegistered) {
-  EXPECT_EQ(AllBackends().size(), 3u);
-  for (const char* name : {"serial", "omp", "blocked"}) {
+TEST(BackendRegistryTest, AllFourBackendsRegistered) {
+  EXPECT_EQ(AllBackends().size(), 4u);
+  for (const char* name : {"serial", "omp", "blocked", "sharded"}) {
     const KernelBackend* b = FindBackend(name);
     ASSERT_NE(b, nullptr) << name;
     EXPECT_STREQ(b->name(), name);
