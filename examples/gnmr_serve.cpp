@@ -14,7 +14,8 @@
 // selects the kernel backend (same choices as the GNMR_BACKEND env var;
 // see src/tensor/backend.h). --shard_workers= sizes the shard pool used
 // by --backend=sharded and the item-sharded retriever (same as the
-// GNMR_SHARD_WORKERS env var).
+// GNMR_SHARD_WORKERS env var); 0 auto-sizes to one worker per hardware
+// thread.
 #include <algorithm>
 #include <cstdio>
 #include <memory>

@@ -30,7 +30,9 @@ constexpr uint64_t kBatchStreamSalt = 0x51ed270b9f8f2a4bULL;
 /// Pool activity between two snapshots, as per-worker busy seconds. The
 /// counters are process-global, so concurrent pool users (e.g. a serving
 /// thread) are attributed too — epoch stats are diagnostics, not an exact
-/// ledger. A worker-count change mid-epoch truncates to the common prefix.
+/// ledger. A worker-count change mid-epoch means the pool was rebuilt and
+/// its counters restarted from zero: the delta then reports the NEW
+/// pool's full activity, one entry per new-pool worker.
 ShardEpochStats ShardDelta(const tensor::ShardPoolStats& before,
                            const tensor::ShardPoolStats& after) {
   // Saturating deltas: if the pool was rebuilt (SetShardWorkers) between

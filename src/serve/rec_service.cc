@@ -19,8 +19,27 @@ struct RecService::Flight {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  /// Set when the leader unwound before publishing: `result` is a
+  /// meaningless placeholder and waiters must retrieve for themselves.
+  bool abandoned = false;
   std::vector<RecEntry> result;
 };
+
+namespace {
+
+// RecCache and the flight registry pack (user, k) into one 64-bit key
+// with user in the high 32 bits; ids outside that range would silently
+// collide and coalesce DIFFERENT users onto one flight (serving one
+// user's list to another), so reject them loudly at the entry points.
+void CheckKeyRanges(int64_t user, int64_t k) {
+  GNMR_CHECK_GE(user, 0);
+  GNMR_CHECK_LT(user, int64_t{1} << 32)
+      << "user id does not fit the 32-bit (user, k) key packing";
+  GNMR_CHECK_LT(k, int64_t{1} << 32)
+      << "k does not fit the 32-bit (user, k) key packing";
+}
+
+}  // namespace
 
 RecService::RecService(std::shared_ptr<const core::ServingModel> model,
                        std::shared_ptr<const SeenItems> seen,
@@ -42,22 +61,22 @@ RecService::Snapshot() const {
   return {retriever_, cache_.version()};
 }
 
-std::shared_ptr<RecService::Flight> RecService::JoinOrLead(uint64_t key) {
+RecService::FlightSlot RecService::JoinOrLead(uint64_t key) {
   std::lock_guard<std::mutex> lock(flights_mu_);
   std::shared_ptr<Flight>& slot = flights_[key];
-  if (slot != nullptr) return slot;  // join: wait on the leader's result
+  if (slot != nullptr) return {slot, /*leader=*/false};  // join: wait
   slot = std::make_shared<Flight>();
-  return nullptr;  // lead: compute and publish
+  return {slot, /*leader=*/true};  // lead: compute and publish
 }
 
 void RecService::PublishFlight(uint64_t key,
+                               const std::shared_ptr<Flight>& flight,
                                const std::vector<RecEntry>& result) {
-  std::shared_ptr<Flight> flight;
   {
     std::lock_guard<std::mutex> lock(flights_mu_);
     auto it = flights_.find(key);
-    GNMR_CHECK(it != flights_.end()) << "publishing a flight nobody leads";
-    flight = std::move(it->second);
+    GNMR_CHECK(it != flights_.end() && it->second == flight)
+        << "publishing a flight this thread does not lead";
     // Unregister before waking waiters: a request arriving after this
     // point starts fresh (and will usually hit the cache anyway).
     flights_.erase(it);
@@ -70,20 +89,69 @@ void RecService::PublishFlight(uint64_t key,
   flight->cv.notify_all();
 }
 
-void RecService::AbandonFlight(uint64_t key) {
-  std::shared_ptr<Flight> flight;
+void RecService::AbandonFlight(uint64_t key,
+                               const std::shared_ptr<Flight>& flight) {
   {
     std::lock_guard<std::mutex> lock(flights_mu_);
     auto it = flights_.find(key);
-    if (it == flights_.end()) return;  // already published normally
-    flight = std::move(it->second);
-    flights_.erase(it);
+    // Identity compare, not just key: once this flight was published and
+    // erased, `key` may map to a NEW live flight led by another thread —
+    // tearing that one down would feed its waiters a bogus empty result
+    // and make its leader's PublishFlight abort. Only the erase is gated,
+    // though: the wake-up below must still run for a flight PublishFlight
+    // erased but failed to mark done (e.g. the result copy threw).
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
   }
   {
     std::lock_guard<std::mutex> lock(flight->mu);
-    flight->done = true;  // result stays empty
+    if (flight->done) return;  // published: stale lease, nothing to wake
+    flight->abandoned = true;
+    flight->done = true;  // result stays the empty placeholder
   }
   flight->cv.notify_all();
+}
+
+std::vector<RecEntry> RecService::RetrieveCoalesced(int64_t user, int64_t k) {
+  const uint64_t key = FlightKey(user, k);
+  std::vector<RecEntry> out;
+  for (;;) {
+    // Re-checked every round: a racing leader (including another waiter
+    // promoted after an abandon) publishes to the cache before waking
+    // anyone, so a hit here is always fresher than re-scanning.
+    if (cache_.Get(user, k, &out)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+    // Leader unwind protection (e.g. allocation failure mid-retrieval):
+    // the lease abandons the flight so waiters don't hang on a dead key.
+    // Constructed + reserved before JoinOrLead so the flight is under
+    // lease cover from the instant it becomes visible in the registry.
+    FlightLease lease(this);
+    lease.Reserve(1);
+    FlightSlot slot = JoinOrLead(key);
+    if (slot.leader) {
+      lease.Add(key, slot.flight);
+      // Snapshot pins the model: a concurrent swap cannot free it from
+      // under this retrieval, and the version captured here matches the
+      // snapshot, so the Put below can never surface a pre-swap list
+      // post-swap.
+      auto [retriever, version] = Snapshot();
+      out = retriever->RetrieveTopN(user, k);
+      cache_.Put(user, k, version, out);
+      PublishFlight(key, slot.flight, out);
+      return out;
+    }
+    // Another thread is already retrieving this exact list; wait for its
+    // result instead of burning a full catalogue scan on the same key.
+    std::unique_lock<std::mutex> lock(slot.flight->mu);
+    slot.flight->cv.wait(lock, [&slot] { return slot.flight->done; });
+    if (!slot.flight->abandoned) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return slot.flight->result;
+    }
+    // The leader unwound before publishing; its empty placeholder is not
+    // a real recommendation list — go around again (cache, join, or lead).
+  }
 }
 
 std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k) {
@@ -93,30 +161,9 @@ std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k) {
   // under many keys.
   GNMR_CHECK_GE(k, 1);
   k = std::min(k, num_items_.load(std::memory_order_relaxed));
+  CheckKeyRanges(user, k);
   requests_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<RecEntry> out;
-  if (cache_.Get(user, k, &out)) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else if (std::shared_ptr<Flight> flight = JoinOrLead(FlightKey(user, k))) {
-    // Another thread is already retrieving this exact list; wait for its
-    // result instead of burning a full catalogue scan on the same key.
-    coalesced_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&flight] { return flight->done; });
-    out = flight->result;
-  } else {
-    // Leader: if retrieval unwinds (e.g. allocation failure), the lease
-    // abandons the flight so waiters don't hang on a dead key.
-    FlightLease lease(this);
-    lease.Add(FlightKey(user, k));
-    // Snapshot pins the model: a concurrent swap cannot free it from under
-    // this retrieval, and the version captured here matches the snapshot,
-    // so the Put below can never surface a pre-swap list post-swap.
-    auto [retriever, version] = Snapshot();
-    out = retriever->RetrieveTopN(user, k);
-    cache_.Put(user, k, version, out);
-    PublishFlight(FlightKey(user, k), out);
-  }
+  std::vector<RecEntry> out = RetrieveCoalesced(user, k);
   latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
                         std::memory_order_relaxed);
   return out;
@@ -127,6 +174,7 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
   util::Stopwatch timer;
   GNMR_CHECK_GE(k, 1);
   k = std::min(k, num_items_.load(std::memory_order_relaxed));
+  for (int64_t user : users) CheckKeyRanges(user, k);
   const int64_t n = static_cast<int64_t>(users.size());
   requests_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
   std::vector<std::vector<RecEntry>> out(static_cast<size_t>(n));
@@ -148,20 +196,27 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
     // lead publishes before any join waits.
     std::vector<int64_t> lead_users;
     std::vector<int64_t> lead_slots;
+    std::vector<std::shared_ptr<Flight>> lead_flights;
     struct Join {
       int64_t slot;
+      int64_t user;
       std::shared_ptr<Flight> flight;
     };
     std::vector<Join> joins;
     FlightLease lease(this);
+    // Reserved for every miss up front so Add below cannot throw between
+    // JoinOrLead registering a flight and the lease covering it.
+    lease.Reserve(miss_users.size());
     for (size_t m = 0; m < miss_users.size(); ++m) {
       uint64_t key = FlightKey(miss_users[m], k);
-      if (std::shared_ptr<Flight> flight = JoinOrLead(key)) {
-        joins.push_back({miss_slots[m], std::move(flight)});
+      FlightSlot fs = JoinOrLead(key);
+      if (!fs.leader) {
+        joins.push_back({miss_slots[m], miss_users[m], std::move(fs.flight)});
       } else {
-        lease.Add(key);
+        lease.Add(key, fs.flight);
         lead_users.push_back(miss_users[m]);
         lead_slots.push_back(miss_slots[m]);
+        lead_flights.push_back(std::move(fs.flight));
       }
     }
     if (!lead_users.empty()) {
@@ -170,16 +225,25 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
           retriever->RetrieveBatch(lead_users, k);
       for (size_t m = 0; m < lead_users.size(); ++m) {
         cache_.Put(lead_users[m], k, version, fetched[m]);
-        PublishFlight(FlightKey(lead_users[m], k), fetched[m]);
+        PublishFlight(FlightKey(lead_users[m], k), lead_flights[m],
+                      fetched[m]);
         out[static_cast<size_t>(lead_slots[m])] = std::move(fetched[m]);
       }
     }
     for (Join& join : joins) {
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> lock(join.flight->mu);
       join.flight->cv.wait(lock,
                            [&join] { return join.flight->done; });
-      out[static_cast<size_t>(join.slot)] = join.flight->result;
+      if (join.flight->abandoned) {
+        // Leader unwound before publishing: run this user back through
+        // the coalescing miss path rather than returning its empty
+        // placeholder as a real list.
+        lock.unlock();
+        out[static_cast<size_t>(join.slot)] = RetrieveCoalesced(join.user, k);
+      } else {
+        out[static_cast<size_t>(join.slot)] = join.flight->result;
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),

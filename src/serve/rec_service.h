@@ -69,11 +69,16 @@ class RecService {
   /// Exact top-k for `user` (best first, seen items excluded), served from
   /// cache when fresh. Concurrent misses for the same (user, k) coalesce:
   /// one thread retrieves while the rest wait on its in-flight result, so
-  /// a thundering herd costs one retrieval instead of N. Thread-safe.
+  /// a thundering herd costs one retrieval instead of N; if the leader
+  /// unwinds before publishing, waiters re-run the miss path (one is
+  /// promoted to leader, the rest coalesce onto it) instead of surfacing
+  /// its empty placeholder. `user` must fit in 32 bits (the cache/flight
+  /// key packing — checked). Thread-safe.
   std::vector<RecEntry> Recommend(int64_t user, int64_t k);
 
   /// Batched Recommend: cache lookups first, then one blocked (OpenMP)
-  /// retrieval pass over the misses. Output order matches `users`.
+  /// retrieval pass over the misses. Output order matches `users`; the
+  /// same 32-bit user-id constraint as Recommend applies.
   std::vector<std::vector<RecEntry>> RecommendBatch(
       const std::vector<int64_t>& users, int64_t k);
 
@@ -102,9 +107,20 @@ class RecService {
   void InvalidateCache() { cache_.Invalidate(); }
 
  private:
+  /// White-box access for tests/serve_test.cc (flight registry races are
+  /// not reachable deterministically through the public API).
+  friend class RecServiceTestPeer;
+
   /// One in-flight retrieval for a (user, k) key; later misses for the
   /// same key block on it instead of recomputing (see rec_service.cc).
   struct Flight;
+
+  /// JoinOrLead result: the flight registered under the key, plus whether
+  /// this thread created it (and so must publish or abandon it).
+  struct FlightSlot {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+  };
 
   /// Reads (retriever, cache version) as one consistent pair.
   std::pair<std::shared_ptr<const TopNRetriever>, uint64_t> Snapshot() const;
@@ -113,41 +129,67 @@ class RecService {
   void InstallLocked(std::shared_ptr<const core::ServingModel> next,
                      std::shared_ptr<const SeenItems> seen);
 
-  /// Joins the in-flight retrieval for `key` if one exists (returns the
-  /// flight to wait on), else registers this thread as its leader and
-  /// returns nullptr.
-  std::shared_ptr<Flight> JoinOrLead(uint64_t key);
+  /// Joins the in-flight retrieval for `key` if one exists, else registers
+  /// a fresh flight with this thread as its leader (who must then publish
+  /// or abandon that exact flight).
+  FlightSlot JoinOrLead(uint64_t key);
 
-  /// Publishes a leader's result and wakes the waiters; unregisters `key`.
-  void PublishFlight(uint64_t key, const std::vector<RecEntry>& result);
+  /// The shared request path: serve (user, k) from the cache, by
+  /// coalescing onto another thread's in-flight retrieval, or by leading
+  /// one; accounts the cache_hits_/coalesced_ stats for whichever way it
+  /// went. Loops back to the cache check when a joined leader unwinds
+  /// before publishing, so coalescing survives an abandon (one waiter
+  /// re-elects itself leader, the rest join that new flight).
+  std::vector<RecEntry> RetrieveCoalesced(int64_t user, int64_t k);
 
-  /// Unwind path for a leader that dies before publishing: if `key` is
-  /// still registered, publishes an empty result so waiters unblock
-  /// (they degrade to an empty list; the next miss recomputes). No-op
-  /// when the flight was already published.
-  void AbandonFlight(uint64_t key);
+  /// Publishes the leader's result and wakes the waiters; unregisters
+  /// `key`. `flight` must be the one this thread leads under `key`.
+  void PublishFlight(uint64_t key, const std::shared_ptr<Flight>& flight,
+                     const std::vector<RecEntry>& result);
 
-  /// Scope guard leading one or more flights: keys are abandoned on
-  /// destruction unless the normal PublishFlight ran first (which
-  /// unregisters them, making the abandon a no-op).
+  /// Unwind path for a leader that dies before publishing: unregisters
+  /// `key` and marks `flight` abandoned so waiters unblock and re-run the
+  /// miss path. The registry erase is identity-compared — a stale lease
+  /// must not tear down a NEW flight another thread registered under the
+  /// same key after this one was published (ABA across a publish +
+  /// re-lead) — but a not-yet-done flight is always released, covering a
+  /// PublishFlight that unwound between its erase and setting done.
+  void AbandonFlight(uint64_t key, const std::shared_ptr<Flight>& flight);
+
+  /// Scope guard leading one or more flights: each (key, flight) pair is
+  /// abandoned on destruction unless the normal PublishFlight ran first
+  /// (which unregisters it, making the abandon an identity-checked no-op).
   class FlightLease {
    public:
     explicit FlightLease(RecService* service) : service_(service) {}
     ~FlightLease() {
-      for (uint64_t key : keys_) service_->AbandonFlight(key);
+      for (const Led& led : led_) service_->AbandonFlight(led.key, led.flight);
     }
     FlightLease(const FlightLease&) = delete;
     FlightLease& operator=(const FlightLease&) = delete;
-    void Add(uint64_t key) { keys_.push_back(key); }
+    /// Call with the lead count upper bound BEFORE JoinOrLead registers
+    /// anything: with capacity in hand Add cannot throw, so a freshly
+    /// registered flight can never miss its lease entry (which would
+    /// leave it in the registry forever, hanging all future joiners).
+    void Reserve(size_t n) { led_.reserve(n); }
+    void Add(uint64_t key, std::shared_ptr<Flight> flight) {
+      led_.push_back({key, std::move(flight)});
+    }
 
    private:
+    struct Led {
+      uint64_t key;
+      std::shared_ptr<Flight> flight;
+    };
     RecService* service_;
-    std::vector<uint64_t> keys_;
+    std::vector<Led> led_;
   };
 
   static uint64_t FlightKey(int64_t user, int64_t k) {
-    // Same packing as RecCache: user in the high bits, catalogue-bounded k
-    // below — collision-free for valid requests.
+    // Same packing as RecCache: user in the high 32 bits, k below. The
+    // 32-bit ranges are enforced at the public entry points (see
+    // CheckKeyRanges in rec_service.cc), so distinct (user, k) pairs
+    // never share a key.
     return (static_cast<uint64_t>(user) << 32) ^ static_cast<uint64_t>(k);
   }
 

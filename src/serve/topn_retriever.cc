@@ -133,46 +133,77 @@ void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
   }
 }
 
-std::vector<RecEntry> TopNRetriever::RetrieveTopN(int64_t user,
-                                                  int64_t k) const {
-  GNMR_CHECK_GE(k, 1);
-  const int64_t num_items = model_->num_items;
-  k = std::min(k, num_items);
+namespace {
 
-  tensor::ShardPlan plan;
-  if (UseItemSharding()) {
-    plan = tensor::ShardPlan::Uniform(num_items, tensor::ShardWorkers(),
-                                      tensor::kShardMinItemsPerShard);
-  }
-  if (plan.num_shards() <= 1) {
-    std::vector<RecEntry> out;
-    RetrieveBlock(&user, 1, k, 0, num_items, &out);
-    return out;
-  }
-
-  // Item-sharded scan: each worker scans its own catalogue range with a
-  // bounded heap. The global top-k is a subset of the union of per-shard
-  // top-k's, and BetterThan is a total order (ties broken by item id), so
-  // sorting the merged candidates reproduces the unsharded output exactly.
-  const int64_t num_shards = plan.num_shards();
-  std::vector<std::vector<RecEntry>> candidates(
-      static_cast<size_t>(num_shards));
-  tensor::ShardPool::Global().Run(num_shards, [&](int64_t s) {
-    const tensor::ShardRange& r = plan.shard(s);
-    RetrieveBlock(&user, 1, k, r.begin, r.end,
-                  &candidates[static_cast<size_t>(s)]);
-  });
-
+// Merges per-shard bounded-heap winners into the global top-k. The global
+// top-k is a subset of the union of per-shard top-k's, and BetterThan is a
+// total order (ties broken by item id), so sorting the concatenation
+// reproduces the unsharded scan exactly.
+std::vector<RecEntry> MergeShardTopK(std::vector<std::vector<RecEntry>>* parts,
+                                     int64_t k) {
+  size_t total = 0;
+  for (const std::vector<RecEntry>& part : *parts) total += part.size();
   std::vector<RecEntry> merged;
-  merged.reserve(static_cast<size_t>(num_shards * k));
-  for (const std::vector<RecEntry>& c : candidates) {
-    merged.insert(merged.end(), c.begin(), c.end());
+  merged.reserve(total);
+  for (std::vector<RecEntry>& part : *parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
   }
   std::sort(merged.begin(), merged.end(), BetterThan);
   if (static_cast<int64_t>(merged.size()) > k) {
     merged.resize(static_cast<size_t>(k));
   }
   return merged;
+}
+
+}  // namespace
+
+void TopNRetriever::RetrieveBlockItemSharded(
+    const int64_t* users, int64_t count, int64_t k,
+    std::vector<RecEntry>* outs) const {
+  const int64_t num_items = model_->num_items;
+  // One Global() snapshot serves both sizing and dispatch, and pins the
+  // pool against a concurrent SetShardWorkers swap.
+  std::shared_ptr<tensor::ShardPool> pool = tensor::ShardPool::Global();
+  tensor::ShardPlan plan = tensor::ShardPlan::Uniform(
+      num_items, pool->workers(), tensor::kShardMinItemsPerShard);
+  const int64_t num_shards = plan.num_shards();
+  if (num_shards <= 1) {
+    RetrieveBlock(users, count, k, 0, num_items, outs);
+    return;
+  }
+  // Each worker scans its own catalogue range for the whole user block
+  // with bounded heaps (candidates[s][u]), then the per-shard winners
+  // merge per user.
+  std::vector<std::vector<std::vector<RecEntry>>> candidates(
+      static_cast<size_t>(num_shards),
+      std::vector<std::vector<RecEntry>>(static_cast<size_t>(count)));
+  pool->Run(num_shards, [&](int64_t s) {
+    const tensor::ShardRange& r = plan.shard(s);
+    RetrieveBlock(users, count, k, r.begin, r.end,
+                  candidates[static_cast<size_t>(s)].data());
+  });
+  std::vector<std::vector<RecEntry>> parts(static_cast<size_t>(num_shards));
+  for (int64_t u = 0; u < count; ++u) {
+    for (int64_t s = 0; s < num_shards; ++s) {
+      parts[static_cast<size_t>(s)] = std::move(
+          candidates[static_cast<size_t>(s)][static_cast<size_t>(u)]);
+    }
+    outs[u] = MergeShardTopK(&parts, k);
+  }
+}
+
+std::vector<RecEntry> TopNRetriever::RetrieveTopN(int64_t user,
+                                                  int64_t k) const {
+  GNMR_CHECK_GE(k, 1);
+  const int64_t num_items = model_->num_items;
+  k = std::min(k, num_items);
+  std::vector<RecEntry> out;
+  if (UseItemSharding()) {
+    RetrieveBlockItemSharded(&user, 1, k, &out);
+  } else {
+    RetrieveBlock(&user, 1, k, 0, num_items, &out);
+  }
+  return out;
 }
 
 std::vector<std::vector<RecEntry>> TopNRetriever::RetrieveBatch(
@@ -188,19 +219,18 @@ std::vector<std::vector<RecEntry>> TopNRetriever::RetrieveBatch(
   if (UseItemSharding()) {
     if (num_blocks == 1) {
       // Too few users to fan blocks out (the common shape of a warm
-      // RecService miss list): shard each user's item range instead, so
-      // a small batch is as parallel as the equivalent single requests.
-      for (int64_t i = 0; i < n; ++i) {
-        outs[static_cast<size_t>(i)] =
-            RetrieveTopN(users[static_cast<size_t>(i)], k);
-      }
+      // RecService miss list): shard the ITEM range once for the whole
+      // block instead, so each item tile is streamed a single time for
+      // all n users and the pool is dispatched once — not a full
+      // catalogue pass per user.
+      RetrieveBlockItemSharded(users.data(), n, k, outs.data());
       return outs;
     }
     // Sharded execution: fan whole user blocks over the shard pool — with
     // many users in flight, outer parallelism keeps every worker on its
     // own block instead of splitting each block's item range. On a pool
     // worker (nested dispatch) this degrades to the inline loop.
-    tensor::ShardPool::Global().Run(num_blocks, [&](int64_t b) {
+    tensor::ShardPool::Global()->Run(num_blocks, [&](int64_t b) {
       const int64_t start = b * kUserBlock;
       const int64_t count = std::min(kUserBlock, n - start);
       RetrieveBlock(users.data() + start, count, k, 0, num_items,

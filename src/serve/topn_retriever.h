@@ -111,6 +111,15 @@ class TopNRetriever {
                      int64_t item_begin, int64_t item_end,
                      std::vector<RecEntry>* outs) const;
 
+  /// Item-sharded RetrieveBlock over the full catalogue: partitions
+  /// [0, num_items) across the shard pool, scans every shard range for
+  /// all `count` users at once (each item tile streamed a single time for
+  /// the block), and merges the per-shard winners per user — bit-identical
+  /// to the unsharded scan, which single-shard plans fall back to. Serves
+  /// both single-user retrieval (count == 1) and single-block batches.
+  void RetrieveBlockItemSharded(const int64_t* users, int64_t count,
+                                int64_t k, std::vector<RecEntry>* outs) const;
+
   /// True when this call should split the catalogue across the shard pool.
   bool UseItemSharding() const;
 

@@ -344,9 +344,7 @@ class ShardedBackend : public KernelBackend {
       }
       return;
     }
-    ShardPlan plan =
-        ShardPlan::Uniform(n, ShardWorkers(), kShardMinRowsPerShard);
-    RunPlan(plan, [=](const ShardRange& r) {
+    RunUniform(n, kShardMinRowsPerShard, [=](const ShardRange& r) {
       for (int64_t i = r.begin; i < r.end; ++i) {
         MatMulRow(a + i * k, b, out + i * m, k, m);
       }
@@ -360,8 +358,9 @@ class ShardedBackend : public KernelBackend {
       for (int64_t i = 0; i < n; ++i) SpmmRow(a, x, out + i * d, i, d);
       return;
     }
-    ShardPlan plan = PlanForSpmm(a);
-    RunPlan(plan, [&a, x, out, d](const ShardRange& r) {
+    std::shared_ptr<ShardPool> pool = ShardPool::Global();
+    ShardPlan plan = PlanForSpmm(a, pool->workers());
+    RunPlan(*pool, plan, [&a, x, out, d](const ShardRange& r) {
       // Each worker walks a zero-copy row-range view of its shard; the
       // per-row entry order matches the serial loop exactly.
       CsrRowRange view = a.RowRangeView(r.begin, r.end);
@@ -375,9 +374,7 @@ class ShardedBackend : public KernelBackend {
       kernels::GatherRowRange(a, m, idx, out, 0, count);
       return;
     }
-    ShardPlan plan =
-        ShardPlan::Uniform(count, ShardWorkers(), kShardMinRowsPerShard);
-    RunPlan(plan, [=](const ShardRange& r) {
+    RunUniform(count, kShardMinRowsPerShard, [=](const ShardRange& r) {
       kernels::GatherRowRange(a, m, idx, out, r.begin, r.end);
     });
   }
@@ -392,9 +389,7 @@ class ShardedBackend : public KernelBackend {
       ScatterAddRowRange(target, m, idx, count, src, 0, rows);
       return;
     }
-    ShardPlan plan =
-        ShardPlan::Uniform(rows, ShardWorkers(), kShardMinRowsPerShard);
-    RunPlan(plan, [=](const ShardRange& r) {
+    RunUniform(rows, kShardMinRowsPerShard, [=](const ShardRange& r) {
       ScatterAddRowRange(target, m, idx, count, src, r.begin, r.end);
     });
   }
@@ -407,9 +402,7 @@ class ShardedBackend : public KernelBackend {
       }
       return;
     }
-    ShardPlan plan =
-        ShardPlan::Uniform(n, ShardWorkers(), kShardMinRowsPerShard);
-    RunPlan(plan, [=](const ShardRange& r) {
+    RunUniform(n, kShardMinRowsPerShard, [=](const ShardRange& r) {
       for (int64_t i = r.begin; i < r.end; ++i) {
         out[i] = static_cast<float>(RowDotOne(a + i * m, b + i * m, m));
       }
@@ -422,9 +415,7 @@ class ShardedBackend : public KernelBackend {
       f(in, out, n, p);
       return;
     }
-    ShardPlan plan =
-        ShardPlan::Uniform(n, ShardWorkers(), kShardMinElemsPerShard);
-    RunPlan(plan, [=](const ShardRange& r) {
+    RunUniform(n, kShardMinElemsPerShard, [=](const ShardRange& r) {
       f(in + r.begin, out + r.begin, r.end - r.begin, p);
     });
   }
@@ -435,9 +426,7 @@ class ShardedBackend : public KernelBackend {
       f(a, b, out, n, p);
       return;
     }
-    ShardPlan plan =
-        ShardPlan::Uniform(n, ShardWorkers(), kShardMinElemsPerShard);
-    RunPlan(plan, [=](const ShardRange& r) {
+    RunUniform(n, kShardMinElemsPerShard, [=](const ShardRange& r) {
       f(a + r.begin, b + r.begin, out + r.begin, r.end - r.begin, p);
     });
   }
@@ -449,9 +438,8 @@ class ShardedBackend : public KernelBackend {
     // combined serially in chunk order — the association is set by
     // kReduceSumChunk alone, so sums match every other backend exactly.
     std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
-    ShardPlan plan = ShardPlan::Uniform(num_chunks, ShardWorkers(), 1);
     double* partials = partial.data();
-    RunPlan(plan, [=](const ShardRange& r) {
+    RunUniform(num_chunks, 1, [=](const ShardRange& r) {
       for (int64_t c = r.begin; c < r.end; ++c) {
         int64_t begin = c * kReduceSumChunk;
         partials[c] = ChunkSum(in, begin, std::min(n, begin + kReduceSumChunk));
@@ -463,10 +451,10 @@ class ShardedBackend : public KernelBackend {
   }
 
  private:
-  /// Dispatches one task per shard to the pool; single-shard plans run
+  /// Dispatches one task per shard to `pool`; single-shard plans run
   /// inline (no dispatch latency for small inputs).
   template <typename Fn>
-  void RunPlan(const ShardPlan& plan, const Fn& fn) const {
+  void RunPlan(ShardPool& pool, const ShardPlan& plan, const Fn& fn) const {
     if (plan.num_shards() <= 1) {
       for (const ShardRange& r : plan.ranges()) fn(r);
       return;
@@ -474,7 +462,18 @@ class ShardedBackend : public KernelBackend {
     std::function<void(int64_t)> task = [&plan, &fn](int64_t s) {
       fn(plan.shard(s));
     };
-    ShardPool::Global().Run(plan.num_shards(), task);
+    pool.Run(plan.num_shards(), task);
+  }
+
+  /// Uniform row plan sized and dispatched on ONE Global() snapshot, so a
+  /// concurrent SetShardWorkers can neither mismatch plan and pool nor
+  /// tear the pool down mid-dispatch (and the global slot lock is taken
+  /// once per op, not twice).
+  template <typename Fn>
+  void RunUniform(int64_t n, int64_t min_per_shard, const Fn& fn) const {
+    std::shared_ptr<ShardPool> pool = ShardPool::Global();
+    ShardPlan plan = ShardPlan::Uniform(n, pool->workers(), min_per_shard);
+    RunPlan(*pool, plan, fn);
   }
 
   /// Cached per-matrix SpMM plan: propagation re-runs the same per-behavior
@@ -484,9 +483,8 @@ class ShardedBackend : public KernelBackend {
   /// matrix is freed and another allocated in its place is detected by the
   /// rows/nnz/workers fingerprint — and even an undetected collision would
   /// still be a valid (merely unbalanced) partition of [0, rows).
-  ShardPlan PlanForSpmm(const CsrMatrix& a) const {
+  ShardPlan PlanForSpmm(const CsrMatrix& a, int64_t workers) const {
     const int64_t* key = a.row_ptr().data();
-    const int64_t workers = ShardWorkers();
     {
       std::lock_guard<std::mutex> lock(plan_mu_);
       auto it = plan_cache_.find(key);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 
 #include "src/tensor/kernel_tunables.h"
 #include "src/util/check.h"
@@ -30,9 +31,11 @@ int64_t ResolvedDefaultWorkers() {
   return hw == 0 ? 1 : static_cast<int64_t>(hw);
 }
 
+/// Serializes pool creation and replacement only; readers go through the
+/// atomic shared_ptr accessors below.
 std::mutex g_pool_mu;
-std::unique_ptr<ShardPool>& GlobalSlot() {
-  static std::unique_ptr<ShardPool> pool;
+std::shared_ptr<ShardPool>& GlobalSlot() {
+  static std::shared_ptr<ShardPool> pool;
   return pool;
 }
 
@@ -44,6 +47,9 @@ struct ShardPool::Completion {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  /// First exception a task threw (later ones are dropped); rethrown on
+  /// the dispatching thread after every task has finished.
+  std::exception_ptr error;
 };
 
 ShardPool::ShardPool(int64_t workers) {
@@ -84,7 +90,18 @@ void ShardPool::WorkerLoop(Worker* w) {
       w->queue.pop_front();
     }
     auto start = std::chrono::steady_clock::now();
-    (*task.fn)(task.index);
+    try {
+      (*task.fn)(task.index);
+    } catch (...) {
+      // A throwing task (e.g. bad_alloc) must not escape a worker thread —
+      // that would std::terminate the process. Hand the exception to the
+      // dispatching Run() caller, whose own unwind machinery (such as
+      // RecService's FlightLease) is built for exactly this.
+      std::lock_guard<std::mutex> lock(task.completion->mu);
+      if (task.completion->error == nullptr) {
+        task.completion->error = std::current_exception();
+      }
+    }
     auto elapsed = std::chrono::steady_clock::now() - start;
     w->busy_ns.fetch_add(
         static_cast<uint64_t>(
@@ -115,16 +132,26 @@ void ShardPool::Run(int64_t num_tasks,
   completion.remaining.store(num_tasks, std::memory_order_relaxed);
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   const int64_t nw = workers();
+  // Rotate the starting worker per dispatch: concurrent Run() calls with
+  // fewer tasks than workers (small plans) would otherwise all pile onto
+  // workers 0..num_tasks-1 and serialize there while the rest idle.
+  const uint64_t base = next_start_.fetch_add(1, std::memory_order_relaxed);
   for (int64_t t = 0; t < num_tasks; ++t) {
-    Worker* w = workers_[static_cast<size_t>(t % nw)].get();
+    Worker* w = workers_[static_cast<size_t>(
+                             (base + static_cast<uint64_t>(t)) %
+                             static_cast<uint64_t>(nw))]
+                    .get();
     {
       std::lock_guard<std::mutex> lock(w->mu);
       w->queue.push_back(Task{&fn, t, &completion});
     }
     w->cv.notify_one();
   }
-  std::unique_lock<std::mutex> lock(completion.mu);
-  completion.cv.wait(lock, [&completion] { return completion.done; });
+  {
+    std::unique_lock<std::mutex> lock(completion.mu);
+    completion.cv.wait(lock, [&completion] { return completion.done; });
+  }
+  if (completion.error != nullptr) std::rethrow_exception(completion.error);
 }
 
 ShardPoolStats ShardPool::stats() const {
@@ -139,33 +166,47 @@ ShardPoolStats ShardPool::stats() const {
   return out;
 }
 
-ShardPool& ShardPool::Global() {
+std::shared_ptr<ShardPool> ShardPool::Global() {
+  // Fast path: every sharded kernel dispatch and sharded retrieval
+  // snapshots the pool, so reads go through the atomic shared_ptr
+  // accessors (in libstdc++ an address-hashed internal spinlock — not
+  // truly lock-free, but a copy-only critical section) instead of
+  // g_pool_mu, which is reserved for the slow work: creating the pool on
+  // first use or swapping it in SetShardWorkers.
+  std::shared_ptr<ShardPool> pool = std::atomic_load_explicit(
+      &GlobalSlot(), std::memory_order_acquire);
+  if (pool != nullptr) return pool;
   std::lock_guard<std::mutex> lock(g_pool_mu);
-  std::unique_ptr<ShardPool>& slot = GlobalSlot();
-  if (slot == nullptr) {
-    slot = std::make_unique<ShardPool>(ResolvedDefaultWorkers());
+  pool = std::atomic_load_explicit(&GlobalSlot(), std::memory_order_acquire);
+  if (pool == nullptr) {
+    pool = std::make_shared<ShardPool>(ResolvedDefaultWorkers());
+    std::atomic_store_explicit(&GlobalSlot(), pool,
+                               std::memory_order_release);
   }
-  return *slot;
+  return pool;
 }
 
-int64_t ShardWorkers() { return ShardPool::Global().workers(); }
+int64_t ShardWorkers() { return ShardPool::Global()->workers(); }
 
 ShardPoolStats GlobalShardPoolStats() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
-  const std::unique_ptr<ShardPool>& slot = GlobalSlot();
-  return slot == nullptr ? ShardPoolStats{} : slot->stats();
+  std::shared_ptr<ShardPool> pool = std::atomic_load_explicit(
+      &GlobalSlot(), std::memory_order_acquire);
+  return pool == nullptr ? ShardPoolStats{} : pool->stats();
 }
 
 void SetShardWorkers(int64_t workers) {
-  workers = std::max<int64_t>(workers, 1);
+  if (workers <= 0) workers = ResolvedDefaultWorkers();
   // Build the replacement outside the slot lock (thread spawn is slow),
-  // then swap; the old pool joins its workers on destruction.
-  auto next = std::make_unique<ShardPool>(workers);
-  std::unique_ptr<ShardPool> old;
+  // then swap. Threads that snapshotted the old pool via Global() keep a
+  // shared_ptr, so in-flight Run() calls finish on it; the pool joins its
+  // workers when the last holder lets go — `old` is released outside the
+  // lock because that join must not block Global() readers or creators.
+  auto next = std::make_shared<ShardPool>(workers);
+  std::shared_ptr<ShardPool> old;
   {
     std::lock_guard<std::mutex> lock(g_pool_mu);
-    old = std::move(GlobalSlot());
-    GlobalSlot() = std::move(next);
+    old = std::atomic_exchange_explicit(&GlobalSlot(), std::move(next),
+                                        std::memory_order_acq_rel);
   }
 }
 

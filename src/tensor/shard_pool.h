@@ -55,10 +55,14 @@ class ShardPool {
   int64_t workers() const { return static_cast<int64_t>(workers_.size()); }
 
   /// Executes fn(0) .. fn(num_tasks - 1), each exactly once, and returns
-  /// when all have finished. Task i runs on worker i % workers(), so a
-  /// plan with one range per worker maps ranges to workers 1:1. Safe to
-  /// call concurrently from multiple threads; called from a pool worker it
-  /// degrades to an inline loop (see header comment).
+  /// when all have finished. Tasks deal round-robin from a per-dispatch
+  /// rotating start worker, so a plan with one range per worker still
+  /// maps ranges to workers 1:1 while concurrent small dispatches spread
+  /// across the pool instead of piling onto worker 0. Safe to call
+  /// concurrently from multiple threads; called from a pool worker it
+  /// degrades to an inline loop (see header comment). If a task throws,
+  /// the remaining tasks still run and the first exception is rethrown
+  /// here on the calling thread (never std::terminate on a worker).
   void Run(int64_t num_tasks, const std::function<void(int64_t)>& fn);
 
   ShardPoolStats stats() const;
@@ -66,7 +70,10 @@ class ShardPool {
   /// The process-wide pool used by the sharded backend and the sharded
   /// retriever. Sized on first use from GNMR_SHARD_WORKERS, else
   /// kShardWorkersDefault, else std::thread::hardware_concurrency().
-  static ShardPool& Global();
+  /// Returns a snapshot: hold the shared_ptr across use so a concurrent
+  /// SetShardWorkers cannot destroy the pool mid-Run (the old pool stays
+  /// alive until its last holder releases it).
+  static std::shared_ptr<ShardPool> Global();
 
  private:
   /// Completion latch shared by all tasks of one Run() call (shard_pool.cc).
@@ -92,6 +99,8 @@ class ShardPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> dispatches_{0};
+  /// Rotates which worker a dispatch starts dealing tasks to.
+  std::atomic<uint64_t> next_start_{0};
 };
 
 /// Worker count of the global pool.
@@ -102,9 +111,11 @@ int64_t ShardWorkers();
 /// activity for free when sharded execution is idle or unused.
 ShardPoolStats GlobalShardPoolStats();
 
-/// Replaces the global pool with one of `workers` threads (clamped to
-/// >= 1). Intended for startup wiring and tests — like SetBackend, do not
-/// race it against in-flight sharded kernels.
+/// Replaces the global pool: `workers` >= 1 sizes it exactly; <= 0
+/// re-applies the default sizing (GNMR_SHARD_WORKERS, else
+/// kShardWorkersDefault, else one thread per hardware thread). Safe
+/// against in-flight sharded kernels: they finish on the pool snapshot
+/// they hold, which is torn down once its last holder releases it.
 void SetShardWorkers(int64_t workers);
 
 }  // namespace tensor

@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -22,6 +24,45 @@
 
 namespace gnmr {
 namespace serve {
+
+// White-box handle on RecService's single-flight registry: the
+// publish/abandon races under test (stale-lease ABA, leader unwind) are
+// not reachable deterministically through the public API alone.
+class RecServiceTestPeer {
+ public:
+  using FlightSlot = RecService::FlightSlot;
+  static uint64_t Key(int64_t user, int64_t k) {
+    return RecService::FlightKey(user, k);
+  }
+  static FlightSlot JoinOrLead(RecService* service, uint64_t key) {
+    return service->JoinOrLead(key);
+  }
+  static void Publish(RecService* service, uint64_t key,
+                      const FlightSlot& slot,
+                      const std::vector<RecEntry>& result) {
+    service->PublishFlight(key, slot.flight, result);
+  }
+  static void Abandon(RecService* service, uint64_t key,
+                      const FlightSlot& slot) {
+    service->AbandonFlight(key, slot.flight);
+  }
+  // use_count of the flight registered under `key` (0 if none): the map
+  // holds one reference and every JoinOrLead caller holds one, so tests
+  // can wait deterministically for a waiter thread to have joined.
+  static long FlightUseCount(RecService* service, uint64_t key) {
+    std::lock_guard<std::mutex> lock(service->flights_mu_);
+    auto it = service->flights_.find(key);
+    return it == service->flights_.end() ? 0 : it->second.use_count();
+  }
+  // Erases the registry entry without touching the flight — the torn
+  // state PublishFlight leaves behind when it unwinds after its erase
+  // but before marking the flight done.
+  static void Unregister(RecService* service, uint64_t key) {
+    std::lock_guard<std::mutex> lock(service->flights_mu_);
+    service->flights_.erase(key);
+  }
+};
+
 namespace {
 
 // Random serving model with a few duplicated item rows so exact-tie
@@ -441,6 +482,124 @@ TEST(RecServiceTest, ConcurrentMissesForSameKeySingleFlight) {
   uint64_t retrieved = stats.requests - stats.cache_hits - stats.coalesced;
   EXPECT_GE(retrieved, 1u);
   EXPECT_LE(retrieved, static_cast<uint64_t>(kThreads));
+}
+
+// Spin until the flight under `key` has at least `count` holders — the
+// registry map holds one reference and every JoinOrLead caller holds one,
+// so this observes (without sleeps or timing assumptions) that a waiter
+// thread has joined the flight. Once joined, the predicate-based cv wait
+// makes publish/abandon wakeups race-free regardless of thread order.
+void AwaitJoined(RecService* service, uint64_t key, long count) {
+  while (RecServiceTestPeer::FlightUseCount(service, key) < count) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(RecServiceFlightTest, StaleAbandonLeavesReledFlightLive) {
+  // ABA regression: a lease whose flight was already published fires its
+  // abandon AFTER another thread re-led the same (user, k) key. The stale
+  // abandon must be an identity-checked no-op — before the fix it tore
+  // down the new live flight (waiters got empty lists) and the new
+  // leader's PublishFlight then aborted the process.
+  auto model = RandomModel(8, 32, 8, 91);
+  RecService service(model);
+  const uint64_t key = RecServiceTestPeer::Key(3, 10);
+  std::vector<RecEntry> want = BruteForceTopN(*model, 3, 10);
+
+  auto first = RecServiceTestPeer::JoinOrLead(&service, key);
+  ASSERT_TRUE(first.leader);
+  RecServiceTestPeer::Publish(&service, key, first, want);
+
+  auto second = RecServiceTestPeer::JoinOrLead(&service, key);
+  ASSERT_TRUE(second.leader);
+  std::vector<RecEntry> got;
+  std::thread waiter([&] { got = service.Recommend(3, 10); });
+  AwaitJoined(&service, key, 3);  // map + `second` + the parked waiter
+  RecServiceTestPeer::Abandon(&service, key, first);  // stale lease firing
+  RecServiceTestPeer::Publish(&service, key, second, want);  // must not abort
+  waiter.join();
+  ExpectExactlyEqual(got, want);
+  // The waiter consumed the second leader's published result — the stale
+  // abandon neither woke it early nor marked its flight abandoned.
+  EXPECT_EQ(service.stats().coalesced, 1u);
+}
+
+TEST(RecServiceFlightTest, WaiterOnAbandonedFlightRetrievesItself) {
+  // A leader that unwinds before publishing must not feed waiters its
+  // empty placeholder as if the user genuinely had zero items: they fall
+  // back to doing the retrieval themselves.
+  auto model = RandomModel(8, 64, 8, 93);
+  RecService service(model);
+  const uint64_t key = RecServiceTestPeer::Key(4, 10);
+  std::vector<RecEntry> want = BruteForceTopN(*model, 4, 10);
+
+  auto leader = RecServiceTestPeer::JoinOrLead(&service, key);
+  ASSERT_TRUE(leader.leader);
+  std::vector<RecEntry> got;
+  std::thread waiter([&] { got = service.Recommend(4, 10); });
+  AwaitJoined(&service, key, 3);  // map + `leader` + the parked waiter
+  RecServiceTestPeer::Abandon(&service, key, leader);  // leader unwinds
+  waiter.join();
+  ExpectExactlyEqual(got, want);
+  EXPECT_EQ(service.stats().coalesced, 0u);  // fallback, not a coalesce
+  // The fallback also repaired the cache: the next request hits.
+  ExpectExactlyEqual(service.Recommend(4, 10), want);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(RecServiceFlightTest, BatchJoinOnAbandonedFlightRetrievesItself) {
+  // Same leader-unwind fallback through the RecommendBatch join path.
+  auto model = RandomModel(8, 64, 8, 95);
+  RecService service(model);
+  const uint64_t key = RecServiceTestPeer::Key(5, 10);
+  std::vector<RecEntry> want = BruteForceTopN(*model, 5, 10);
+
+  auto leader = RecServiceTestPeer::JoinOrLead(&service, key);
+  ASSERT_TRUE(leader.leader);
+  std::vector<std::vector<RecEntry>> got;
+  std::thread waiter([&] { got = service.RecommendBatch({5, 6}, 10); });
+  AwaitJoined(&service, key, 3);  // map + `leader` + the batch's join
+  RecServiceTestPeer::Abandon(&service, key, leader);
+  waiter.join();
+  ASSERT_EQ(got.size(), 2u);
+  ExpectExactlyEqual(got[0], want);
+  ExpectExactlyEqual(got[1], BruteForceTopN(*model, 6, 10));
+  EXPECT_EQ(service.stats().coalesced, 0u);
+}
+
+TEST(RecServiceFlightTest, AbandonAfterTornPublishStillReleasesWaiters) {
+  // Simulates PublishFlight unwinding between its registry erase and
+  // setting done (e.g. the result copy throwing bad_alloc): the lease's
+  // abandon no longer finds the key, but must still mark the flight
+  // abandoned so waiters wake and re-run the miss path instead of
+  // hanging forever on a cv nobody will signal.
+  auto model = RandomModel(8, 64, 8, 99);
+  RecService service(model);
+  const uint64_t key = RecServiceTestPeer::Key(6, 10);
+  std::vector<RecEntry> want = BruteForceTopN(*model, 6, 10);
+
+  auto leader = RecServiceTestPeer::JoinOrLead(&service, key);
+  ASSERT_TRUE(leader.leader);
+  std::vector<RecEntry> got;
+  std::thread waiter([&] { got = service.Recommend(6, 10); });
+  AwaitJoined(&service, key, 3);
+  RecServiceTestPeer::Unregister(&service, key);        // publish's erase…
+  RecServiceTestPeer::Abandon(&service, key, leader);   // …then the unwind
+  waiter.join();
+  ExpectExactlyEqual(got, want);
+  EXPECT_EQ(service.stats().coalesced, 0u);
+}
+
+TEST(RecServiceDeathTest, UserIdOutsideKeyPackingAborts) {
+  // (user, k) share one 64-bit cache/flight key with user in the high 32
+  // bits; an id past 2^32 would silently collide with another user's key
+  // and serve them each other's lists, so it must abort loudly instead.
+  auto model = RandomModel(8, 32, 8, 97);
+  RecService service(model);
+  EXPECT_DEATH(service.Recommend(int64_t{1} << 32, 5), "key packing");
+  EXPECT_DEATH(service.Recommend(-1, 5), "user");
+  EXPECT_DEATH(service.RecommendBatch({2, int64_t{1} << 32}, 5),
+               "key packing");
 }
 
 // ------------------------------------------- evaluator fast-path parity ----

@@ -9,7 +9,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -237,7 +239,7 @@ TEST(ShardPoolTest, RunsEveryTaskExactlyOnce) {
   constexpr int64_t kTasks = 64;
   std::vector<std::atomic<int>> hits(kTasks);
   for (auto& h : hits) h.store(0);
-  ShardPool::Global().Run(kTasks,
+  ShardPool::Global()->Run(kTasks,
                           [&](int64_t t) { hits[static_cast<size_t>(t)]++; });
   for (int64_t t = 0; t < kTasks; ++t) {
     EXPECT_EQ(hits[static_cast<size_t>(t)].load(), 1) << "task " << t;
@@ -247,20 +249,20 @@ TEST(ShardPoolTest, RunsEveryTaskExactlyOnce) {
 TEST(ShardPoolTest, NestedRunExecutesInline) {
   ScopedShardWorkers workers(2);
   std::atomic<int> inner_runs{0};
-  ShardPool::Global().Run(4, [&](int64_t) {
+  ShardPool::Global()->Run(4, [&](int64_t) {
     // Re-entrant dispatch from a pool worker must not deadlock.
-    ShardPool::Global().Run(3, [&](int64_t) { inner_runs++; });
+    ShardPool::Global()->Run(3, [&](int64_t) { inner_runs++; });
   });
   EXPECT_EQ(inner_runs.load(), 12);
 }
 
 TEST(ShardPoolTest, StatsCountDispatchesAndBusyTime) {
   ScopedShardWorkers workers(2);
-  ShardPoolStats before = ShardPool::Global().stats();
+  ShardPoolStats before = ShardPool::Global()->stats();
   EXPECT_EQ(before.workers, 2);
   std::atomic<int64_t> sink{0};
-  ShardPool::Global().Run(8, [&](int64_t t) { sink += t; });
-  ShardPoolStats after = ShardPool::Global().stats();
+  ShardPool::Global()->Run(8, [&](int64_t t) { sink += t; });
+  ShardPoolStats after = ShardPool::Global()->stats();
   EXPECT_EQ(after.dispatches, before.dispatches + 1);
   EXPECT_EQ(after.tasks, before.tasks + 8);
   ASSERT_EQ(after.worker_busy_ns.size(), 2u);
@@ -270,6 +272,40 @@ TEST(ShardPoolTest, WorkerCountFollowsSetShardWorkers) {
   ScopedShardWorkers workers(5);
   EXPECT_EQ(ShardWorkers(), 5);
   SetShardWorkers(2);
+  EXPECT_EQ(ShardWorkers(), 2);
+  // 0 (and any non-positive count) re-applies the default sizing rather
+  // than silently degrading to a single worker.
+  SetShardWorkers(0);
+  EXPECT_GE(ShardWorkers(), 1);
+}
+
+TEST(ShardPoolTest, TaskExceptionRethrownOnDispatcher) {
+  // A throwing task must not escape a worker thread (std::terminate): the
+  // first exception surfaces on the Run() caller — whose unwind machinery
+  // is built for it — and the pool stays fully usable afterwards.
+  ScopedShardWorkers workers(3);
+  std::shared_ptr<ShardPool> pool = ShardPool::Global();
+  EXPECT_THROW(pool->Run(8,
+                         [](int64_t t) {
+                           if (t == 5) throw std::runtime_error("shard boom");
+                         }),
+               std::runtime_error);
+  std::atomic<int> runs{0};
+  pool->Run(8, [&](int64_t) { runs++; });
+  EXPECT_EQ(runs.load(), 8);
+}
+
+TEST(ShardPoolTest, SnapshotSurvivesSetShardWorkers) {
+  // A pool reference obtained before a resize must stay usable: callers
+  // hold the Global() snapshot across Run, so the swapped-out pool may
+  // not be torn down under them.
+  ScopedShardWorkers workers(3);
+  std::shared_ptr<ShardPool> before = ShardPool::Global();
+  SetShardWorkers(2);
+  std::atomic<int> runs{0};
+  before->Run(8, [&](int64_t) { runs++; });
+  EXPECT_EQ(runs.load(), 8);
+  EXPECT_EQ(before->workers(), 3);
   EXPECT_EQ(ShardWorkers(), 2);
 }
 
@@ -544,6 +580,18 @@ TEST(ShardedRetrieverTest, BatchMatchesPerUserUnderSharding) {
   ASSERT_EQ(got.size(), want.size());
   for (size_t i = 0; i < got.size(); ++i) {
     ExpectExactlyEqual(got[i], want[i], "batch slot " + std::to_string(i));
+  }
+
+  // Small batch (n < kUserBlock, a single user block): exercises the path
+  // that shards the ITEM range once for the whole block instead of
+  // fanning blocks out, including duplicate users and tie merging.
+  std::vector<int64_t> small = {3, 11, 3, 25, 39};
+  auto got_small = sharded.RetrieveBatch(small, 15);
+  auto want_small = unsharded.RetrieveBatch(small, 15);
+  ASSERT_EQ(got_small.size(), want_small.size());
+  for (size_t i = 0; i < got_small.size(); ++i) {
+    ExpectExactlyEqual(got_small[i], want_small[i],
+                       "small batch slot " + std::to_string(i));
   }
 }
 
