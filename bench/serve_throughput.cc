@@ -1,21 +1,27 @@
 // google-benchmark suite for the serving read path: blocked top-K
 // retrieval vs the per-item eval::Scorer loop it replaces, batched
 // retrieval (OpenMP-parallel across user blocks), item-sharded retrieval
-// over the shard pool (single-user and batched), and the RecService
+// over the shard pool (single-user and batched), IVF approximate retrieval
+// (with its measured recall@k and scanned fraction logged as counters so
+// the quality/cost trade-off is recorded, not assumed), and the RecService
 // cache cold vs warm under a Zipf-distributed request stream. Runs on a
 // 10k-user x 20k-item synthetic ServingModel; CI uploads the JSON next to
 // BENCH_micro_kernels so the serving perf trajectory is recorded per run.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/core/model_io.h"
+#include "src/eval/retrieval_recall.h"
+#include "src/serve/exact_retriever.h"
+#include "src/serve/ivf_retriever.h"
 #include "src/serve/rec_service.h"
-#include "src/serve/topn_retriever.h"
 #include "src/serve/zipf_stream.h"
 #include "src/tensor/shard_pool.h"
+#include "src/util/check.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -25,6 +31,7 @@ using namespace gnmr;
 constexpr int64_t kUsers = 10000;
 constexpr int64_t kItems = 20000;
 constexpr int64_t kWidth = 32;
+constexpr int64_t kIvfNlist = 64;
 
 std::shared_ptr<const core::ServingModel> GlobalModel() {
   static std::shared_ptr<const core::ServingModel> model = [] {
@@ -37,6 +44,59 @@ std::shared_ptr<const core::ServingModel> GlobalModel() {
     return std::make_shared<const core::ServingModel>(std::move(m));
   }();
   return model;
+}
+
+// Clustered embedding geometry (what trained multi-order embeddings look
+// like, and the regime an IVF index is built for) with the index attached;
+// dimensions match GlobalModel so IVF timings compare directly against
+// the exact-scan cases. Twin of ClusteredModel in
+// tests/ivf_retriever_test.cc (wider noise, bench-scale shapes) — keep
+// the user/item-to-cluster formulas in sync so the logged recall measures
+// the same regime the tests pin.
+std::shared_ptr<const core::ServingModel> GlobalIvfModel() {
+  static std::shared_ptr<const core::ServingModel> model = [] {
+    util::Rng rng(211);
+    tensor::Tensor centers =
+        tensor::Tensor::RandomNormal({kIvfNlist, kWidth}, &rng, 0.0f, 4.0f);
+    core::ServingModel m;
+    m.num_users = kUsers;
+    m.num_items = kItems;
+    m.embeddings = tensor::Tensor({kUsers + kItems, kWidth});
+    float* data = m.embeddings.data();
+    for (int64_t r = 0; r < kUsers + kItems; ++r) {
+      const int64_t c = r < kUsers
+                            ? r % kIvfNlist
+                            : ((r - kUsers) * kIvfNlist) / kItems;
+      const float* center = centers.data() + c * kWidth;
+      for (int64_t j = 0; j < kWidth; ++j) {
+        data[r * kWidth + j] = center[j] + rng.Normal(0.0f, 0.5f);
+      }
+    }
+    GNMR_CHECK(core::BuildIvfIndex(&m, kIvfNlist).ok());
+    return std::make_shared<const core::ServingModel>(std::move(m));
+  }();
+  return model;
+}
+
+// Recall@k of the IVF strategy vs the exact scan on a user sample,
+// logged as a benchmark counter. The value is deterministic, and
+// google-benchmark invokes each BM_ function several times (calibration
+// + measurement), so it is computed once per (nprobe, k) and cached —
+// each measurement costs a full 256-user exact scan otherwise.
+double MeasuredIvfRecall(int64_t nprobe, int64_t k) {
+  static std::map<std::pair<int64_t, int64_t>, double> cache;
+  const auto key = std::make_pair(nprobe, k);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  serve::ExactRetriever exact(GlobalIvfModel(), nullptr,
+                              serve::ItemShardMode::kOff);
+  serve::IvfRetriever ivf(GlobalIvfModel(), nullptr, nprobe,
+                          serve::ItemShardMode::kOff);
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 256; ++u) users.push_back((u * 131) % kUsers);
+  const double recall = eval::RetrievalRecallAtK(exact, ivf, users, k);
+  cache[key] = recall;
+  return recall;
 }
 
 // The serving path this subsystem replaces: score every catalogue item
@@ -66,7 +126,7 @@ BENCHMARK(BM_PerItemScorerTopN)->Arg(10)->Arg(100);
 
 void BM_BlockedRetrievalTopN(benchmark::State& state) {
   const int64_t k = state.range(0);
-  serve::TopNRetriever retriever(GlobalModel(), nullptr,
+  serve::ExactRetriever retriever(GlobalModel(), nullptr,
                                  serve::ItemShardMode::kOff);
   int64_t user = 0;
   for (auto _ : state) {
@@ -85,7 +145,7 @@ BENCHMARK(BM_BlockedRetrievalTopN)->Arg(10)->Arg(100);
 // per-request speedup (GNMR_SHARD_WORKERS governs the pool size).
 void BM_ShardedRetrievalTopN(benchmark::State& state) {
   const int64_t k = state.range(0);
-  serve::TopNRetriever retriever(GlobalModel(), nullptr,
+  serve::ExactRetriever retriever(GlobalModel(), nullptr,
                                  serve::ItemShardMode::kOn);
   int64_t user = 0;
   for (auto _ : state) {
@@ -102,7 +162,7 @@ BENCHMARK(BM_ShardedRetrievalTopN)->Arg(10)->Arg(100);
 // sharded analogue of BM_BatchRetrieval's OpenMP fan-out).
 void BM_ShardedBatchRetrieval(benchmark::State& state) {
   const int64_t batch = state.range(0);
-  serve::TopNRetriever retriever(GlobalModel(), nullptr,
+  serve::ExactRetriever retriever(GlobalModel(), nullptr,
                                  serve::ItemShardMode::kOn);
   std::vector<int64_t> users(static_cast<size_t>(batch));
   for (int64_t i = 0; i < batch; ++i) {
@@ -115,11 +175,58 @@ void BM_ShardedBatchRetrieval(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedBatchRetrieval)->Arg(64)->Arg(256);
 
+// IVF single-user retrieval at k = 10: probe nprobe of the 64 clusters,
+// scan only their posting lists. Compare against BM_BlockedRetrievalTopN
+// (the exhaustive scan) — the speedup is ~nlist/nprobe minus probe + merge
+// overhead, and the recall it buys is logged right next to it.
+void BM_IvfRetrievalTopN(benchmark::State& state) {
+  const int64_t k = 10;
+  const int64_t nprobe = state.range(0);
+  serve::IvfRetriever retriever(GlobalIvfModel(), nullptr, nprobe,
+                                serve::ItemShardMode::kOff);
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveTopN(user, k));
+    user = (user + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+  serve::RetrieverStats stats = retriever.Stats();
+  state.counters["nprobe"] = static_cast<double>(nprobe);
+  state.counters["recall_at_10"] = MeasuredIvfRecall(nprobe, k);
+  state.counters["scanned_frac"] =
+      stats.requests == 0
+          ? 0.0
+          : static_cast<double>(stats.scanned_items) /
+                (static_cast<double>(stats.requests) *
+                 static_cast<double>(kItems));
+}
+BENCHMARK(BM_IvfRetrievalTopN)->Arg(8)->Arg(16);
+
+// Batched IVF retrieval: per-user probe + scan fanned across user blocks
+// (the approximate analogue of BM_BatchRetrieval).
+void BM_IvfBatchRetrieval(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const int64_t nprobe = 8;
+  serve::IvfRetriever retriever(GlobalIvfModel(), nullptr, nprobe,
+                                serve::ItemShardMode::kOff);
+  std::vector<int64_t> users(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    users[static_cast<size_t>(i)] = (i * 131) % kUsers;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveBatch(users, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);  // users/sec
+  state.counters["nprobe"] = static_cast<double>(nprobe);
+  state.counters["recall_at_10"] = MeasuredIvfRecall(nprobe, 10);
+}
+BENCHMARK(BM_IvfBatchRetrieval)->Arg(64)->Arg(256);
+
 // Batched retrieval amortises the item tiles across a user block and
 // fans user blocks out over OpenMP threads.
 void BM_BatchRetrieval(benchmark::State& state) {
   const int64_t batch = state.range(0);
-  serve::TopNRetriever retriever(GlobalModel());
+  serve::ExactRetriever retriever(GlobalModel());
   std::vector<int64_t> users(static_cast<size_t>(batch));
   for (int64_t i = 0; i < batch; ++i) {
     users[static_cast<size_t>(i)] = (i * 131) % kUsers;

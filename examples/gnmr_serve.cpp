@@ -8,6 +8,8 @@
 //                               [--zipf=1.1] [--model=path] [--save=path]
 //                               [--backend=serial|omp|blocked|sharded]
 //                               [--shard_workers=N]
+//                               [--retriever=exact|ivf] [--nlist=N]
+//                               [--nprobe=N]
 //
 // --model=path skips training and loads a SaveServingModel artifact;
 // --save=path writes the trained artifact for later runs. --backend=
@@ -16,6 +18,14 @@
 // by --backend=sharded and the item-sharded retriever (same as the
 // GNMR_SHARD_WORKERS env var); 0 auto-sizes to one worker per hardware
 // thread.
+//
+// --retriever=ivf serves through the clustered IVF index (approximate;
+// see src/serve/ivf_retriever.h): --nlist= sets the cluster count used
+// when the index must be built here (0 = tensor::kIvfDefaultNlist),
+// --nprobe= the clusters probed per request (0 = default). An artifact
+// loaded with --model= reuses its embedded index when it has one; --save=
+// writes a v2 artifact carrying the index. Catalogues smaller than
+// tensor::kIvfMinItemsForIndex fall back to the exact scan.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -29,6 +39,7 @@
 #include "src/serve/rec_service.h"
 #include "src/serve/zipf_stream.h"
 #include "src/tensor/backend.h"
+#include "src/tensor/kernel_tunables.h"
 #include "src/tensor/shard_pool.h"
 #include "src/util/flags.h"
 #include "src/util/stopwatch.h"
@@ -82,18 +93,26 @@ int main(int argc, char** argv) {
   double zipf = flags.GetDouble("zipf", 1.1);
   std::string model_path = flags.GetString("model", "");
   std::string save_path = flags.GetString("save", "");
+  std::string retriever_name = flags.GetString("retriever", "exact");
+  int64_t nlist = flags.GetInt("nlist", 0);
+  int64_t nprobe = flags.GetInt("nprobe", 0);
   if (flags.Has("shard_workers")) {
     tensor::SetShardWorkers(flags.GetInt("shard_workers", 0));
   }
   if (flags.Has("backend")) {
     tensor::SetBackend(flags.GetString("backend", ""));
   }
+  if (retriever_name != "exact" && retriever_name != "ivf") {
+    std::fprintf(stderr, "unknown --retriever=%s (exact|ivf)\n",
+                 retriever_name.c_str());
+    return 1;
+  }
 
   // 1. Obtain the serving artifact: load from disk, or train + export.
   //    Either way the training dataset provides the seen-item filter.
   data::Dataset full = data::GenerateSynthetic(data::TaobaoLike(scale));
   data::TrainTestSplit split = data::LeaveLatestOut(full);
-  std::shared_ptr<const core::ServingModel> snapshot;
+  core::ServingModel artifact;
   core::GnmrConfig config;
   config.epochs = epochs;
   config.verbose = false;
@@ -106,12 +125,12 @@ int main(int argc, char** argv) {
                    loaded.status().ToString().c_str());
       return 1;
     }
-    snapshot = std::make_shared<const core::ServingModel>(
-        std::move(loaded).value());
-    std::printf("loaded snapshot %s (%lld users x %lld items)\n",
+    artifact = std::move(loaded).value();
+    std::printf("loaded snapshot %s (%lld users x %lld items%s)\n",
                 model_path.c_str(),
-                static_cast<long long>(snapshot->num_users),
-                static_cast<long long>(snapshot->num_items));
+                static_cast<long long>(artifact.num_users),
+                static_cast<long long>(artifact.num_items),
+                artifact.has_ivf() ? ", with IVF index" : "");
   } else {
     trainer = std::make_unique<core::GnmrTrainer>(config, split.train);
     std::printf("training GNMR (%lld epochs, %lld users x %lld items)...\n",
@@ -120,14 +139,46 @@ int main(int argc, char** argv) {
                 static_cast<long long>(full.num_items));
     trainer->Train();
     trainer->model().RefreshInferenceCache();
-    snapshot = std::make_shared<const core::ServingModel>(
-        core::ExportServingModel(trainer->model()));
-    if (!save_path.empty()) {
-      util::Status s = core::SaveServingModel(*snapshot, save_path);
-      std::printf("saved artifact to %s: %s\n", save_path.c_str(),
-                  s.ToString().c_str());
+    artifact = core::ExportServingModel(trainer->model());
+  }
+
+  // 1b. Retrieval strategy: attach the IVF index before the snapshot is
+  //     frozen. A loaded v2 artifact brings its own index; --nlist forces
+  //     a rebuild at a different cluster count.
+  serve::RecService::Options service_options;
+  if (retriever_name == "ivf") {
+    if (artifact.num_items < tensor::kIvfMinItemsForIndex) {
+      std::printf("catalogue of %lld items is below "
+                  "kIvfMinItemsForIndex=%lld; serving exact instead\n",
+                  static_cast<long long>(artifact.num_items),
+                  static_cast<long long>(tensor::kIvfMinItemsForIndex));
+    } else {
+      if (!artifact.has_ivf() || flags.Has("nlist")) {
+        util::Status s = core::BuildIvfIndex(&artifact, nlist);
+        if (!s.ok()) {
+          std::fprintf(stderr, "BuildIvfIndex: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+      service_options.retriever = serve::RetrieverKind::kIvf;
+      service_options.nlist = nlist;
+      if (nprobe > 0) service_options.nprobe = nprobe;
+      std::printf("IVF index: %lld lists, probing %lld per request\n",
+                  static_cast<long long>(artifact.ivf->nlist()),
+                  static_cast<long long>(std::min(
+                      nprobe > 0 ? nprobe : tensor::kIvfDefaultNprobe,
+                      artifact.ivf->nlist())));
     }
   }
+  if (!save_path.empty()) {
+    // v1 without an index, v2 with one — so --retriever=ivf --save=
+    // upgrades an artifact in place.
+    util::Status s = core::SaveServingModel(artifact, save_path);
+    std::printf("saved artifact to %s: %s\n", save_path.c_str(),
+                s.ToString().c_str());
+  }
+  auto snapshot =
+      std::make_shared<const core::ServingModel>(std::move(artifact));
 
   // 2. Stand up the service: retriever + sharded LRU cache, filtering
   //    items each user already purchased in train. A loaded artifact only
@@ -145,9 +196,11 @@ int main(int argc, char** argv) {
                 scale, static_cast<long long>(split.train.num_users),
                 static_cast<long long>(split.train.num_items));
   }
-  serve::RecService service(snapshot, seen);
-  std::printf("service up: catalogue %lld items, filtering %lld seen pairs\n\n",
+  serve::RecService service(snapshot, seen, service_options);
+  std::printf("service up: catalogue %lld items (%s retrieval), "
+              "filtering %lld seen pairs\n\n",
               static_cast<long long>(snapshot->num_items),
+              service.retriever()->name(),
               static_cast<long long>(seen == nullptr ? 0 : seen->num_pairs()));
 
   // 3. Zipf request stream: a small head of users produces most traffic,
@@ -166,8 +219,25 @@ int main(int argc, char** argv) {
   if (trainer != nullptr) {
     trainer->TrainEpoch();
     trainer->model().RefreshInferenceCache();
-    service.SwapModel(std::make_shared<const core::ServingModel>(
-        core::ExportServingModel(trainer->model())));
+    core::ServingModel next = core::ExportServingModel(trainer->model());
+    if (service_options.retriever == serve::RetrieverKind::kIvf) {
+      // A kIvf service only accepts snapshots that carry an index; the
+      // fresh export doesn't, so re-cluster the refreshed embeddings.
+      util::Status s = core::BuildIvfIndex(&next, nlist);
+      if (!s.ok()) {
+        std::fprintf(stderr, "BuildIvfIndex: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    service.SwapModel(
+        std::make_shared<const core::ServingModel>(std::move(next)));
+  } else if (service_options.retriever == serve::RetrieverKind::kIvf &&
+             flags.Has("nlist")) {
+    // --nlist forced a rebuild of the loaded artifact's index at startup;
+    // LoadAndSwap would re-read the disk artifact and quietly revert to
+    // its embedded cluster count, so swap the in-memory snapshot (which
+    // carries the rebuilt index) instead.
+    service.SwapModel(snapshot);
   } else {
     util::Status s = service.LoadAndSwap(model_path);
     if (!s.ok()) {
@@ -183,11 +253,24 @@ int main(int argc, char** argv) {
   // 6. Show a few recommendations from the final snapshot.
   serve::ServiceStats stats = service.stats();
   std::printf("\ntotals: %llu requests, %.1f%% cache hit rate, "
-              "%llu evictions, %llu swap(s)\n\n",
+              "%llu evictions, %llu swap(s)\n",
               static_cast<unsigned long long>(stats.requests),
               100.0 * stats.HitRate(),
               static_cast<unsigned long long>(stats.cache.evictions),
               static_cast<unsigned long long>(stats.swaps));
+  if (stats.retrieval.requests > 0) {
+    std::printf("retrieval: %llu scans, %llu items scored (%.1f%% of "
+                "exhaustive), %llu clusters probed\n",
+                static_cast<unsigned long long>(stats.retrieval.requests),
+                static_cast<unsigned long long>(
+                    stats.retrieval.scanned_items),
+                100.0 * static_cast<double>(stats.retrieval.scanned_items) /
+                    (static_cast<double>(stats.retrieval.requests) *
+                     static_cast<double>(snapshot->num_items)),
+                static_cast<unsigned long long>(
+                    stats.retrieval.probed_clusters));
+  }
+  std::printf("\n");
   for (int64_t user = 0; user < std::min<int64_t>(3, snapshot->num_users);
        ++user) {
     std::printf("user %lld top-%lld:", static_cast<long long>(user),

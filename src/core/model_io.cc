@@ -1,8 +1,11 @@
 #include "src/core/model_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
+#include "src/tensor/kernel_tunables.h"
+#include "src/tensor/kmeans.h"
 #include "src/util/check.h"
 
 namespace gnmr {
@@ -10,7 +13,8 @@ namespace core {
 
 namespace {
 
-constexpr char kMagic[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '1'};
+constexpr char kMagicV1[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '1'};
+constexpr char kMagicV2[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '2'};
 
 // Borrowing adapter: `keepalive` is null for MakeScorer() (caller
 // guarantees the model outlives the scorer) and owns the model for
@@ -32,7 +36,64 @@ class ServingScorer : public eval::Scorer {
   std::shared_ptr<const ServingModel> keepalive_;
 };
 
+template <typename T>
+void WritePod(std::ofstream& out, const T* data, size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* data, size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return in.good();
+}
+
+// Structural validation shared by LoadServingModel and CheckConsistent;
+// returns a message ("" = sound) instead of aborting so the loader can
+// surface a ParseError for a corrupt file.
+std::string IvfProblem(const IvfIndex& ivf, int64_t num_items,
+                       int64_t width) {
+  const int64_t nlist = ivf.nlist();
+  if (nlist < 1) return "ivf index has no lists";
+  if (ivf.centroids.rank() != 2 || ivf.centroids.rows() != nlist ||
+      ivf.centroids.cols() != width) {
+    return "ivf centroid shape mismatch";
+  }
+  if (static_cast<int64_t>(ivf.list_items.size()) != num_items) {
+    return "ivf posting lists do not cover the catalogue";
+  }
+  if (ivf.list_offsets.front() != 0 || ivf.list_offsets.back() != num_items) {
+    return "ivf offsets do not span [0, num_items]";
+  }
+  std::vector<bool> seen(static_cast<size_t>(num_items), false);
+  for (int64_t c = 0; c < nlist; ++c) {
+    const int64_t begin = ivf.list_offsets[static_cast<size_t>(c)];
+    const int64_t end = ivf.list_offsets[static_cast<size_t>(c) + 1];
+    if (begin > end) return "ivf offsets not monotone";
+    // Bound every offset BEFORE walking the list: front()/back() checks
+    // alone would let a corrupt intermediate offset index list_items far
+    // out of bounds (heap over-read) instead of surfacing a ParseError.
+    if (begin < 0 || end > num_items) return "ivf offset out of range";
+    for (int64_t p = begin; p < end; ++p) {
+      const int64_t item = ivf.list_items[static_cast<size_t>(p)];
+      if (item < 0 || item >= num_items) return "ivf item out of range";
+      if (seen[static_cast<size_t>(item)]) return "ivf item duplicated";
+      seen[static_cast<size_t>(item)] = true;
+      if (p > begin && ivf.list_items[static_cast<size_t>(p) - 1] >= item) {
+        return "ivf posting list not ascending";
+      }
+    }
+  }
+  return "";
+}
+
 }  // namespace
+
+void IvfIndex::CheckConsistent(int64_t num_items, int64_t width) const {
+  const std::string problem = IvfProblem(*this, num_items, width);
+  GNMR_CHECK(problem.empty()) << problem;
+}
 
 float ServingModel::Score(int64_t user, int64_t item) const {
   GNMR_CHECK(user >= 0 && user < num_users);
@@ -66,21 +127,74 @@ ServingModel ExportServingModel(const GnmrModel& model) {
   return out;
 }
 
+util::Status BuildIvfIndex(ServingModel* model, int64_t nlist) {
+  GNMR_CHECK(model != nullptr);
+  if (model->embeddings.empty() ||
+      model->embeddings.rows() != model->num_users + model->num_items) {
+    return util::Status::InvalidArgument("inconsistent serving model");
+  }
+  if (nlist <= 0) nlist = tensor::kIvfDefaultNlist;
+  nlist = std::min(nlist, model->num_items);
+
+  const int64_t width = model->embeddings.cols();
+  const float* item_rows =
+      model->embeddings.data() + model->num_users * width;
+  tensor::KMeansOptions options;
+  options.max_iters = tensor::kIvfKMeansMaxIters;
+  tensor::KMeansResult clusters =
+      tensor::KMeansRows(item_rows, model->num_items, width, nlist, options);
+
+  auto ivf = std::make_shared<IvfIndex>();
+  ivf->centroids = std::move(clusters.centroids);
+  ivf->list_offsets.assign(static_cast<size_t>(nlist) + 1, 0);
+  for (int64_t c = 0; c < nlist; ++c) {
+    ivf->list_offsets[static_cast<size_t>(c) + 1] =
+        ivf->list_offsets[static_cast<size_t>(c)] +
+        clusters.sizes[static_cast<size_t>(c)];
+  }
+  // Counting sort by cluster: walking items in ascending id order makes
+  // each posting list ascending by construction.
+  ivf->list_items.resize(static_cast<size_t>(model->num_items));
+  std::vector<int64_t> cursor(ivf->list_offsets.begin(),
+                              ivf->list_offsets.end() - 1);
+  for (int64_t item = 0; item < model->num_items; ++item) {
+    const int64_t c = clusters.assignments[static_cast<size_t>(item)];
+    ivf->list_items[static_cast<size_t>(
+        cursor[static_cast<size_t>(c)]++)] = item;
+  }
+  ivf->CheckConsistent(model->num_items, width);
+  model->ivf = std::move(ivf);
+  return util::Status::OK();
+}
+
 util::Status SaveServingModel(const ServingModel& model,
                               const std::string& path) {
   if (model.embeddings.empty() ||
       model.embeddings.rows() != model.num_users + model.num_items) {
     return util::Status::InvalidArgument("inconsistent serving model");
   }
+  if (model.has_ivf()) {
+    model.ivf->CheckConsistent(model.num_items, model.embeddings.cols());
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return util::Status::IOError("cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
+  // A model without an index round-trips as v1, byte-identical to what
+  // pre-index builds wrote, so their readers keep working.
+  out.write(model.has_ivf() ? kMagicV2 : kMagicV1, sizeof(kMagicV1));
   int64_t header[3] = {model.num_users, model.num_items,
                        model.embeddings.cols()};
-  out.write(reinterpret_cast<const char*>(header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(model.embeddings.data()),
-            static_cast<std::streamsize>(model.embeddings.numel() *
-                                         sizeof(float)));
+  WritePod(out, header, 3);
+  WritePod(out, model.embeddings.data(),
+           static_cast<size_t>(model.embeddings.numel()));
+  if (model.has_ivf()) {
+    const IvfIndex& ivf = *model.ivf;
+    const int64_t nlist = ivf.nlist();
+    WritePod(out, &nlist, 1);
+    WritePod(out, ivf.centroids.data(),
+             static_cast<size_t>(ivf.centroids.numel()));
+    WritePod(out, ivf.list_offsets.data(), ivf.list_offsets.size());
+    WritePod(out, ivf.list_items.data(), ivf.list_items.size());
+  }
   out.flush();
   if (!out.good()) return util::Status::IOError("write error on " + path);
   return util::Status::OK();
@@ -90,13 +204,19 @@ util::Result<ServingModel> LoadServingModel(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return util::Status::IOError("cannot open " + path);
   char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!ReadPod(in, magic, sizeof(magic))) {
+    return util::Status::ParseError("bad magic in " + path);
+  }
+  bool has_ivf = false;
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    has_ivf = true;
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
     return util::Status::ParseError("bad magic in " + path);
   }
   int64_t header[3];
-  in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in.good()) return util::Status::ParseError("truncated header");
+  if (!ReadPod(in, header, 3)) {
+    return util::Status::ParseError("truncated header");
+  }
   ServingModel model;
   model.num_users = header[0];
   model.num_items = header[1];
@@ -106,10 +226,34 @@ util::Result<ServingModel> LoadServingModel(const std::string& path) {
   }
   int64_t rows = model.num_users + model.num_items;
   model.embeddings = tensor::Tensor({rows, width});
-  in.read(reinterpret_cast<char*>(model.embeddings.data()),
-          static_cast<std::streamsize>(model.embeddings.numel() *
-                                       sizeof(float)));
-  if (!in.good()) return util::Status::ParseError("truncated embeddings");
+  if (!ReadPod(in, model.embeddings.data(),
+               static_cast<size_t>(model.embeddings.numel()))) {
+    return util::Status::ParseError("truncated embeddings");
+  }
+  if (has_ivf) {
+    int64_t nlist = 0;
+    if (!ReadPod(in, &nlist, 1)) {
+      return util::Status::ParseError("truncated ivf header");
+    }
+    if (nlist < 1 || nlist > model.num_items) {
+      return util::Status::ParseError("invalid ivf nlist");
+    }
+    auto ivf = std::make_shared<IvfIndex>();
+    ivf->centroids = tensor::Tensor({nlist, width});
+    ivf->list_offsets.resize(static_cast<size_t>(nlist) + 1);
+    ivf->list_items.resize(static_cast<size_t>(model.num_items));
+    if (!ReadPod(in, ivf->centroids.data(),
+                 static_cast<size_t>(ivf->centroids.numel())) ||
+        !ReadPod(in, ivf->list_offsets.data(), ivf->list_offsets.size()) ||
+        !ReadPod(in, ivf->list_items.data(), ivf->list_items.size())) {
+      return util::Status::ParseError("truncated ivf index");
+    }
+    const std::string problem = IvfProblem(*ivf, model.num_items, width);
+    if (!problem.empty()) {
+      return util::Status::ParseError("corrupt ivf index: " + problem);
+    }
+    model.ivf = std::move(ivf);
+  }
   // Must be at EOF now.
   char extra;
   in.read(&extra, 1);

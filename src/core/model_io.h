@@ -2,11 +2,21 @@
 // serving path needs is the multi-order node embeddings (the inference
 // cache) plus enough metadata to validate compatibility. This module
 // writes/reads that state in a self-describing binary format.
+//
+// Artifact versions:
+//   v1 ("GNMRSM01") — header (num_users, num_items, width) + row-major
+//     float32 embeddings. Written when the model carries no index; every
+//     v1 file ever written keeps loading unchanged.
+//   v2 ("GNMRSM02") — the v1 payload followed by an IVF index section:
+//     nlist, the [nlist, width] centroid tensor, and CSR item-to-cluster
+//     posting lists (offsets + item ids, ascending within each cluster).
+//     Written when the model carries an index (see BuildIvfIndex).
 #ifndef GNMR_CORE_MODEL_IO_H_
 #define GNMR_CORE_MODEL_IO_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/gnmr_model.h"
 #include "src/util/status.h"
@@ -14,12 +24,49 @@
 namespace gnmr {
 namespace core {
 
-/// The deployable scoring artifact: multi-order embeddings + shape info.
+/// Inverted-file index over the item embedding rows: items are clustered
+/// offline (deterministic k-means, tensor/kmeans.h) and the serving path
+/// scans only the posting lists of the clusters nearest a user's query
+/// vector. Immutable once attached to a ServingModel.
+struct IvfIndex {
+  /// [nlist, width] cluster centers in the item embedding space.
+  tensor::Tensor centroids;
+  /// list_offsets[c] .. list_offsets[c+1] delimits cluster c's slice of
+  /// list_items; size nlist + 1, list_offsets[nlist] == num_items.
+  std::vector<int64_t> list_offsets;
+  /// Item ids grouped by cluster, ascending within each cluster; every
+  /// catalogue item appears exactly once.
+  std::vector<int64_t> list_items;
+
+  int64_t nlist() const {
+    return list_offsets.empty()
+               ? 0
+               : static_cast<int64_t>(list_offsets.size()) - 1;
+  }
+  int64_t ListSize(int64_t c) const {
+    return list_offsets[static_cast<size_t>(c) + 1] -
+           list_offsets[static_cast<size_t>(c)];
+  }
+
+  /// Aborts unless the index is structurally sound for a catalogue of
+  /// `num_items` items with `width`-dim embeddings: monotone offsets
+  /// covering exactly one entry per item, in-range ascending items per
+  /// list, matching centroid shape.
+  void CheckConsistent(int64_t num_items, int64_t width) const;
+};
+
+/// The deployable scoring artifact: multi-order embeddings + shape info,
+/// optionally carrying an IVF index for approximate retrieval.
 struct ServingModel {
   int64_t num_users = 0;
   int64_t num_items = 0;
   /// [num_users + num_items, width] multi-order embeddings.
   tensor::Tensor embeddings;
+  /// Optional IVF index over the item rows; null = exact retrieval only.
+  /// Shared so snapshot copies (hot-swap double buffering) stay O(1).
+  std::shared_ptr<const IvfIndex> ivf;
+
+  bool has_ivf() const { return ivf != nullptr; }
 
   /// Dot-product score; user/item must be in range.
   float Score(int64_t user, int64_t item) const;
@@ -42,12 +89,22 @@ std::unique_ptr<eval::Scorer> MakeSharedScorer(
 /// The model must have a fresh inference cache.
 ServingModel ExportServingModel(const GnmrModel& model);
 
-/// Binary format: magic "GNMRSM01", then int64 num_users, num_items,
-/// width, then row-major float32 embeddings.
+/// Clusters the item embedding rows into `nlist` posting lists
+/// (deterministic k-means through the active kernel backend) and attaches
+/// the index to `model`. nlist <= 0 picks tensor::kIvfDefaultNlist; the
+/// value is clamped to the catalogue size. The model must be consistent
+/// (embeddings covering num_users + num_items rows). Replaces any index
+/// already attached. Offline cost: O(max_iters * num_items * nlist * width).
+util::Status BuildIvfIndex(ServingModel* model, int64_t nlist);
+
+/// Binary format: see the version notes at the top of this header. Writes
+/// v1 when `model` has no IVF index (bit-compatible with old readers) and
+/// v2 when it has one.
 util::Status SaveServingModel(const ServingModel& model,
                               const std::string& path);
 
-/// Loads a model written by SaveServingModel; validates header and size.
+/// Loads a model written by SaveServingModel (either version); validates
+/// header, sizes and — for v2 — the structural invariants of the index.
 util::Result<ServingModel> LoadServingModel(const std::string& path);
 
 }  // namespace core

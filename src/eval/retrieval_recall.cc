@@ -1,0 +1,45 @@
+#include "src/eval/retrieval_recall.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace eval {
+
+double RetrievalRecallAtK(const serve::Retriever& exact,
+                          const serve::Retriever& approx,
+                          const std::vector<int64_t>& users, int64_t k) {
+  GNMR_CHECK_GE(k, 1);
+  GNMR_CHECK_EQ(exact.model().num_items, approx.model().num_items)
+      << "retrievers serve different catalogues";
+  if (users.empty()) return 1.0;
+  const std::vector<std::vector<serve::RecEntry>> truth =
+      exact.RetrieveBatch(users, k);
+  const std::vector<std::vector<serve::RecEntry>> got =
+      approx.RetrieveBatch(users, k);
+  double recall_sum = 0.0;
+  int64_t evaluated = 0;
+  for (size_t u = 0; u < users.size(); ++u) {
+    if (truth[u].empty()) continue;  // nothing retrievable for this user
+    // Both lists are small (<= k) and sorted by (score desc, item asc),
+    // not by id — collect ids and intersect sorted.
+    std::vector<int64_t> a, b;
+    a.reserve(truth[u].size());
+    b.reserve(got[u].size());
+    for (const serve::RecEntry& e : truth[u]) a.push_back(e.item);
+    for (const serve::RecEntry& e : got[u]) b.push_back(e.item);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<int64_t> common;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(common));
+    recall_sum += static_cast<double>(common.size()) /
+                  static_cast<double>(a.size());
+    ++evaluated;
+  }
+  return evaluated == 0 ? 1.0 : recall_sum / static_cast<double>(evaluated);
+}
+
+}  // namespace eval
+}  // namespace gnmr

@@ -1,9 +1,7 @@
-#include "src/serve/topn_retriever.h"
+#include "src/serve/exact_retriever.h"
 
 #include <algorithm>
-#include <cstring>
 
-#include "src/tensor/backend.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/shard_plan.h"
 #include "src/tensor/shard_pool.h"
@@ -12,9 +10,9 @@
 namespace gnmr {
 namespace serve {
 
-TopNRetriever::TopNRetriever(std::shared_ptr<const core::ServingModel> model,
-                             std::shared_ptr<const SeenItems> seen,
-                             ItemShardMode shard_mode)
+ExactRetriever::ExactRetriever(std::shared_ptr<const core::ServingModel> model,
+                               std::shared_ptr<const SeenItems> seen,
+                               ItemShardMode shard_mode)
     : model_(std::move(model)),
       seen_(std::move(seen)),
       shard_mode_(shard_mode) {
@@ -28,25 +26,10 @@ TopNRetriever::TopNRetriever(std::shared_ptr<const core::ServingModel> model,
   }
 }
 
-bool TopNRetriever::UseItemSharding() const {
-  switch (shard_mode_) {
-    case ItemShardMode::kOn:
-      return true;
-    case ItemShardMode::kOff:
-      return false;
-    case ItemShardMode::kAuto:
-      // Follow the kernel-backend selection: if compute runs sharded, so
-      // does retrieval. strcmp against the registry name, not a string
-      // compare per entry — this is on the per-request path.
-      return std::strcmp(tensor::GetBackend().name(), "sharded") == 0;
-  }
-  return false;
-}
-
-void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
-                                  int64_t k, int64_t item_begin,
-                                  int64_t item_end,
-                                  std::vector<RecEntry>* outs) const {
+void ExactRetriever::RetrieveBlock(const int64_t* users, int64_t count,
+                                   int64_t k, int64_t item_begin,
+                                   int64_t item_end,
+                                   std::vector<RecEntry>* outs) const {
   GNMR_CHECK(count >= 1 && count <= kUserBlock);
   GNMR_CHECK(item_begin >= 0 && item_begin <= item_end &&
              item_end <= model_->num_items);
@@ -69,60 +52,29 @@ void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
     const int64_t tile = std::min(kItemBlock, item_end - i0);
     // Blocked matmul tile: `count` user rows x `tile` item rows. Scoring
     // every user in the block against the same item tile keeps the tile
-    // resident in cache. Four items advance together so their accumulation
-    // chains pipeline, but each item's sum still runs over c in ascending
-    // order in double — exactly ServingModel::Score — so every score is
-    // bit-identical to the per-item path (and independent of where the
-    // item range starts, which is what makes shard outputs mergeable).
+    // resident in cache; the shared scan primitives (retriever.h) make
+    // every score bit-identical to the per-item path and independent of
+    // where the item range starts — which is what makes shard outputs
+    // mergeable.
     for (int64_t u = 0; u < count; ++u) {
       const float* urow = emb + users[u] * width;
       float* srow = scores + u * kItemBlock;
       int64_t j = 0;
       for (; j + 4 <= tile; j += 4) {
         const float* v0 = item_base + (i0 + j) * width;
-        const float* v1 = v0 + width;
-        const float* v2 = v1 + width;
-        const float* v3 = v2 + width;
-        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-        for (int64_t c = 0; c < width; ++c) {
-          const double uc = static_cast<double>(urow[c]);
-          a0 += uc * v0[c];
-          a1 += uc * v1[c];
-          a2 += uc * v2[c];
-          a3 += uc * v3[c];
-        }
-        srow[j] = static_cast<float>(a0);
-        srow[j + 1] = static_cast<float>(a1);
-        srow[j + 2] = static_cast<float>(a2);
-        srow[j + 3] = static_cast<float>(a3);
+        QuadDotScores(urow, v0, v0 + width, v0 + 2 * width, v0 + 3 * width,
+                      width, srow + j);
       }
       for (; j < tile; ++j) {
-        const float* vrow = item_base + (i0 + j) * width;
-        double acc = 0.0;
-        for (int64_t c = 0; c < width; ++c) {
-          acc += static_cast<double>(urow[c]) * vrow[c];
-        }
-        srow[j] = static_cast<float>(acc);
+        srow[j] = DotScore(urow, item_base + (i0 + j) * width, width);
       }
     }
     for (int64_t u = 0; u < count; ++u) {
       std::vector<RecEntry>& heap = heaps[u];
       const float* srow = scores + u * kItemBlock;
       for (int64_t j = 0; j < tile; ++j) {
-        RecEntry e{i0 + j, srow[j]};
-        if (static_cast<int64_t>(heap.size()) == k &&
-            !BetterThan(e, heap.front())) {
-          continue;  // cannot enter the top-k; skip the seen lookup
-        }
-        if (seen != nullptr && seen->Contains(users[u], e.item)) continue;
-        if (static_cast<int64_t>(heap.size()) < k) {
-          heap.push_back(e);
-          std::push_heap(heap.begin(), heap.end(), BetterThan);
-        } else {
-          std::pop_heap(heap.begin(), heap.end(), BetterThan);
-          heap.back() = e;
-          std::push_heap(heap.begin(), heap.end(), BetterThan);
-        }
+        OfferToBoundedHeap(&heap, k, RecEntry{i0 + j, srow[j]}, seen,
+                           users[u]);
       }
     }
   }
@@ -133,31 +85,7 @@ void TopNRetriever::RetrieveBlock(const int64_t* users, int64_t count,
   }
 }
 
-namespace {
-
-// Merges per-shard bounded-heap winners into the global top-k. The global
-// top-k is a subset of the union of per-shard top-k's, and BetterThan is a
-// total order (ties broken by item id), so sorting the concatenation
-// reproduces the unsharded scan exactly.
-std::vector<RecEntry> MergeShardTopK(std::vector<std::vector<RecEntry>>* parts,
-                                     int64_t k) {
-  size_t total = 0;
-  for (const std::vector<RecEntry>& part : *parts) total += part.size();
-  std::vector<RecEntry> merged;
-  merged.reserve(total);
-  for (std::vector<RecEntry>& part : *parts) {
-    merged.insert(merged.end(), part.begin(), part.end());
-  }
-  std::sort(merged.begin(), merged.end(), BetterThan);
-  if (static_cast<int64_t>(merged.size()) > k) {
-    merged.resize(static_cast<size_t>(k));
-  }
-  return merged;
-}
-
-}  // namespace
-
-void TopNRetriever::RetrieveBlockItemSharded(
+void ExactRetriever::RetrieveBlockItemSharded(
     const int64_t* users, int64_t count, int64_t k,
     std::vector<RecEntry>* outs) const {
   const int64_t num_items = model_->num_items;
@@ -192,13 +120,16 @@ void TopNRetriever::RetrieveBlockItemSharded(
   }
 }
 
-std::vector<RecEntry> TopNRetriever::RetrieveTopN(int64_t user,
-                                                  int64_t k) const {
+std::vector<RecEntry> ExactRetriever::RetrieveTopN(int64_t user,
+                                                   int64_t k) const {
   GNMR_CHECK_GE(k, 1);
   const int64_t num_items = model_->num_items;
   k = std::min(k, num_items);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  scanned_items_.fetch_add(static_cast<uint64_t>(num_items),
+                           std::memory_order_relaxed);
   std::vector<RecEntry> out;
-  if (UseItemSharding()) {
+  if (ItemShardingActive(shard_mode_)) {
     RetrieveBlockItemSharded(&user, 1, k, &out);
   } else {
     RetrieveBlock(&user, 1, k, 0, num_items, &out);
@@ -206,17 +137,20 @@ std::vector<RecEntry> TopNRetriever::RetrieveTopN(int64_t user,
   return out;
 }
 
-std::vector<std::vector<RecEntry>> TopNRetriever::RetrieveBatch(
+std::vector<std::vector<RecEntry>> ExactRetriever::RetrieveBatch(
     const std::vector<int64_t>& users, int64_t k) const {
   GNMR_CHECK_GE(k, 1);
   const int64_t num_items = model_->num_items;
   k = std::min(k, num_items);
   const int64_t n = static_cast<int64_t>(users.size());
+  requests_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  scanned_items_.fetch_add(static_cast<uint64_t>(n * num_items),
+                           std::memory_order_relaxed);
   std::vector<std::vector<RecEntry>> outs(static_cast<size_t>(n));
   const int64_t num_blocks = (n + kUserBlock - 1) / kUserBlock;
   // User blocks are independent (each writes its own output slots), so the
   // block loop parallelizes without changing any per-user result.
-  if (UseItemSharding()) {
+  if (ItemShardingActive(shard_mode_)) {
     if (num_blocks == 1) {
       // Too few users to fan blocks out (the common shape of a warm
       // RecService miss list): shard the ITEM range once for the whole
@@ -250,7 +184,14 @@ std::vector<std::vector<RecEntry>> TopNRetriever::RetrieveBatch(
   return outs;
 }
 
-std::unique_ptr<eval::Scorer> TopNRetriever::MakeScorer() const {
+RetrieverStats ExactRetriever::Stats() const {
+  RetrieverStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.scanned_items = scanned_items_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::unique_ptr<eval::Scorer> ExactRetriever::MakeScorer() const {
   return core::MakeSharedScorer(model_);
 }
 

@@ -1,8 +1,9 @@
-// Exact top-N retrieval over a ServingModel snapshot.
+// Exact top-N retrieval over a ServingModel snapshot — the reference
+// Retriever strategy (retriever.h).
 //
 // The offline artifact (core::ServingModel) holds the multi-order node
 // embeddings; online recommendation is a dot-product scan of one user row
-// against every item row. TopNRetriever replaces the per-item virtual
+// against every item row. ExactRetriever replaces the per-item virtual
 // eval::Scorer path with a blocked user-block x item-embedding matmul that
 // keeps a bounded heap per user row, so full-catalogue retrieval streams
 // through the embedding table instead of re-touching it per candidate.
@@ -10,6 +11,9 @@
 // Results are exact: scores are accumulated in double in the same order as
 // ServingModel::Score, and ties break by ascending item id, so the output
 // is bit-identical to brute-force scoring + std::sort at any thread count.
+// Every other strategy (IvfRetriever, future LSH/graph indexes) is
+// measured against this scan — eval::RetrievalRecallAtK quantifies the
+// gap.
 //
 // Item sharding: when the "sharded" kernel backend is active (or sharding
 // is forced via ItemShardMode::kOn), single-user retrieval partitions the
@@ -19,81 +23,59 @@
 // unsharded scan, so the output stays bit-identical. Batched retrieval
 // fans user blocks over the same pool instead (outer parallelism beats
 // splitting the item range when many users are in flight).
-#ifndef GNMR_SERVE_TOPN_RETRIEVER_H_
-#define GNMR_SERVE_TOPN_RETRIEVER_H_
+#ifndef GNMR_SERVE_EXACT_RETRIEVER_H_
+#define GNMR_SERVE_EXACT_RETRIEVER_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
-#include "src/core/model_io.h"
-#include "src/serve/seen_items.h"
+#include "src/serve/retriever.h"
 
 namespace gnmr {
 namespace serve {
-
-/// One recommended item with its dot-product score.
-struct RecEntry {
-  int64_t item = 0;
-  float score = 0.0f;
-
-  bool operator==(const RecEntry& other) const {
-    return item == other.item && score == other.score;
-  }
-};
-
-/// Total order used for ranking: higher score first, ties by item id.
-inline bool BetterThan(const RecEntry& a, const RecEntry& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.item < b.item;
-}
-
-/// Whether a retriever splits the catalogue across the shard pool.
-enum class ItemShardMode {
-  /// Shard when the active kernel backend is "sharded" (checked per call).
-  kAuto,
-  /// Always shard (tests / benches driving the pool directly).
-  kOn,
-  /// Never shard; the single-threaded blocked scan.
-  kOff,
-};
 
 /// Read-only exact top-K retriever over a ServingModel snapshot. Shares
 /// ownership of the model (and optionally of per-user seen sets), so it
 /// stays valid while any caller holds it — the property the hot-swapping
 /// RecService relies on. All methods are const and thread-safe.
-class TopNRetriever {
+class ExactRetriever : public Retriever {
  public:
   /// `model` must be non-null and consistent. `seen` (optional) marks
   /// items to exclude per user; pass nullptr to disable filtering.
   /// `shard_mode` controls catalogue sharding (see ItemShardMode).
-  explicit TopNRetriever(std::shared_ptr<const core::ServingModel> model,
-                         std::shared_ptr<const SeenItems> seen = nullptr,
-                         ItemShardMode shard_mode = ItemShardMode::kAuto);
+  explicit ExactRetriever(std::shared_ptr<const core::ServingModel> model,
+                          std::shared_ptr<const SeenItems> seen = nullptr,
+                          ItemShardMode shard_mode = ItemShardMode::kAuto);
+
+  const char* name() const override { return "exact"; }
 
   /// Exact top-k items for `user`, best first, ties by ascending item id,
   /// excluding the user's seen items. k is clamped to the catalogue size;
   /// fewer than k entries come back when filtering leaves fewer items.
-  std::vector<RecEntry> RetrieveTopN(int64_t user, int64_t k) const;
+  std::vector<RecEntry> RetrieveTopN(int64_t user, int64_t k) const override;
 
   /// RetrieveTopN for every user in `users`, parallel across user blocks
   /// (shard pool when item sharding is active, OpenMP otherwise). Output
   /// order matches input order; results are identical to per-user
   /// RetrieveTopN calls at any thread/worker count.
   std::vector<std::vector<RecEntry>> RetrieveBatch(
-      const std::vector<int64_t>& users, int64_t k) const;
+      const std::vector<int64_t>& users, int64_t k) const override;
+
+  RetrieverStats Stats() const override;
 
   /// eval::Scorer adapter on the fast path; holds a model snapshot, so it
   /// is safe to use after this retriever (or the caller's model handle)
   /// goes away. Scores are bit-identical to ServingModel::Score.
-  std::unique_ptr<eval::Scorer> MakeScorer() const;
+  std::unique_ptr<eval::Scorer> MakeScorer() const override;
 
-  const core::ServingModel& model() const { return *model_; }
-  std::shared_ptr<const core::ServingModel> model_ptr() const {
+  const core::ServingModel& model() const override { return *model_; }
+  std::shared_ptr<const core::ServingModel> model_ptr() const override {
     return model_;
   }
   /// Null when seen-item filtering is disabled.
-  const SeenItems* seen() const { return seen_.get(); }
-  std::shared_ptr<const SeenItems> seen_ptr() const { return seen_; }
+  const SeenItems* seen() const override { return seen_.get(); }
+  std::shared_ptr<const SeenItems> seen_ptr() const override { return seen_; }
 
   /// Users per parallel work unit; item rows are re-streamed once per user
   /// block, so larger blocks amortise memory traffic.
@@ -120,15 +102,14 @@ class TopNRetriever {
   void RetrieveBlockItemSharded(const int64_t* users, int64_t count,
                                 int64_t k, std::vector<RecEntry>* outs) const;
 
-  /// True when this call should split the catalogue across the shard pool.
-  bool UseItemSharding() const;
-
   std::shared_ptr<const core::ServingModel> model_;
   std::shared_ptr<const SeenItems> seen_;
   ItemShardMode shard_mode_ = ItemShardMode::kAuto;
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> scanned_items_{0};
 };
 
 }  // namespace serve
 }  // namespace gnmr
 
-#endif  // GNMR_SERVE_TOPN_RETRIEVER_H_
+#endif  // GNMR_SERVE_EXACT_RETRIEVER_H_

@@ -1,0 +1,242 @@
+#include "src/serve/ivf_retriever.h"
+
+#include <algorithm>
+
+#include "src/tensor/kernel_tunables.h"
+#include "src/tensor/shard_plan.h"
+#include "src/tensor/shard_pool.h"
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace serve {
+
+IvfRetriever::IvfRetriever(std::shared_ptr<const core::ServingModel> model,
+                           std::shared_ptr<const SeenItems> seen,
+                           int64_t nprobe, ItemShardMode shard_mode)
+    : model_(std::move(model)),
+      seen_(std::move(seen)),
+      shard_mode_(shard_mode) {
+  GNMR_CHECK(model_ != nullptr);
+  GNMR_CHECK(model_->num_users > 0 && model_->num_items > 0);
+  GNMR_CHECK(model_->embeddings.rows() ==
+             model_->num_users + model_->num_items)
+      << "inconsistent serving model";
+  GNMR_CHECK(model_->has_ivf())
+      << "IvfRetriever needs a model with an IVF index "
+         "(core::BuildIvfIndex)";
+  ivf_ = model_->ivf;
+  // Shape checks only: the O(num_items) structural walk
+  // (IvfIndex::CheckConsistent) already ran where the index was produced
+  // — BuildIvfIndex, LoadServingModel and SaveServingModel all validate —
+  // and RecService constructs retrievers under its swap lock, so this
+  // constructor must stay cheap.
+  GNMR_CHECK_GE(ivf_->nlist(), 1);
+  GNMR_CHECK_EQ(static_cast<int64_t>(ivf_->list_items.size()),
+                model_->num_items);
+  GNMR_CHECK(ivf_->centroids.rank() == 2 &&
+             ivf_->centroids.rows() == ivf_->nlist() &&
+             ivf_->centroids.cols() == model_->embeddings.cols())
+      << "ivf centroid shape mismatch";
+  if (seen_ != nullptr && !seen_->empty()) {
+    GNMR_CHECK_LE(seen_->num_users(), model_->num_users);
+  }
+  if (nprobe <= 0) nprobe = tensor::kIvfDefaultNprobe;
+  nprobe_ = std::min(nprobe, ivf_->nlist());
+}
+
+std::vector<int64_t> IvfRetriever::ProbeClusters(int64_t user) const {
+  const int64_t width = model_->embeddings.cols();
+  const float* urow = model_->embeddings.data() + user * width;
+  const float* centroids = ivf_->centroids.data();
+  const int64_t nlist = ivf_->nlist();
+  // Inner-product centroid scores in double (same accumulation discipline
+  // as item scoring); selection is a pure function of them, so the probe
+  // set is deterministic across backends and worker counts.
+  std::vector<std::pair<float, int64_t>> ranked(static_cast<size_t>(nlist));
+  for (int64_t c = 0; c < nlist; ++c) {
+    const float* crow = centroids + c * width;
+    double acc = 0.0;
+    for (int64_t j = 0; j < width; ++j) {
+      acc += static_cast<double>(urow[j]) * crow[j];
+    }
+    ranked[static_cast<size_t>(c)] = {static_cast<float>(acc), c};
+  }
+  // Only the first nprobe_ winners matter: partial_sort under the same
+  // (score desc, id asc) strict weak ordering yields the identical probe
+  // set and order at O(nlist log nprobe) instead of a full sort — this is
+  // the per-request hot path, and nlist grows as ~sqrt(items).
+  std::partial_sort(ranked.begin(), ranked.begin() + nprobe_, ranked.end(),
+                    [](const std::pair<float, int64_t>& a,
+                       const std::pair<float, int64_t>& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int64_t> probes(static_cast<size_t>(nprobe_));
+  for (int64_t p = 0; p < nprobe_; ++p) {
+    probes[static_cast<size_t>(p)] = ranked[static_cast<size_t>(p)].second;
+  }
+  return probes;
+}
+
+void IvfRetriever::ScanCandidates(int64_t user, const int64_t* candidates,
+                                  int64_t count, int64_t k,
+                                  std::vector<RecEntry>* heap) const {
+  const int64_t width = model_->embeddings.cols();
+  const float* emb = model_->embeddings.data();
+  const float* item_base = emb + model_->num_users * width;
+  const float* urow = emb + user * width;
+  const SeenItems* seen = seen_.get();
+
+  // The shared scan primitives (retriever.h) score and rank candidates
+  // exactly as the exact scan does; the kept set is the range's top-k
+  // under the BetterThan total order, so it does not depend on the
+  // candidate traversal order — which is what makes posting-list shards
+  // mergeable and nprobe == nlist bit-identical to the full catalogue
+  // scan. Only the item indirection differs from RetrieveBlock: candidate
+  // rows are scattered, not a contiguous tile.
+  heap->reserve(static_cast<size_t>(k) + 1);
+  float scores[4];
+  int64_t p = 0;
+  while (p < count) {
+    const int64_t quad = std::min<int64_t>(4, count - p);
+    if (quad == 4) {
+      QuadDotScores(urow, item_base + candidates[p] * width,
+                    item_base + candidates[p + 1] * width,
+                    item_base + candidates[p + 2] * width,
+                    item_base + candidates[p + 3] * width, width, scores);
+    } else {
+      for (int64_t q = 0; q < quad; ++q) {
+        scores[q] =
+            DotScore(urow, item_base + candidates[p + q] * width, width);
+      }
+    }
+    for (int64_t q = 0; q < quad; ++q) {
+      OfferToBoundedHeap(heap, k, RecEntry{candidates[p + q], scores[q]},
+                         seen, user);
+    }
+    p += quad;
+  }
+}
+
+std::vector<RecEntry> IvfRetriever::RetrieveOne(int64_t user, int64_t k,
+                                                bool allow_shard) const {
+  GNMR_CHECK(user >= 0 && user < model_->num_users);
+  const std::vector<int64_t> probes = ProbeClusters(user);
+
+  int64_t total = 0;
+  for (int64_t c : probes) total += ivf_->ListSize(c);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  probed_clusters_.fetch_add(static_cast<uint64_t>(probes.size()),
+                             std::memory_order_relaxed);
+  scanned_items_.fetch_add(static_cast<uint64_t>(total),
+                           std::memory_order_relaxed);
+
+  std::vector<RecEntry> out;
+  if (total == 0) return out;
+  if (allow_shard && ItemShardingActive(shard_mode_)) {
+    // One Global() snapshot serves both sizing and dispatch, and pins the
+    // pool against a concurrent SetShardWorkers swap.
+    std::shared_ptr<tensor::ShardPool> pool = tensor::ShardPool::Global();
+    tensor::ShardPlan plan = tensor::ShardPlan::Uniform(
+        total, pool->workers(), tensor::kShardMinItemsPerShard);
+    const int64_t num_shards = plan.num_shards();
+    if (num_shards > 1) {
+      // Only the sharded path pays for a flat candidate copy: the plan
+      // cuts plain [begin, end) ranges, which need contiguous storage
+      // spanning all probed lists.
+      std::vector<int64_t> candidates;
+      candidates.reserve(static_cast<size_t>(total));
+      for (int64_t c : probes) {
+        const int64_t begin = ivf_->list_offsets[static_cast<size_t>(c)];
+        const int64_t end = ivf_->list_offsets[static_cast<size_t>(c) + 1];
+        candidates.insert(candidates.end(), ivf_->list_items.begin() + begin,
+                          ivf_->list_items.begin() + end);
+      }
+      // Per-shard heaps stay unsorted; MergeShardTopK sorts the union.
+      std::vector<std::vector<RecEntry>> parts(
+          static_cast<size_t>(num_shards));
+      pool->Run(num_shards, [&](int64_t s) {
+        const tensor::ShardRange& r = plan.shard(s);
+        ScanCandidates(user, candidates.data() + r.begin, r.rows(), k,
+                       &parts[static_cast<size_t>(s)]);
+      });
+      return MergeShardTopK(&parts, k);
+    }
+  }
+  // Unsharded: feed each probed posting list through one bounded heap in
+  // place — no per-request candidate copy.
+  for (int64_t c : probes) {
+    ScanCandidates(user,
+                   ivf_->list_items.data() +
+                       ivf_->list_offsets[static_cast<size_t>(c)],
+                   ivf_->ListSize(c), k, &out);
+  }
+  std::sort(out.begin(), out.end(), BetterThan);
+  return out;
+}
+
+std::vector<RecEntry> IvfRetriever::RetrieveTopN(int64_t user,
+                                                 int64_t k) const {
+  GNMR_CHECK_GE(k, 1);
+  k = std::min(k, model_->num_items);
+  return RetrieveOne(user, k, /*allow_shard=*/true);
+}
+
+std::vector<std::vector<RecEntry>> IvfRetriever::RetrieveBatch(
+    const std::vector<int64_t>& users, int64_t k) const {
+  GNMR_CHECK_GE(k, 1);
+  k = std::min(k, model_->num_items);
+  const int64_t n = static_cast<int64_t>(users.size());
+  std::vector<std::vector<RecEntry>> outs(static_cast<size_t>(n));
+  const int64_t num_blocks = (n + kUserBlock - 1) / kUserBlock;
+  // Every user probes a different cluster set, so batching buys outer
+  // parallelism only; each block's users run the inline (unsharded)
+  // single-user path so one dispatch level does all the fanning out.
+  if (ItemShardingActive(shard_mode_)) {
+    if (num_blocks == 1) {
+      // Too few users to fan blocks out: let each user's scan shard its
+      // own candidate range instead, so the pool still gets work.
+      for (int64_t i = 0; i < n; ++i) {
+        outs[static_cast<size_t>(i)] = RetrieveOne(
+            users[static_cast<size_t>(i)], k, /*allow_shard=*/true);
+      }
+      return outs;
+    }
+    tensor::ShardPool::Global()->Run(num_blocks, [&](int64_t b) {
+      const int64_t start = b * kUserBlock;
+      const int64_t count = std::min(kUserBlock, n - start);
+      for (int64_t u = 0; u < count; ++u) {
+        outs[static_cast<size_t>(start + u)] = RetrieveOne(
+            users[static_cast<size_t>(start + u)], k, /*allow_shard=*/false);
+      }
+    });
+    return outs;
+  }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (num_blocks > 1)
+#endif
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    const int64_t start = b * kUserBlock;
+    const int64_t count = std::min(kUserBlock, n - start);
+    for (int64_t u = 0; u < count; ++u) {
+      outs[static_cast<size_t>(start + u)] = RetrieveOne(
+          users[static_cast<size_t>(start + u)], k, /*allow_shard=*/false);
+    }
+  }
+  return outs;
+}
+
+RetrieverStats IvfRetriever::Stats() const {
+  RetrieverStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.scanned_items = scanned_items_.load(std::memory_order_relaxed);
+  out.probed_clusters = probed_clusters_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::unique_ptr<eval::Scorer> IvfRetriever::MakeScorer() const {
+  return core::MakeSharedScorer(model_);
+}
+
+}  // namespace serve
+}  // namespace gnmr

@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/serve/topn_retriever.h"
+#include "src/serve/retriever.h"
 
 namespace gnmr {
 namespace serve {

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <utility>
 
+#include "src/serve/ivf_retriever.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
 
@@ -39,15 +40,31 @@ void CheckKeyRanges(int64_t user, int64_t k) {
       << "k does not fit the 32-bit (user, k) key packing";
 }
 
+void AddInto(RetrieverStats* into, const RetrieverStats& s) {
+  into->requests += s.requests;
+  into->scanned_items += s.scanned_items;
+  into->probed_clusters += s.probed_clusters;
+}
+
 }  // namespace
 
 RecService::RecService(std::shared_ptr<const core::ServingModel> model,
                        std::shared_ptr<const SeenItems> seen,
                        Options options)
     : options_(options),
-      retriever_(std::make_shared<const TopNRetriever>(std::move(model),
-                                                       std::move(seen))),
       cache_(options.cache_capacity_per_shard, options.cache_shards) {
+  // Same construction path a hot swap takes, minus the version bump: the
+  // service has never served anything yet, so this is version 0.
+  exact_ = std::make_shared<const ExactRetriever>(model, seen);
+  if (options_.retriever == RetrieverKind::kIvf) {
+    GNMR_CHECK(model->has_ivf())
+        << "RetrieverKind::kIvf needs a model with an IVF index "
+           "(core::BuildIvfIndex)";
+    retriever_ = std::make_shared<const IvfRetriever>(
+        std::move(model), std::move(seen), options_.nprobe);
+  } else {
+    retriever_ = exact_;
+  }
   num_items_.store(retriever_->model().num_items, std::memory_order_relaxed);
 }
 
@@ -55,10 +72,19 @@ RecService::RecService(std::shared_ptr<const core::ServingModel> model,
                        std::shared_ptr<const SeenItems> seen)
     : RecService(std::move(model), std::move(seen), Options()) {}
 
-std::pair<std::shared_ptr<const TopNRetriever>, uint64_t>
+std::pair<std::shared_ptr<const Retriever>, uint64_t>
 RecService::Snapshot() const {
   std::lock_guard<std::mutex> lock(swap_mu_);
   return {retriever_, cache_.version()};
+}
+
+std::shared_ptr<const ExactRetriever> RecService::ExactFallbackIfRequested(
+    bool exact) {
+  if (!exact) return nullptr;
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  // Identity compare: on an exact-backed service the knob changes nothing
+  // and the normal (cached, coalesced) path serves the request.
+  return exact_.get() != retriever_.get() ? exact_ : nullptr;
 }
 
 RecService::FlightSlot RecService::JoinOrLead(uint64_t key) {
@@ -154,7 +180,8 @@ std::vector<RecEntry> RecService::RetrieveCoalesced(int64_t user, int64_t k) {
   }
 }
 
-std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k) {
+std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k,
+                                            bool exact) {
   util::Stopwatch timer;
   // Clamp before the cache lookup: the cache packs k into the low 32 key
   // bits, and unclamped k would also cache the same full-catalogue list
@@ -163,20 +190,43 @@ std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k) {
   k = std::min(k, num_items_.load(std::memory_order_relaxed));
   CheckKeyRanges(user, k);
   requests_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<RecEntry> out = RetrieveCoalesced(user, k);
+  // The exact knob bypasses cache AND flights: cached lists are shaped by
+  // the primary strategy, and mixing exact results into them would make a
+  // (user, k) entry depend on which caller populated it.
+  std::shared_ptr<const ExactRetriever> fallback =
+      ExactFallbackIfRequested(exact);
+  std::vector<RecEntry> out;
+  if (fallback != nullptr) {
+    exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    out = fallback->RetrieveTopN(user, k);
+  } else {
+    out = RetrieveCoalesced(user, k);
+  }
   latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
                         std::memory_order_relaxed);
   return out;
 }
 
 std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
-    const std::vector<int64_t>& users, int64_t k) {
+    const std::vector<int64_t>& users, int64_t k, bool exact) {
   util::Stopwatch timer;
   GNMR_CHECK_GE(k, 1);
   k = std::min(k, num_items_.load(std::memory_order_relaxed));
   for (int64_t user : users) CheckKeyRanges(user, k);
   const int64_t n = static_cast<int64_t>(users.size());
   requests_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  std::shared_ptr<const ExactRetriever> fallback =
+      ExactFallbackIfRequested(exact);
+  if (fallback != nullptr) {
+    // Forced-exact batch: straight through the fallback scan, no cache
+    // interaction (see Recommend).
+    exact_fallbacks_.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+    std::vector<std::vector<RecEntry>> out = fallback->RetrieveBatch(users, k);
+    latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
+                          std::memory_order_relaxed);
+    return out;
+  }
   std::vector<std::vector<RecEntry>> out(static_cast<size_t>(n));
   std::vector<int64_t> miss_users;
   std::vector<int64_t> miss_slots;
@@ -254,13 +304,25 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
 void RecService::InstallLocked(
     std::shared_ptr<const core::ServingModel> next,
     std::shared_ptr<const SeenItems> seen) {
-  // Caller holds swap_mu_. The TopNRetriever constructor is O(1) (shared
-  // handles + invariant checks), so holding the lock across it is cheap;
-  // readers copying the shared_ptr keep serving the old snapshot until
-  // the assignment below.
+  // Caller holds swap_mu_. Retriever construction is O(1) for exact and
+  // O(1) shape checks for IVF (the O(num_items) index validation runs
+  // where the index is produced — BuildIvfIndex / LoadServingModel — not
+  // here), so holding the lock across it is cheap; readers copying the
+  // shared_ptr keep serving the old snapshot until the assignments below.
+  AddInto(&retired_retrieval_, retriever_->Stats());
+  if (exact_.get() != retriever_.get()) {
+    AddInto(&retired_retrieval_, exact_->Stats());
+  }
   num_items_.store(next->num_items, std::memory_order_relaxed);
-  retriever_ = std::make_shared<const TopNRetriever>(std::move(next),
-                                                     std::move(seen));
+  exact_ = std::make_shared<const ExactRetriever>(next, seen);
+  if (options_.retriever == RetrieverKind::kIvf) {
+    GNMR_CHECK(next->has_ivf())
+        << "swapping a model without an IVF index into a kIvf service";
+    retriever_ = std::make_shared<const IvfRetriever>(
+        std::move(next), std::move(seen), options_.nprobe);
+  } else {
+    retriever_ = exact_;
+  }
   cache_.Invalidate();
   version_.fetch_add(1, std::memory_order_acq_rel);
   swaps_.fetch_add(1, std::memory_order_relaxed);
@@ -280,8 +342,14 @@ util::Status RecService::LoadAndSwap(const std::string& path) {
   // concurrent swap can slip a shape change between them.
   util::Result<core::ServingModel> loaded = core::LoadServingModel(path);
   if (!loaded.ok()) return loaded.status();
-  auto model = std::make_shared<const core::ServingModel>(
-      std::move(loaded).value());
+  core::ServingModel next = std::move(loaded).value();
+  if (options_.retriever == RetrieverKind::kIvf && !next.has_ivf()) {
+    // v1 artifact on an IVF service: build the index here (offline work,
+    // off the swap lock) so the swap below installs a complete snapshot.
+    util::Status built = core::BuildIvfIndex(&next, options_.nlist);
+    if (!built.ok()) return built;
+  }
+  auto model = std::make_shared<const core::ServingModel>(std::move(next));
   std::lock_guard<std::mutex> lock(swap_mu_);
   const core::ServingModel& current = retriever_->model();
   if (model->num_users != current.num_users ||
@@ -297,9 +365,14 @@ util::Status RecService::LoadAndSwap(const std::string& path) {
   return util::Status::OK();
 }
 
-std::shared_ptr<const TopNRetriever> RecService::retriever() const {
+std::shared_ptr<const Retriever> RecService::retriever() const {
   std::lock_guard<std::mutex> lock(swap_mu_);
   return retriever_;
+}
+
+std::shared_ptr<const ExactRetriever> RecService::exact_retriever() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return exact_;
 }
 
 ServiceStats RecService::stats() const {
@@ -307,10 +380,18 @@ ServiceStats RecService::stats() const {
   out.requests = requests_.load(std::memory_order_relaxed);
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.exact_fallbacks =
+      exact_fallbacks_.load(std::memory_order_relaxed);
   out.swaps = swaps_.load(std::memory_order_relaxed);
   out.latency_us_total = latency_us_.load(std::memory_order_relaxed);
   out.model_version = model_version();
   out.cache = cache_.stats();
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  out.retrieval = retired_retrieval_;
+  AddInto(&out.retrieval, retriever_->Stats());
+  if (exact_.get() != retriever_.get()) {
+    AddInto(&out.retrieval, exact_->Stats());
+  }
   return out;
 }
 

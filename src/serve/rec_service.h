@@ -1,11 +1,20 @@
 // Recommendation service facade: model snapshot double-buffering + cache.
 //
 // RecService owns the online read path end to end: requests are answered
-// from the RecCache when possible, otherwise from the current TopNRetriever
-// snapshot. Model hot-swaps are zero-downtime — the next snapshot is built
-// (or loaded from disk) while the current one keeps serving, then an atomic
-// pointer swap + O(1) cache invalidation cut traffic over; in-flight
-// requests finish on the snapshot they started with (shared_ptr pinning).
+// from the RecCache when possible, otherwise from the current Retriever
+// snapshot (exact full-catalogue scan or IVF approximate retrieval —
+// Options::retriever picks the strategy, and the service never touches a
+// concrete scan type beyond constructing it). Model hot-swaps are
+// zero-downtime — the next snapshot is built (or loaded from disk) while
+// the current one keeps serving, then an atomic pointer swap + O(1) cache
+// invalidation cut traffic over; in-flight requests finish on the snapshot
+// they started with (shared_ptr pinning).
+//
+// Exact fallback: an IVF-backed service also keeps an ExactRetriever over
+// the same snapshot; Recommend/RecommendBatch take a per-request
+// `exact` knob that bypasses the approximate index (and the cache, whose
+// entries are strategy-shaped) for callers that need the guaranteed
+// full-catalogue answer — e.g. spot-checking recall in production.
 #ifndef GNMR_SERVE_REC_SERVICE_H_
 #define GNMR_SERVE_REC_SERVICE_H_
 
@@ -17,12 +26,24 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/serve/exact_retriever.h"
 #include "src/serve/rec_cache.h"
-#include "src/serve/topn_retriever.h"
+#include "src/serve/retriever.h"
+#include "src/tensor/kernel_tunables.h"
 #include "src/util/status.h"
 
 namespace gnmr {
 namespace serve {
+
+/// Retrieval strategy served by RecService (see retriever.h).
+enum class RetrieverKind {
+  /// ExactRetriever: full-catalogue blocked scan.
+  kExact,
+  /// IvfRetriever: clustered approximate retrieval. The serving model must
+  /// carry an IVF index (core::BuildIvfIndex); LoadAndSwap builds one on
+  /// the fly for artifacts that lack it.
+  kIvf,
+};
 
 /// Service-level counters. Latency covers Recommend/RecommendBatch
 /// end-to-end (cache lookup + retrieval), per single-user request.
@@ -32,12 +53,20 @@ struct ServiceStats {
   /// Requests that piggybacked on another thread's in-flight retrieval of
   /// the same (user, k) instead of recomputing it (single-flight misses).
   uint64_t coalesced = 0;
+  /// Requests that forced the exact scan on an IVF-backed service (the
+  /// per-request `exact` knob).
+  uint64_t exact_fallbacks = 0;
   uint64_t swaps = 0;
   /// Cumulative request latency in microseconds.
   uint64_t latency_us_total = 0;
   /// Version of the currently served snapshot (bumps on every swap).
   uint64_t model_version = 0;
   CacheStats cache;
+  /// Retrieval-side counters summed across every retriever this service
+  /// has owned (current + retired snapshots): items scanned, clusters
+  /// probed. scanned_items / (requests * catalogue) is the scan fraction
+  /// the index saved.
+  RetrieverStats retrieval;
 
   double HitRate() const {
     return requests == 0 ? 0.0
@@ -56,46 +85,65 @@ class RecService {
   struct Options {
     int64_t cache_capacity_per_shard = 4096;
     int64_t cache_shards = 8;
+    /// Retrieval strategy of the primary (cached) path.
+    RetrieverKind retriever = RetrieverKind::kExact;
+    /// kIvf: clusters probed per request (<= 0 picks the default, clamped
+    /// to the index's nlist).
+    int64_t nprobe = tensor::kIvfDefaultNprobe;
+    /// kIvf: cluster count used when LoadAndSwap must build an index for
+    /// an artifact that lacks one (<= 0 picks the default).
+    int64_t nlist = 0;
   };
 
   /// Serves from `model` (non-null), filtering each user's `seen` items
   /// when provided. `seen` is shared across swaps: LoadAndSwap keeps it,
-  /// SwapModel may replace it.
+  /// SwapModel may replace it. With Options::retriever == kIvf the model
+  /// must carry an IVF index.
   RecService(std::shared_ptr<const core::ServingModel> model,
              std::shared_ptr<const SeenItems> seen, Options options);
   explicit RecService(std::shared_ptr<const core::ServingModel> model,
                       std::shared_ptr<const SeenItems> seen = nullptr);
 
-  /// Exact top-k for `user` (best first, seen items excluded), served from
-  /// cache when fresh. Concurrent misses for the same (user, k) coalesce:
-  /// one thread retrieves while the rest wait on its in-flight result, so
-  /// a thundering herd costs one retrieval instead of N; if the leader
-  /// unwinds before publishing, waiters re-run the miss path (one is
-  /// promoted to leader, the rest coalesce onto it) instead of surfacing
-  /// its empty placeholder. `user` must fit in 32 bits (the cache/flight
-  /// key packing — checked). Thread-safe.
-  std::vector<RecEntry> Recommend(int64_t user, int64_t k);
+  /// Top-k for `user` under the configured strategy (best first, seen
+  /// items excluded), served from cache when fresh. Concurrent misses for
+  /// the same (user, k) coalesce: one thread retrieves while the rest wait
+  /// on its in-flight result, so a thundering herd costs one retrieval
+  /// instead of N; if the leader unwinds before publishing, waiters re-run
+  /// the miss path (one is promoted to leader, the rest coalesce onto it)
+  /// instead of surfacing its empty placeholder. `exact` forces the
+  /// full-catalogue scan on an IVF-backed service, bypassing cache and
+  /// flights (a no-op on an exact-backed service). `user` must fit in 32
+  /// bits (the cache/flight key packing — checked). Thread-safe.
+  std::vector<RecEntry> Recommend(int64_t user, int64_t k,
+                                  bool exact = false);
 
-  /// Batched Recommend: cache lookups first, then one blocked (OpenMP)
-  /// retrieval pass over the misses. Output order matches `users`; the
-  /// same 32-bit user-id constraint as Recommend applies.
+  /// Batched Recommend: cache lookups first, then one blocked retrieval
+  /// pass over the misses. Output order matches `users`; the same 32-bit
+  /// user-id constraint and `exact` semantics as Recommend apply.
   std::vector<std::vector<RecEntry>> RecommendBatch(
-      const std::vector<int64_t>& users, int64_t k);
+      const std::vector<int64_t>& users, int64_t k, bool exact = false);
 
   /// Hot-swaps the served snapshot and invalidates the cache atomically.
   /// Pass `seen` to replace the filter sets (nullptr keeps the current
-  /// ones). Concurrent Recommend calls never block on retrieval: they
-  /// either finish on the old snapshot or start on the new one.
+  /// ones). On a kIvf service the new model must carry an IVF index.
+  /// Concurrent Recommend calls never block on retrieval: they either
+  /// finish on the old snapshot or start on the new one.
   void SwapModel(std::shared_ptr<const core::ServingModel> next,
                  std::shared_ptr<const SeenItems> seen = nullptr);
 
-  /// Loads a ServingModel artifact (SaveServingModel format) and swaps it
-  /// in; the current snapshot serves until the load completes. Keeps the
-  /// current seen sets. On error the service is untouched.
+  /// Loads a ServingModel artifact (SaveServingModel format, v1 or v2) and
+  /// swaps it in; the current snapshot serves until the load completes.
+  /// Keeps the current seen sets. On a kIvf service an artifact without an
+  /// index gets one built (Options::nlist) before the swap. On error the
+  /// service is untouched.
   util::Status LoadAndSwap(const std::string& path);
 
-  /// The snapshot currently serving (pin it by holding the returned ptr).
-  std::shared_ptr<const TopNRetriever> retriever() const;
+  /// The retrieval strategy currently serving (pin it by holding the
+  /// returned ptr).
+  std::shared_ptr<const Retriever> retriever() const;
+  /// The exact-scan fallback over the same snapshot (the primary itself on
+  /// an exact-backed service).
+  std::shared_ptr<const ExactRetriever> exact_retriever() const;
 
   ServiceStats stats() const;
   uint64_t model_version() const {
@@ -123,9 +171,16 @@ class RecService {
   };
 
   /// Reads (retriever, cache version) as one consistent pair.
-  std::pair<std::shared_ptr<const TopNRetriever>, uint64_t> Snapshot() const;
+  std::pair<std::shared_ptr<const Retriever>, uint64_t> Snapshot() const;
+
+  /// Resolves the per-request `exact` knob: the pinned exact fallback when
+  /// it is a DIFFERENT strategy than the primary (i.e. the knob changes
+  /// anything), else nullptr — the single place the fallback rule lives
+  /// for both Recommend and RecommendBatch.
+  std::shared_ptr<const ExactRetriever> ExactFallbackIfRequested(bool exact);
 
   /// Replaces the snapshot + invalidates the cache; swap_mu_ must be held.
+  /// Retires the outgoing retrievers' counters into retired_retrieval_.
   void InstallLocked(std::shared_ptr<const core::ServingModel> next,
                      std::shared_ptr<const SeenItems> seen);
 
@@ -194,9 +249,14 @@ class RecService {
   }
 
   Options options_;
-  /// Guards retriever_ replacement (readers copy the shared_ptr).
+  /// Guards retriever_/exact_ replacement (readers copy the shared_ptr).
   mutable std::mutex swap_mu_;
-  std::shared_ptr<const TopNRetriever> retriever_;
+  /// The strategy serving the cached path (== exact_ on a kExact service).
+  std::shared_ptr<const Retriever> retriever_;
+  /// Exact fallback over the same snapshot.
+  std::shared_ptr<const ExactRetriever> exact_;
+  /// Counters of retrievers already swapped out; guarded by swap_mu_.
+  RetrieverStats retired_retrieval_;
   RecCache cache_;
   /// Catalogue size of the current snapshot (k is clamped against it
   /// before cache lookups, off the lock).
@@ -205,6 +265,7 @@ class RecService {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> exact_fallbacks_{0};
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> latency_us_{0};
   /// Guards flights_; held only for map lookups/insert/erase, never across

@@ -1,0 +1,26 @@
+#include "src/serve/retriever.h"
+
+#include <cstring>
+
+#include "src/tensor/backend.h"
+
+namespace gnmr {
+namespace serve {
+
+bool ItemShardingActive(ItemShardMode mode) {
+  switch (mode) {
+    case ItemShardMode::kOn:
+      return true;
+    case ItemShardMode::kOff:
+      return false;
+    case ItemShardMode::kAuto:
+      // Follow the kernel-backend selection: if compute runs sharded, so
+      // does retrieval. strcmp against the registry name, not a string
+      // compare per entry — this is on the per-request path.
+      return std::strcmp(tensor::GetBackend().name(), "sharded") == 0;
+  }
+  return false;
+}
+
+}  // namespace serve
+}  // namespace gnmr

@@ -69,14 +69,36 @@ inline constexpr int64_t kShardMinRowsPerShard = 8;
 /// per shard.
 inline constexpr int64_t kShardMinElemsPerShard = int64_t{1} << 12;
 
-/// The sharded TopNRetriever never splits the catalogue below this many
-/// items per shard (one retrieval tile, see TopNRetriever::kItemBlock).
+/// The sharded ExactRetriever never splits the catalogue below this many
+/// items per shard (one retrieval tile, see ExactRetriever::kItemBlock).
 inline constexpr int64_t kShardMinItemsPerShard = 256;
 
 /// Whether sharded SpMM partitions rows nnz-balanced (true) or uniformly
 /// (false). Nnz balancing absorbs power-law degree skew at the cost of one
 /// pass over row_ptr when a plan is first built for a matrix.
 inline constexpr bool kShardSpmmNnzBalanced = true;
+
+// ---- IVF retrieval (core::BuildIvfIndex, serve::IvfRetriever) ---------------
+
+/// Default cluster count of the IVF index when the caller passes nlist <= 0
+/// (clamped to the catalogue size). Sized for the 10k-100k item catalogues
+/// the serve bench exercises; larger catalogues should pass ~sqrt(items).
+inline constexpr int64_t kIvfDefaultNlist = 64;
+
+/// Default number of clusters probed per request. nlist/8 keeps the
+/// scanned fraction well under the exact scan while the bench's measured
+/// recall stays high; raise per deployment for tighter recall targets.
+inline constexpr int64_t kIvfDefaultNprobe = 8;
+
+/// Deployment guidance threshold: below this many items one blocked exact
+/// pass is already cheaper than centroid probing plus posting-list
+/// indirection, so serving frontends (gnmr_serve) fall back to the exact
+/// strategy. BuildIvfIndex itself indexes any catalogue — tests and
+/// offline tooling legitimately cluster small ones.
+inline constexpr int64_t kIvfMinItemsForIndex = 1024;
+
+/// Lloyd iteration cap of the offline k-means behind BuildIvfIndex.
+inline constexpr int64_t kIvfKMeansMaxIters = 25;
 
 }  // namespace tensor
 }  // namespace gnmr

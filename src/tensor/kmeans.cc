@@ -1,0 +1,128 @@
+#include "src/tensor/kmeans.h"
+
+#include <algorithm>
+
+#include "src/tensor/backend.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace tensor {
+
+namespace {
+
+// Argmin of squared distance per row, ties to the lowest centroid id.
+// ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 and ||x||^2 is constant per row,
+// so rows compare on cnorm[j] - 2 * cross[i][j]. cross and cnorm come out
+// of the backend kernels bit-identical on every backend, and this
+// reduction is a pure function of them, so the winning id is too.
+int64_t AssignRows(const float* cross, const float* cnorm, int64_t n,
+                   int64_t k, std::vector<int64_t>* assignments) {
+  int64_t changed = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* crow = cross + i * k;
+    int64_t best = 0;
+    double best_d = static_cast<double>(cnorm[0]) - 2.0 * crow[0];
+    for (int64_t j = 1; j < k; ++j) {
+      double dj = static_cast<double>(cnorm[j]) - 2.0 * crow[j];
+      if (dj < best_d) {
+        best = j;
+        best_d = dj;
+      }
+    }
+    if ((*assignments)[static_cast<size_t>(i)] != best) {
+      (*assignments)[static_cast<size_t>(i)] = best;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+KMeansResult KMeansRows(const float* rows, int64_t n, int64_t d, int64_t k,
+                        const KMeansOptions& options) {
+  GNMR_CHECK(rows != nullptr);
+  GNMR_CHECK_GE(n, 1);
+  GNMR_CHECK_GE(d, 1);
+  GNMR_CHECK(k >= 1 && k <= n) << "k must be in [1, n], got k=" << k
+                               << " n=" << n;
+  GNMR_CHECK_GE(options.max_iters, 1);
+  const KernelBackend& backend = GetBackend();
+
+  KMeansResult result;
+  result.centroids = Tensor({k, d});
+  result.assignments.assign(static_cast<size_t>(n), -1);
+  result.sizes.assign(static_cast<size_t>(k), 0);
+
+  // Initial centroids: k distinct input rows, drawn by the fixed seed and
+  // sorted so centroid ids are independent of the draw order.
+  util::Rng rng(options.seed);
+  std::vector<int64_t> seeds = rng.SampleWithoutReplacement(n, k);
+  std::sort(seeds.begin(), seeds.end());
+  backend.GatherRows(rows, d, seeds.data(), k, result.centroids.data());
+
+  Tensor centroids_t({d, k});      // centroids^T, rebuilt per iteration
+  Tensor cross({n, k});            // rows x centroids^T
+  std::vector<float> cnorm(static_cast<size_t>(k));
+  Tensor sums({k, d});
+
+  for (int64_t iter = 0; iter < options.max_iters; ++iter) {
+    // Assign: distances through MatMul + RowDot.
+    const float* c = result.centroids.data();
+    float* ct = centroids_t.data();
+    for (int64_t j = 0; j < k; ++j) {
+      for (int64_t col = 0; col < d; ++col) {
+        ct[col * k + j] = c[j * d + col];
+      }
+    }
+    cross.Fill(0.0f);
+    backend.MatMul(rows, centroids_t.data(), cross.data(), n, d, k);
+    backend.RowDot(c, c, cnorm.data(), k, d);
+    int64_t changed =
+        AssignRows(cross.data(), cnorm.data(), n, k, &result.assignments);
+    result.iterations = iter + 1;
+    if (changed == 0) {
+      // The centroids already reflect these assignments (previous update
+      // pass) — Lloyd's fixed point.
+      result.converged = true;
+      break;
+    }
+
+    // Update: per-cluster sums through ScatterAddRows, then a float divide
+    // per element. Empty clusters keep their previous centroid.
+    sums.Fill(0.0f);
+    backend.ScatterAddRows(sums.data(), k, d, result.assignments.data(), n,
+                           rows);
+    std::fill(result.sizes.begin(), result.sizes.end(), int64_t{0});
+    for (int64_t i = 0; i < n; ++i) {
+      ++result.sizes[static_cast<size_t>(result.assignments[
+          static_cast<size_t>(i)])];
+    }
+    float* cm = result.centroids.data();
+    const float* sm = sums.data();
+    for (int64_t j = 0; j < k; ++j) {
+      const int64_t count = result.sizes[static_cast<size_t>(j)];
+      if (count == 0) continue;
+      const float inv = 1.0f / static_cast<float>(count);
+      for (int64_t col = 0; col < d; ++col) {
+        cm[j * d + col] = sm[j * d + col] * inv;
+      }
+    }
+  }
+
+  // sizes already reflect the final assignments on every exit path: the
+  // converged break fires only when the assign pass changed nothing (so
+  // the previous update pass counted exactly these assignments), and the
+  // max_iters exit runs its update pass last.
+  return result;
+}
+
+KMeansResult KMeansRows(const Tensor& rows, int64_t k,
+                        const KMeansOptions& options) {
+  GNMR_CHECK_EQ(rows.rank(), 2);
+  return KMeansRows(rows.data(), rows.rows(), rows.cols(), k, options);
+}
+
+}  // namespace tensor
+}  // namespace gnmr

@@ -57,9 +57,12 @@ ShardPool::ShardPool(int64_t workers) {
   workers_.reserve(static_cast<size_t>(workers));
   for (int64_t w = 0; w < workers; ++w) {
     workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = static_cast<size_t>(w);
   }
-  // Start threads only after the vector is fully built: a worker never
-  // touches its siblings, but the loop captures `this`.
+  // Start threads only after the vector is fully built: from its first
+  // loop iteration a worker may scan EVERY sibling's queue to steal
+  // (TrySteal walks workers_), so no thread may run while the vector is
+  // still growing.
   for (auto& w : workers_) {
     w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
   }
@@ -78,43 +81,82 @@ ShardPool::~ShardPool() {
   }
 }
 
+void ShardPool::ExecuteTask(Worker* w, const Task& task) {
+  auto start = std::chrono::steady_clock::now();
+  try {
+    (*task.fn)(task.index);
+  } catch (...) {
+    // A throwing task (e.g. bad_alloc) must not escape a worker thread —
+    // that would std::terminate the process. Hand the exception to the
+    // dispatching Run() caller, whose own unwind machinery (such as
+    // RecService's FlightLease) is built for exactly this. Identical for
+    // owned and stolen tasks: the Completion belongs to the dispatch, not
+    // to the queue the task sat in.
+    std::lock_guard<std::mutex> lock(task.completion->mu);
+    if (task.completion->error == nullptr) {
+      task.completion->error = std::current_exception();
+    }
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  w->busy_ns.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()),
+      std::memory_order_relaxed);
+  w->tasks_run.fetch_add(1, std::memory_order_relaxed);
+  if (task.completion->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+      1) {
+    std::lock_guard<std::mutex> lock(task.completion->mu);
+    task.completion->done = true;
+    task.completion->cv.notify_all();
+  }
+}
+
+bool ShardPool::TrySteal(Worker* w, Task* task) {
+  const size_t nw = workers_.size();
+  for (size_t off = 1; off < nw; ++off) {
+    Worker* victim = workers_[(w->index + off) % nw].get();
+    std::lock_guard<std::mutex> lock(victim->mu);
+    if (victim->queue.empty()) continue;
+    // Steal the back: the owner pops the front, so under contention thief
+    // and owner take opposite ends of the deque.
+    *task = victim->queue.back();
+    victim->queue.pop_back();
+    w->tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 void ShardPool::WorkerLoop(Worker* w) {
   t_on_pool_worker = true;
   for (;;) {
     Task task;
+    bool have = false;
     {
       std::unique_lock<std::mutex> lock(w->mu);
-      w->cv.wait(lock, [w] { return w->stop || !w->queue.empty(); });
-      if (w->queue.empty()) return;  // stop requested and drained
-      task = w->queue.front();
-      w->queue.pop_front();
-    }
-    auto start = std::chrono::steady_clock::now();
-    try {
-      (*task.fn)(task.index);
-    } catch (...) {
-      // A throwing task (e.g. bad_alloc) must not escape a worker thread —
-      // that would std::terminate the process. Hand the exception to the
-      // dispatching Run() caller, whose own unwind machinery (such as
-      // RecService's FlightLease) is built for exactly this.
-      std::lock_guard<std::mutex> lock(task.completion->mu);
-      if (task.completion->error == nullptr) {
-        task.completion->error = std::current_exception();
+      if (!w->queue.empty()) {
+        task = w->queue.front();
+        w->queue.pop_front();
+        have = true;
+      } else if (w->stop) {
+        return;  // stop requested and own queue drained
       }
     }
-    auto elapsed = std::chrono::steady_clock::now() - start;
-    w->busy_ns.fetch_add(
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()),
-        std::memory_order_relaxed);
-    w->tasks_run.fetch_add(1, std::memory_order_relaxed);
-    if (task.completion->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
-        1) {
-      std::lock_guard<std::mutex> lock(task.completion->mu);
-      task.completion->done = true;
-      task.completion->cv.notify_all();
+    if (!have) {
+      // Own queue drained: scan the siblings before sleeping. Best-effort —
+      // a task enqueued to a sibling after this scan is the owner's to run
+      // (its cv was notified), so nothing is lost by going to sleep.
+      have = TrySteal(w, &task);
+      if (!have) {
+        std::unique_lock<std::mutex> lock(w->mu);
+        w->cv.wait(lock, [w] { return w->stop || !w->queue.empty(); });
+        if (w->queue.empty()) return;  // stop requested and drained
+        task = w->queue.front();
+        w->queue.pop_front();
+      }
     }
+    ExecuteTask(w, task);
   }
 }
 
@@ -161,6 +203,7 @@ ShardPoolStats ShardPool::stats() const {
   out.worker_busy_ns.reserve(workers_.size());
   for (const auto& w : workers_) {
     out.tasks += w->tasks_run.load(std::memory_order_relaxed);
+    out.steals += w->tasks_stolen.load(std::memory_order_relaxed);
     out.worker_busy_ns.push_back(w->busy_ns.load(std::memory_order_relaxed));
   }
   return out;

@@ -7,10 +7,21 @@
 // the worker count — the common case, one ShardPlan range per worker —
 // every worker receives exactly one task with no cross-worker contention.
 //
+// Work stealing: a worker whose own queue drains scans its siblings and
+// steals the BACK of the first non-empty queue it finds (the owner pops
+// the front, so thief and owner contend on opposite ends). This absorbs
+// duration skew beyond what nnz-balanced planning can see — a shard that
+// turns out heavy at runtime no longer serializes the dispatch while its
+// siblings idle. Stealing is best-effort (a worker that finds nothing
+// sleeps until its own queue is refilled) and preserves exactly-once: a
+// task lives in exactly one queue and is popped under that queue's mutex,
+// whoever pops it.
+//
 // Determinism: the pool never reorders or splits a task; whatever
-// accumulation order the task body uses is preserved. Combined with the
-// serial per-row kernel bodies (backend_kernels.h) this is what keeps the
-// sharded backend bit-identical to the serial reference.
+// accumulation order the task body uses is preserved — a stolen task runs
+// the same body on the same range, just on a different thread. Combined
+// with the serial per-row kernel bodies (backend_kernels.h) this is what
+// keeps the sharded backend bit-identical to the serial reference.
 //
 // Re-entrancy: a task that calls Run() again (e.g. a sharded retriever
 // block landing on a pool worker) executes the nested tasks inline on the
@@ -40,6 +51,10 @@ struct ShardPoolStats {
   uint64_t dispatches = 0;
   /// Shard tasks executed on pool workers.
   uint64_t tasks = 0;
+  /// Tasks an idle worker stole from a sibling's queue (a subset of
+  /// `tasks`); nonzero means the dispatch was skewed enough for stealing
+  /// to pay.
+  uint64_t steals = 0;
   /// Per-worker busy time (nanoseconds spent inside task bodies).
   std::vector<uint64_t> worker_busy_ns;
 };
@@ -90,12 +105,21 @@ class ShardPool {
     std::condition_variable cv;
     std::deque<Task> queue;
     std::thread thread;
+    /// This worker's position in workers_ (steal scans start at index+1).
+    size_t index = 0;
     std::atomic<uint64_t> busy_ns{0};
     std::atomic<uint64_t> tasks_run{0};
+    std::atomic<uint64_t> tasks_stolen{0};
     bool stop = false;
   };
 
   void WorkerLoop(Worker* w);
+  /// Runs one task body on `w` with the exception-capture, timing and
+  /// completion accounting every task gets, owned or stolen.
+  void ExecuteTask(Worker* w, const Task& task);
+  /// Pops the back of the first non-empty sibling queue (scan starts after
+  /// `w`); false when every sibling is drained.
+  bool TrySteal(Worker* w, Task* task);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> dispatches_{0};

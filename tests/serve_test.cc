@@ -20,7 +20,7 @@
 #include "src/serve/rec_cache.h"
 #include "src/serve/rec_service.h"
 #include "src/serve/seen_items.h"
-#include "src/serve/topn_retriever.h"
+#include "src/serve/exact_retriever.h"
 
 namespace gnmr {
 namespace serve {
@@ -154,9 +154,9 @@ TEST(SeenItemsTest, OutOfRangeUsersSeeNothing) {
 
 // -------------------------------------------------------------- retriever ----
 
-TEST(TopNRetrieverTest, MatchesBruteForceExactly) {
+TEST(ExactRetrieverTest, MatchesBruteForceExactly) {
   auto model = RandomModel(23, 57, 12, 7);
-  TopNRetriever retriever(model);
+  ExactRetriever retriever(model);
   for (int64_t k : {1, 3, 10, 57}) {
     for (int64_t user = 0; user < model->num_users; ++user) {
       ExpectExactlyEqual(retriever.RetrieveTopN(user, k),
@@ -165,9 +165,9 @@ TEST(TopNRetrieverTest, MatchesBruteForceExactly) {
   }
 }
 
-TEST(TopNRetrieverTest, TiedScoresBreakByItemId) {
+TEST(ExactRetrieverTest, TiedScoresBreakByItemId) {
   auto model = RandomModel(4, 16, 6, 11);
-  TopNRetriever retriever(model);
+  ExactRetriever retriever(model);
   std::vector<RecEntry> top = retriever.RetrieveTopN(0, 16);
   // Items (1, 5) and (2, 7) have identical embeddings: equal scores must
   // order the smaller id first.
@@ -185,28 +185,28 @@ TEST(TopNRetrieverTest, TiedScoresBreakByItemId) {
   EXPECT_LT(pos(2), pos(7));
 }
 
-TEST(TopNRetrieverTest, KLargerThanCatalogueIsClamped) {
+TEST(ExactRetrieverTest, KLargerThanCatalogueIsClamped) {
   auto model = RandomModel(3, 9, 4, 3);
-  TopNRetriever retriever(model);
+  ExactRetriever retriever(model);
   EXPECT_EQ(retriever.RetrieveTopN(0, 1000).size(), 9u);
 }
 
-TEST(TopNRetrieverTest, SpansMultipleItemBlocks) {
+TEST(ExactRetrieverTest, SpansMultipleItemBlocks) {
   // Catalogue larger than kItemBlock so the blocked scan crosses tiles.
-  auto model = RandomModel(5, TopNRetriever::kItemBlock * 2 + 37, 8, 19);
-  TopNRetriever retriever(model);
+  auto model = RandomModel(5, ExactRetriever::kItemBlock * 2 + 37, 8, 19);
+  ExactRetriever retriever(model);
   for (int64_t user = 0; user < model->num_users; ++user) {
     ExpectExactlyEqual(retriever.RetrieveTopN(user, 25),
                        BruteForceTopN(*model, user, 25));
   }
 }
 
-TEST(TopNRetrieverTest, SeenItemFiltering) {
+TEST(ExactRetrieverTest, SeenItemFiltering) {
   data::Dataset d = TinyDataset();
   auto model = RandomModel(d.num_users, d.num_items, 8, 5);
   auto seen =
       std::make_shared<const SeenItems>(SeenItems::FromDataset(d, true));
-  TopNRetriever retriever(model, seen);
+  ExactRetriever retriever(model, seen);
   for (int64_t user = 0; user < d.num_users; ++user) {
     std::vector<RecEntry> top = retriever.RetrieveTopN(user, d.num_items);
     for (const RecEntry& e : top) {
@@ -220,9 +220,9 @@ TEST(TopNRetrieverTest, SeenItemFiltering) {
   EXPECT_EQ(retriever.RetrieveTopN(0, d.num_items).size(), 4u);
 }
 
-TEST(TopNRetrieverTest, BatchMatchesPerUserCalls) {
+TEST(ExactRetrieverTest, BatchMatchesPerUserCalls) {
   auto model = RandomModel(41, 83, 16, 13);
-  TopNRetriever retriever(model);
+  ExactRetriever retriever(model);
   std::vector<int64_t> users;
   for (int64_t repeat = 0; repeat < 2; ++repeat) {
     for (int64_t u = 0; u < model->num_users; ++u) users.push_back(u);
@@ -234,13 +234,13 @@ TEST(TopNRetrieverTest, BatchMatchesPerUserCalls) {
   }
 }
 
-TEST(TopNRetrieverTest, ScorerAdapterOutlivesRetriever) {
+TEST(ExactRetrieverTest, ScorerAdapterOutlivesRetriever) {
   std::unique_ptr<eval::Scorer> scorer;
   float direct = 0.0f;
   {
     auto model = RandomModel(6, 10, 4, 23);
     direct = model->Score(2, 3);
-    TopNRetriever retriever(model);
+    ExactRetriever retriever(model);
     scorer = retriever.MakeScorer();
     // Both the retriever and the local model handle die here.
   }
@@ -629,7 +629,7 @@ TEST(ServeEvalParityTest, RetrieverScorerBitIdenticalToCachedScorer) {
 
   auto serving = std::make_shared<const core::ServingModel>(
       core::ExportServingModel(trainer.model()));
-  TopNRetriever retriever(serving);
+  ExactRetriever retriever(serving);
   std::unique_ptr<eval::Scorer> fast = retriever.MakeScorer();
   eval::RankingMetrics got =
       eval::EvaluateRanking(fast.get(), candidates, cutoffs);

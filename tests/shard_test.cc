@@ -2,12 +2,13 @@
 // views, ShardPlan partition invariants (uniform and nnz-balanced), the
 // shard pool, bit-identical parity of the "sharded" backend against the
 // serial reference at 1/2/7 workers across all eight kernel entry points,
-// item-sharded TopNRetriever vs brute force (including exact ties), and
+// item-sharded ExactRetriever vs brute force (including exact ties), and
 // the per-shard timings surfaced through the trainer's epoch stats.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <numeric>
@@ -19,7 +20,7 @@
 #include "src/data/split.h"
 #include "src/data/synthetic.h"
 #include "src/serve/seen_items.h"
-#include "src/serve/topn_retriever.h"
+#include "src/serve/exact_retriever.h"
 #include "src/tensor/backend.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/shard_plan.h"
@@ -309,6 +310,64 @@ TEST(ShardPoolTest, SnapshotSurvivesSetShardWorkers) {
   EXPECT_EQ(ShardWorkers(), 2);
 }
 
+// Busy-spins so skew is CPU time, not sleep (a sleeping worker would free
+// the core for its sibling and mask scheduling effects on 1-core hosts).
+void SpinFor(std::chrono::microseconds d) {
+  const auto end = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(ShardPoolTest, IdleWorkersStealFromSkewedQueues) {
+  // Skewed plan: round-robin dealing alternates tasks between the two
+  // workers, but every even-dealt task runs ~2ms while odd ones are nearly
+  // free. The light worker drains its queue in well under one heavy task
+  // and must then steal from its backlogged sibling — without stealing it
+  // would idle for the rest of the dispatch and report (almost) no busy
+  // time past its own 16 cheap tasks.
+  ScopedShardWorkers workers(2);
+  std::shared_ptr<ShardPool> pool = ShardPool::Global();
+  constexpr int64_t kTasks = 32;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool->Run(kTasks, [&](int64_t t) {
+    hits[static_cast<size_t>(t)]++;
+    SpinFor(std::chrono::microseconds(t % 2 == 0 ? 2000 : 20));
+  });
+  // Exactly-once survives stealing: a task lives in exactly one queue and
+  // is popped under that queue's mutex, whoever pops it.
+  for (int64_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[static_cast<size_t>(t)].load(), 1) << "task " << t;
+  }
+  ShardPoolStats stats = pool->stats();
+  EXPECT_EQ(stats.tasks, static_cast<uint64_t>(kTasks));
+  EXPECT_GT(stats.steals, 0u) << "idle worker never stole from the backlog";
+  ASSERT_EQ(stats.worker_busy_ns.size(), 2u);
+  for (size_t w = 0; w < stats.worker_busy_ns.size(); ++w) {
+    EXPECT_GT(stats.worker_busy_ns[w], 0u) << "worker " << w << " idle";
+  }
+}
+
+TEST(ShardPoolTest, StolenTaskExceptionStillRethrown) {
+  // Same skewed shape, with a throwing task buried deep in the backlogged
+  // queue — by the time it runs, the light worker is stealing from that
+  // queue, so the throw frequently happens on the thief. Either way the
+  // exception must surface on the dispatching caller and the pool must
+  // stay usable.
+  ScopedShardWorkers workers(2);
+  std::shared_ptr<ShardPool> pool = ShardPool::Global();
+  EXPECT_THROW(
+      pool->Run(32,
+                [&](int64_t t) {
+                  if (t == 30) throw std::runtime_error("stolen boom");
+                  SpinFor(std::chrono::microseconds(t % 2 == 0 ? 1000 : 20));
+                }),
+      std::runtime_error);
+  std::atomic<int> runs{0};
+  pool->Run(8, [&](int64_t) { runs++; });
+  EXPECT_EQ(runs.load(), 8);
+}
+
 // ------------------------------------------- sharded backend parity 1/2/7 --
 
 void ExpectBitIdentical(const Tensor& ref, const Tensor& got,
@@ -505,8 +564,8 @@ void ExpectExactlyEqual(const std::vector<RecEntry>& got,
 
 TEST(ShardedRetrieverTest, MatchesBruteForceIncludingTies) {
   auto model = TiedModel(12, 3000, 8, 41);
-  TopNRetriever unsharded(model, nullptr, ItemShardMode::kOff);
-  TopNRetriever sharded(model, nullptr, ItemShardMode::kOn);
+  ExactRetriever unsharded(model, nullptr, ItemShardMode::kOff);
+  ExactRetriever sharded(model, nullptr, ItemShardMode::kOn);
   for (int64_t workers : {int64_t{1}, int64_t{2}, int64_t{7}}) {
     ScopedShardWorkers scoped(workers);
     for (int64_t user : {int64_t{0}, int64_t{5}, int64_t{11}}) {
@@ -541,7 +600,7 @@ TEST(ShardedRetrieverTest, SeenFilteringUnderSharding) {
     }
   }
   auto seen = std::make_shared<const SeenItems>(SeenItems::FromDataset(d));
-  TopNRetriever sharded(model, seen, ItemShardMode::kOn);
+  ExactRetriever sharded(model, seen, ItemShardMode::kOn);
   ScopedShardWorkers scoped(3);
   for (int64_t u = 0; u < num_users; ++u) {
     ExpectExactlyEqual(sharded.RetrieveTopN(u, 25),
@@ -552,7 +611,7 @@ TEST(ShardedRetrieverTest, SeenFilteringUnderSharding) {
 
 TEST(ShardedRetrieverTest, AutoModeFollowsActiveBackend) {
   auto model = TiedModel(4, 1500, 8, 43);
-  TopNRetriever retriever(model);  // kAuto
+  ExactRetriever retriever(model);  // kAuto
   ScopedShardWorkers scoped(3);
   std::vector<RecEntry> serial_out, sharded_out;
   {
@@ -570,8 +629,8 @@ TEST(ShardedRetrieverTest, AutoModeFollowsActiveBackend) {
 
 TEST(ShardedRetrieverTest, BatchMatchesPerUserUnderSharding) {
   auto model = TiedModel(40, 2000, 8, 44);
-  TopNRetriever sharded(model, nullptr, ItemShardMode::kOn);
-  TopNRetriever unsharded(model, nullptr, ItemShardMode::kOff);
+  ExactRetriever sharded(model, nullptr, ItemShardMode::kOn);
+  ExactRetriever unsharded(model, nullptr, ItemShardMode::kOff);
   ScopedShardWorkers scoped(4);
   std::vector<int64_t> users;
   for (int64_t u = 0; u < 40; ++u) users.push_back((u * 17) % 40);
