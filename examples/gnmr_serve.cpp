@@ -5,17 +5,23 @@
 //
 //   ./build/examples/gnmr_serve [--epochs=8] [--scale=0.3] [--k=10]
 //                               [--threads=4] [--requests=20000]
-//                               [--zipf=1.1] [--model=path] [--save=path]
+//                               [--zipf=1.1] [--model=path] [--mmap]
+//                               [--save=path] [--save_v3=path]
 //                               [--backend=serial|omp|blocked|sharded]
 //                               [--shard_workers=N]
 //                               [--retriever=exact|ivf] [--nlist=N]
 //                               [--nprobe=N]
 //
 // --model=path skips training and loads a SaveServingModel artifact;
-// --save=path writes the trained artifact for later runs. --backend=
-// selects the kernel backend (same choices as the GNMR_BACKEND env var;
-// see src/tensor/backend.h). --shard_workers= sizes the shard pool used
-// by --backend=sharded and the item-sharded retriever (same as the
+// --save=path writes the trained artifact for later runs. --mmap opens a
+// v3 artifact zero-copy (core::LoadServingModelMapped): the embeddings
+// serve straight out of the page cache, shared read-only across every
+// process mapping the same file (pre-v3 artifacts fall back to a heap
+// load). --save_v3=path writes the zero-copy v3 container alongside (or
+// instead of) the classic --save artifact. --backend= selects the kernel
+// backend (same choices as the GNMR_BACKEND env var; see
+// src/tensor/backend.h). --shard_workers= sizes the shard pool used by
+// --backend=sharded and the item-sharded retriever (same as the
 // GNMR_SHARD_WORKERS env var); 0 auto-sizes to one worker per hardware
 // thread.
 //
@@ -92,7 +98,9 @@ int main(int argc, char** argv) {
   int64_t num_requests = flags.GetInt("requests", 20000);
   double zipf = flags.GetDouble("zipf", 1.1);
   std::string model_path = flags.GetString("model", "");
+  bool use_mmap = flags.GetBool("mmap", false);
   std::string save_path = flags.GetString("save", "");
+  std::string save_v3_path = flags.GetString("save_v3", "");
   std::string retriever_name = flags.GetString("retriever", "exact");
   int64_t nlist = flags.GetInt("nlist", 0);
   int64_t nprobe = flags.GetInt("nprobe", 0);
@@ -119,18 +127,20 @@ int main(int argc, char** argv) {
   std::unique_ptr<core::GnmrTrainer> trainer;
   if (!model_path.empty()) {
     util::Result<core::ServingModel> loaded =
-        core::LoadServingModel(model_path);
+        use_mmap ? core::LoadServingModelMapped(model_path)
+                 : core::LoadServingModel(model_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "cannot load %s: %s\n", model_path.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
     }
     artifact = std::move(loaded).value();
-    std::printf("loaded snapshot %s (%lld users x %lld items%s)\n",
+    std::printf("loaded snapshot %s (%lld users x %lld items%s%s)\n",
                 model_path.c_str(),
                 static_cast<long long>(artifact.num_users),
                 static_cast<long long>(artifact.num_items),
-                artifact.has_ivf() ? ", with IVF index" : "");
+                artifact.has_ivf() ? ", with IVF index" : "",
+                artifact.is_mapped() ? ", mmap zero-copy" : "");
   } else {
     trainer = std::make_unique<core::GnmrTrainer>(config, split.train);
     std::printf("training GNMR (%lld epochs, %lld users x %lld items)...\n",
@@ -146,6 +156,8 @@ int main(int argc, char** argv) {
   //     frozen. A loaded v2 artifact brings its own index; --nlist forces
   //     a rebuild at a different cluster count.
   serve::RecService::Options service_options;
+  // Hot swaps reload the artifact the same way it was first opened.
+  service_options.mmap_artifacts = use_mmap;
   if (retriever_name == "ivf") {
     if (artifact.num_items < tensor::kIvfMinItemsForIndex) {
       std::printf("catalogue of %lld items is below "
@@ -176,6 +188,11 @@ int main(int argc, char** argv) {
     util::Status s = core::SaveServingModel(artifact, save_path);
     std::printf("saved artifact to %s: %s\n", save_path.c_str(),
                 s.ToString().c_str());
+  }
+  if (!save_v3_path.empty()) {
+    util::Status s = core::SaveServingModelV3(artifact, save_v3_path);
+    std::printf("saved v3 (zero-copy) artifact to %s: %s\n",
+                save_v3_path.c_str(), s.ToString().c_str());
   }
   auto snapshot =
       std::make_shared<const core::ServingModel>(std::move(artifact));
@@ -260,13 +277,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.swaps));
   if (stats.retrieval.requests > 0) {
     std::printf("retrieval: %llu scans, %llu items scored (%.1f%% of "
-                "exhaustive), %llu clusters probed\n",
+                "exhaustive), %.1f MB streamed, %llu clusters probed\n",
                 static_cast<unsigned long long>(stats.retrieval.requests),
                 static_cast<unsigned long long>(
                     stats.retrieval.scanned_items),
                 100.0 * static_cast<double>(stats.retrieval.scanned_items) /
                     (static_cast<double>(stats.retrieval.requests) *
                      static_cast<double>(snapshot->num_items)),
+                static_cast<double>(stats.retrieval.scanned_bytes) / 1e6,
                 static_cast<unsigned long long>(
                     stats.retrieval.probed_clusters));
   }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/kmeans.h"
 #include "src/util/check.h"
+#include "src/util/crc32.h"
 
 namespace gnmr {
 namespace core {
@@ -15,6 +17,31 @@ namespace {
 
 constexpr char kMagicV1[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '1'};
 constexpr char kMagicV2[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '2'};
+constexpr char kMagicV3[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '3'};
+
+// v3 container layout constants. Payload sections start at 64-byte-
+// aligned file offsets so that, under a page-aligned mmap base, every
+// tensor view is 64-byte-aligned in memory (cache-line / SIMD friendly).
+constexpr int64_t kV3Align = 64;
+constexpr int64_t kV3HeaderBytes = 8 + 4 * 8;  // magic + 4 int64 fields
+constexpr int64_t kV3EntryBytes = 4 * 8;       // id, offset, length, crc
+
+// Section ids, in their mandatory file order.
+constexpr int64_t kSecEmbeddings = 1;
+constexpr int64_t kSecIvfCentroids = 2;
+constexpr int64_t kSecIvfOffsets = 3;
+constexpr int64_t kSecIvfItems = 4;
+
+int64_t AlignUp64(int64_t offset) {
+  return (offset + kV3Align - 1) / kV3Align * kV3Align;
+}
+
+struct SectionEntry {
+  int64_t id = 0;
+  int64_t offset = 0;
+  int64_t length = 0;
+  int64_t crc = 0;  // CRC32 of the payload bytes, in the low 32 bits
+};
 
 // Borrowing adapter: `keepalive` is null for MakeScorer() (caller
 // guarantees the model outlives the scorer) and owns the model for
@@ -88,6 +115,136 @@ std::string IvfProblem(const IvfIndex& ivf, int64_t num_items,
   return "";
 }
 
+// Parses a v3 container from a contiguous byte range. With
+// `copy_into_owned`, tensors are deep-copied into heap storage; otherwise
+// they are constructed as views with `keepalive` (the mapping) anchoring
+// the memory. Structural validation always runs; payload checksums only
+// when `verify_checksums` (they touch every byte).
+util::Result<ServingModel> ParseV3(
+    const uint8_t* base, int64_t file_size, const std::string& path,
+    bool copy_into_owned, bool verify_checksums,
+    std::shared_ptr<const util::MappedFile> keepalive) {
+  if (file_size < kV3HeaderBytes) {
+    return util::Status::ParseError("truncated v3 header in " + path);
+  }
+  GNMR_CHECK(std::memcmp(base, kMagicV3, sizeof(kMagicV3)) == 0);
+  int64_t header[4];
+  std::memcpy(header, base + 8, sizeof(header));
+  ServingModel model;
+  model.num_users = header[0];
+  model.num_items = header[1];
+  const int64_t width = header[2];
+  const int64_t section_count = header[3];
+  if (model.num_users <= 0 || model.num_items <= 0 || width <= 0) {
+    return util::Status::ParseError("invalid dimensions in v3 header");
+  }
+  // Either just embeddings, or embeddings plus the three IVF sections.
+  if (section_count != 1 && section_count != 4) {
+    return util::Status::ParseError("invalid v3 section count");
+  }
+  const int64_t table_end = kV3HeaderBytes + section_count * kV3EntryBytes;
+  if (file_size < table_end) {
+    return util::Status::ParseError("truncated v3 section table in " + path);
+  }
+  std::vector<SectionEntry> entries(static_cast<size_t>(section_count));
+  std::memcpy(entries.data(), base + kV3HeaderBytes,
+              static_cast<size_t>(section_count * kV3EntryBytes));
+
+  // The writer lays sections out back-to-back at the next 64-byte-aligned
+  // offset, in fixed id order, with nothing after the last one; enforce
+  // exactly that, which also rejects trailing bytes.
+  int64_t expected_offset = AlignUp64(table_end);
+  for (int64_t i = 0; i < section_count; ++i) {
+    const SectionEntry& e = entries[static_cast<size_t>(i)];
+    if (e.id != i + 1) {
+      return util::Status::ParseError("unexpected v3 section id");
+    }
+    if (e.length < 0 || e.offset != expected_offset ||
+        e.offset > file_size - e.length) {
+      return util::Status::ParseError("v3 section out of bounds");
+    }
+    if (e.crc < 0 || e.crc > 0xFFFFFFFFll) {
+      return util::Status::ParseError("invalid v3 section crc");
+    }
+    expected_offset = AlignUp64(e.offset + e.length);
+  }
+  const SectionEntry& last = entries.back();
+  if (last.offset + last.length != file_size) {
+    return util::Status::ParseError("trailing bytes in " + path);
+  }
+
+  const int64_t rows = model.num_users + model.num_items;
+  if (entries[0].length != rows * width * static_cast<int64_t>(sizeof(float))) {
+    return util::Status::ParseError("v3 embeddings size mismatch");
+  }
+  int64_t nlist = 0;
+  if (section_count == 4) {
+    const SectionEntry& off = entries[2];
+    if (off.length < 2 * static_cast<int64_t>(sizeof(int64_t)) ||
+        off.length % static_cast<int64_t>(sizeof(int64_t)) != 0) {
+      return util::Status::ParseError("v3 ivf offsets size mismatch");
+    }
+    nlist = off.length / static_cast<int64_t>(sizeof(int64_t)) - 1;
+    if (nlist < 1 || nlist > model.num_items) {
+      return util::Status::ParseError("invalid v3 ivf nlist");
+    }
+    if (entries[1].length !=
+        nlist * width * static_cast<int64_t>(sizeof(float))) {
+      return util::Status::ParseError("v3 ivf centroids size mismatch");
+    }
+    if (entries[3].length !=
+        model.num_items * static_cast<int64_t>(sizeof(int64_t))) {
+      return util::Status::ParseError("v3 ivf items size mismatch");
+    }
+  }
+
+  if (verify_checksums) {
+    for (const SectionEntry& e : entries) {
+      const uint32_t got =
+          util::Crc32(base + e.offset, static_cast<size_t>(e.length));
+      if (got != static_cast<uint32_t>(e.crc)) {
+        return util::Status::ParseError(
+            "checksum mismatch in section " + std::to_string(e.id) + " of " +
+            path);
+      }
+    }
+  }
+
+  const auto float_view = [&](const SectionEntry& e,
+                              std::vector<int64_t> shape) {
+    const float* p = reinterpret_cast<const float*>(base + e.offset);
+    if (copy_into_owned) {
+      tensor::Tensor t(std::move(shape));
+      std::memcpy(t.data(), p, static_cast<size_t>(e.length));
+      return t;
+    }
+    return tensor::Tensor::FromView(std::move(shape), p, keepalive);
+  };
+  const auto int_view = [&](const SectionEntry& e) {
+    const int64_t* p = reinterpret_cast<const int64_t*>(base + e.offset);
+    const int64_t n = e.length / static_cast<int64_t>(sizeof(int64_t));
+    if (copy_into_owned) {
+      return tensor::Storage<int64_t>(std::vector<int64_t>(p, p + n));
+    }
+    return tensor::Storage<int64_t>::View(p, n, keepalive);
+  };
+
+  model.embeddings = float_view(entries[0], {rows, width});
+  if (section_count == 4) {
+    auto ivf = std::make_shared<IvfIndex>();
+    ivf->centroids = float_view(entries[1], {nlist, width});
+    ivf->list_offsets = int_view(entries[2]);
+    ivf->list_items = int_view(entries[3]);
+    const std::string problem = IvfProblem(*ivf, model.num_items, width);
+    if (!problem.empty()) {
+      return util::Status::ParseError("corrupt ivf index: " + problem);
+    }
+    model.ivf = std::move(ivf);
+  }
+  if (!copy_into_owned) model.storage_file = std::move(keepalive);
+  return model;
+}
+
 }  // namespace
 
 void IvfIndex::CheckConsistent(int64_t num_items, int64_t width) const {
@@ -137,8 +294,10 @@ util::Status BuildIvfIndex(ServingModel* model, int64_t nlist) {
   nlist = std::min(nlist, model->num_items);
 
   const int64_t width = model->embeddings.cols();
+  // Read through const data(): the model may be view-backed (mmap), in
+  // which case the mutable accessor would abort.
   const float* item_rows =
-      model->embeddings.data() + model->num_users * width;
+      std::as_const(model->embeddings).data() + model->num_users * width;
   tensor::KMeansOptions options;
   options.max_iters = tensor::kIvfKMeansMaxIters;
   tensor::KMeansResult clusters =
@@ -146,22 +305,22 @@ util::Status BuildIvfIndex(ServingModel* model, int64_t nlist) {
 
   auto ivf = std::make_shared<IvfIndex>();
   ivf->centroids = std::move(clusters.centroids);
-  ivf->list_offsets.assign(static_cast<size_t>(nlist) + 1, 0);
+  std::vector<int64_t> list_offsets(static_cast<size_t>(nlist) + 1, 0);
   for (int64_t c = 0; c < nlist; ++c) {
-    ivf->list_offsets[static_cast<size_t>(c) + 1] =
-        ivf->list_offsets[static_cast<size_t>(c)] +
+    list_offsets[static_cast<size_t>(c) + 1] =
+        list_offsets[static_cast<size_t>(c)] +
         clusters.sizes[static_cast<size_t>(c)];
   }
   // Counting sort by cluster: walking items in ascending id order makes
   // each posting list ascending by construction.
-  ivf->list_items.resize(static_cast<size_t>(model->num_items));
-  std::vector<int64_t> cursor(ivf->list_offsets.begin(),
-                              ivf->list_offsets.end() - 1);
+  std::vector<int64_t> list_items(static_cast<size_t>(model->num_items));
+  std::vector<int64_t> cursor(list_offsets.begin(), list_offsets.end() - 1);
   for (int64_t item = 0; item < model->num_items; ++item) {
     const int64_t c = clusters.assignments[static_cast<size_t>(item)];
-    ivf->list_items[static_cast<size_t>(
-        cursor[static_cast<size_t>(c)]++)] = item;
+    list_items[static_cast<size_t>(cursor[static_cast<size_t>(c)]++)] = item;
   }
+  ivf->list_offsets = std::move(list_offsets);
+  ivf->list_items = std::move(list_items);
   ivf->CheckConsistent(model->num_items, width);
   model->ivf = std::move(ivf);
   return util::Status::OK();
@@ -192,12 +351,96 @@ util::Status SaveServingModel(const ServingModel& model,
     WritePod(out, &nlist, 1);
     WritePod(out, ivf.centroids.data(),
              static_cast<size_t>(ivf.centroids.numel()));
-    WritePod(out, ivf.list_offsets.data(), ivf.list_offsets.size());
-    WritePod(out, ivf.list_items.data(), ivf.list_items.size());
+    WritePod(out, ivf.list_offsets.data(),
+             static_cast<size_t>(ivf.list_offsets.size()));
+    WritePod(out, ivf.list_items.data(),
+             static_cast<size_t>(ivf.list_items.size()));
   }
   out.flush();
   if (!out.good()) return util::Status::IOError("write error on " + path);
   return util::Status::OK();
+}
+
+util::Status SaveServingModelV3(const ServingModel& model,
+                                const std::string& path) {
+  if (model.embeddings.empty() ||
+      model.embeddings.rows() != model.num_users + model.num_items) {
+    return util::Status::InvalidArgument("inconsistent serving model");
+  }
+  const int64_t width = model.embeddings.cols();
+  if (model.has_ivf()) model.ivf->CheckConsistent(model.num_items, width);
+
+  struct Payload {
+    int64_t id;
+    const void* data;
+    int64_t length;
+  };
+  const tensor::Tensor& emb = model.embeddings;
+  std::vector<Payload> payloads = {
+      {kSecEmbeddings, std::as_const(emb).data(),
+       emb.numel() * static_cast<int64_t>(sizeof(float))}};
+  if (model.has_ivf()) {
+    const IvfIndex& ivf = *model.ivf;
+    payloads.push_back(
+        {kSecIvfCentroids, std::as_const(ivf.centroids).data(),
+         ivf.centroids.numel() * static_cast<int64_t>(sizeof(float))});
+    payloads.push_back(
+        {kSecIvfOffsets, ivf.list_offsets.data(),
+         ivf.list_offsets.size() * static_cast<int64_t>(sizeof(int64_t))});
+    payloads.push_back(
+        {kSecIvfItems, ivf.list_items.data(),
+         ivf.list_items.size() * static_cast<int64_t>(sizeof(int64_t))});
+  }
+
+  const int64_t section_count = static_cast<int64_t>(payloads.size());
+  std::vector<SectionEntry> entries;
+  int64_t offset = AlignUp64(kV3HeaderBytes + section_count * kV3EntryBytes);
+  for (const Payload& p : payloads) {
+    SectionEntry e;
+    e.id = p.id;
+    e.offset = offset;
+    e.length = p.length;
+    e.crc = static_cast<int64_t>(
+        util::Crc32(p.data, static_cast<size_t>(p.length)));
+    entries.push_back(e);
+    offset = AlignUp64(offset + p.length);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return util::Status::IOError("cannot open " + path);
+  out.write(kMagicV3, sizeof(kMagicV3));
+  int64_t header[4] = {model.num_users, model.num_items, width,
+                       section_count};
+  WritePod(out, header, 4);
+  WritePod(out, entries.data(), entries.size());
+  int64_t pos = kV3HeaderBytes + section_count * kV3EntryBytes;
+  static constexpr char kZeros[kV3Align] = {};
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    const int64_t pad = entries[i].offset - pos;
+    GNMR_CHECK(pad >= 0 && pad < kV3Align);
+    out.write(kZeros, static_cast<std::streamsize>(pad));
+    out.write(static_cast<const char*>(payloads[i].data),
+              static_cast<std::streamsize>(payloads[i].length));
+    pos = entries[i].offset + entries[i].length;
+  }
+  out.flush();
+  if (!out.good()) return util::Status::IOError("write error on " + path);
+  return util::Status::OK();
+}
+
+util::Result<ServingModel> LoadServingModelMapped(const std::string& path,
+                                                  bool verify_checksums) {
+  auto mapped = util::MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<const util::MappedFile> file = std::move(mapped).value();
+  if (file->size() < static_cast<int64_t>(sizeof(kMagicV3)) ||
+      std::memcmp(file->data(), kMagicV3, sizeof(kMagicV3)) != 0) {
+    // Pre-v3 artifacts have no alignment guarantees; load them the
+    // classic way into owned storage.
+    return LoadServingModel(path);
+  }
+  return ParseV3(file->data(), file->size(), path, /*copy_into_owned=*/false,
+                 verify_checksums, file);
 }
 
 util::Result<ServingModel> LoadServingModel(const std::string& path) {
@@ -208,6 +451,18 @@ util::Result<ServingModel> LoadServingModel(const std::string& path) {
     return util::Status::ParseError("bad magic in " + path);
   }
   bool has_ivf = false;
+  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    // v3 is parsed from a contiguous mapping (same parser as the
+    // zero-copy path), then deep-copied into owned storage with every
+    // section checksum verified.
+    in.close();
+    auto mapped = util::MappedFile::Open(path);
+    if (!mapped.ok()) return mapped.status();
+    std::shared_ptr<const util::MappedFile> file = std::move(mapped).value();
+    return ParseV3(file->data(), file->size(), path,
+                   /*copy_into_owned=*/true, /*verify_checksums=*/true,
+                   nullptr);
+  }
   if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
     has_ivf = true;
   } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
@@ -240,14 +495,16 @@ util::Result<ServingModel> LoadServingModel(const std::string& path) {
     }
     auto ivf = std::make_shared<IvfIndex>();
     ivf->centroids = tensor::Tensor({nlist, width});
-    ivf->list_offsets.resize(static_cast<size_t>(nlist) + 1);
-    ivf->list_items.resize(static_cast<size_t>(model.num_items));
+    std::vector<int64_t> list_offsets(static_cast<size_t>(nlist) + 1);
+    std::vector<int64_t> list_items(static_cast<size_t>(model.num_items));
     if (!ReadPod(in, ivf->centroids.data(),
                  static_cast<size_t>(ivf->centroids.numel())) ||
-        !ReadPod(in, ivf->list_offsets.data(), ivf->list_offsets.size()) ||
-        !ReadPod(in, ivf->list_items.data(), ivf->list_items.size())) {
+        !ReadPod(in, list_offsets.data(), list_offsets.size()) ||
+        !ReadPod(in, list_items.data(), list_items.size())) {
       return util::Status::ParseError("truncated ivf index");
     }
+    ivf->list_offsets = std::move(list_offsets);
+    ivf->list_items = std::move(list_items);
     const std::string problem = IvfProblem(*ivf, model.num_items, width);
     if (!problem.empty()) {
       return util::Status::ParseError("corrupt ivf index: " + problem);

@@ -11,6 +11,17 @@
 //     nlist, the [nlist, width] centroid tensor, and CSR item-to-cluster
 //     posting lists (offsets + item ids, ascending within each cluster).
 //     Written when the model carries an index (see BuildIvfIndex).
+//   v3 ("GNMRSM03") — fixed-layout, alignment-friendly container designed
+//     for zero-copy loading: magic + int64 header (num_users, num_items,
+//     width, section_count) + a section table of (id, offset, length,
+//     crc32) entries + the section payloads, each starting at a 64-byte-
+//     aligned file offset. Sections: 1 = embeddings, and — when the model
+//     carries an index — 2 = IVF centroids, 3 = IVF list offsets,
+//     4 = IVF list items, in that order. Because mmap bases are page-
+//     aligned, 64-byte file alignment gives 64-byte memory alignment, so
+//     LoadServingModelMapped can construct every tensor as a view
+//     straight over the mapping (see tensor/storage.h) with O(1) load
+//     time. Written by SaveServingModelV3.
 #ifndef GNMR_CORE_MODEL_IO_H_
 #define GNMR_CORE_MODEL_IO_H_
 
@@ -19,6 +30,8 @@
 #include <vector>
 
 #include "src/core/gnmr_model.h"
+#include "src/tensor/storage.h"
+#include "src/util/mmap_file.h"
 #include "src/util/status.h"
 
 namespace gnmr {
@@ -33,10 +46,11 @@ struct IvfIndex {
   tensor::Tensor centroids;
   /// list_offsets[c] .. list_offsets[c+1] delimits cluster c's slice of
   /// list_items; size nlist + 1, list_offsets[nlist] == num_items.
-  std::vector<int64_t> list_offsets;
+  /// Storage so a mapped artifact can expose the lists as views.
+  tensor::Storage<int64_t> list_offsets;
   /// Item ids grouped by cluster, ascending within each cluster; every
   /// catalogue item appears exactly once.
-  std::vector<int64_t> list_items;
+  tensor::Storage<int64_t> list_items;
 
   int64_t nlist() const {
     return list_offsets.empty()
@@ -65,8 +79,15 @@ struct ServingModel {
   /// Optional IVF index over the item rows; null = exact retrieval only.
   /// Shared so snapshot copies (hot-swap double buffering) stay O(1).
   std::shared_ptr<const IvfIndex> ivf;
+  /// Non-null when the model was opened via LoadServingModelMapped: the
+  /// tensors above are views over this mapping. Each view also holds the
+  /// mapping as its keepalive, so the memory stays valid for as long as
+  /// any tensor copy lives — this member makes the backing explicit and
+  /// queryable (e.g. for serving diagnostics).
+  std::shared_ptr<const util::MappedFile> storage_file;
 
   bool has_ivf() const { return ivf != nullptr; }
+  bool is_mapped() const { return storage_file != nullptr; }
 
   /// Dot-product score; user/item must be in range.
   float Score(int64_t user, int64_t item) const;
@@ -103,9 +124,33 @@ util::Status BuildIvfIndex(ServingModel* model, int64_t nlist);
 util::Status SaveServingModel(const ServingModel& model,
                               const std::string& path);
 
-/// Loads a model written by SaveServingModel (either version); validates
-/// header, sizes and — for v2 — the structural invariants of the index.
+/// Writes the v3 zero-copy container (see the version notes above), with
+/// a CRC32 checksum per section. Readers of every version accept it via
+/// LoadServingModel; LoadServingModelMapped serves it without copying.
+util::Status SaveServingModelV3(const ServingModel& model,
+                                const std::string& path);
+
+/// Loads a model written by SaveServingModel or SaveServingModelV3 into
+/// owned heap storage; validates header, sizes, the structural invariants
+/// of the index, and — for v3 — every section checksum.
 util::Result<ServingModel> LoadServingModel(const std::string& path);
+
+/// Opens a v3 artifact zero-copy: the file is mmap'ed once and every
+/// tensor is constructed as a read-only view over the mapping, which is
+/// kept alive by the returned model (and by every copy of its tensors).
+/// Load time is O(1) in the embedding-table size — pages fault in on
+/// first touch and are shared read-only across processes.
+///
+/// Section checksums are NOT verified by default (verifying would touch
+/// every page and defeat the O(1) load); pass verify_checksums = true to
+/// pay one sequential read for the integrity check, or load through
+/// LoadServingModel which always verifies. Structural validation of the
+/// header, section table and IVF posting lists always runs.
+///
+/// v1/v2 artifacts are accepted and silently fall back to the owned-
+/// storage loader (check is_mapped() on the result).
+util::Result<ServingModel> LoadServingModelMapped(
+    const std::string& path, bool verify_checksums = false);
 
 }  // namespace core
 }  // namespace gnmr

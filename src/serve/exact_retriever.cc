@@ -128,6 +128,10 @@ std::vector<RecEntry> ExactRetriever::RetrieveTopN(int64_t user,
   requests_.fetch_add(1, std::memory_order_relaxed);
   scanned_items_.fetch_add(static_cast<uint64_t>(num_items),
                            std::memory_order_relaxed);
+  scanned_bytes_.fetch_add(
+      static_cast<uint64_t>(num_items * model_->embeddings.cols()) *
+          sizeof(float),
+      std::memory_order_relaxed);
   std::vector<RecEntry> out;
   if (ItemShardingActive(shard_mode_)) {
     RetrieveBlockItemSharded(&user, 1, k, &out);
@@ -146,6 +150,10 @@ std::vector<std::vector<RecEntry>> ExactRetriever::RetrieveBatch(
   requests_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
   scanned_items_.fetch_add(static_cast<uint64_t>(n * num_items),
                            std::memory_order_relaxed);
+  scanned_bytes_.fetch_add(
+      static_cast<uint64_t>(n * num_items * model_->embeddings.cols()) *
+          sizeof(float),
+      std::memory_order_relaxed);
   std::vector<std::vector<RecEntry>> outs(static_cast<size_t>(n));
   const int64_t num_blocks = (n + kUserBlock - 1) / kUserBlock;
   // User blocks are independent (each writes its own output slots), so the
@@ -188,6 +196,7 @@ RetrieverStats ExactRetriever::Stats() const {
   RetrieverStats out;
   out.requests = requests_.load(std::memory_order_relaxed);
   out.scanned_items = scanned_items_.load(std::memory_order_relaxed);
+  out.scanned_bytes = scanned_bytes_.load(std::memory_order_relaxed);
   return out;
 }
 

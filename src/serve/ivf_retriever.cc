@@ -130,6 +130,12 @@ std::vector<RecEntry> IvfRetriever::RetrieveOne(int64_t user, int64_t k,
                              std::memory_order_relaxed);
   scanned_items_.fetch_add(static_cast<uint64_t>(total),
                            std::memory_order_relaxed);
+  // Bytes streamed: the probed candidates' item rows plus every centroid
+  // row read by ProbeClusters (the probe scans all nlist centroids).
+  const int64_t width = model_->embeddings.cols();
+  scanned_bytes_.fetch_add(
+      static_cast<uint64_t>((total + ivf_->nlist()) * width) * sizeof(float),
+      std::memory_order_relaxed);
 
   std::vector<RecEntry> out;
   if (total == 0) return out;
@@ -230,6 +236,7 @@ RetrieverStats IvfRetriever::Stats() const {
   RetrieverStats out;
   out.requests = requests_.load(std::memory_order_relaxed);
   out.scanned_items = scanned_items_.load(std::memory_order_relaxed);
+  out.scanned_bytes = scanned_bytes_.load(std::memory_order_relaxed);
   out.probed_clusters = probed_clusters_.load(std::memory_order_relaxed);
   return out;
 }

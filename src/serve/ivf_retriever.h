@@ -106,6 +106,7 @@ class IvfRetriever : public Retriever {
   ItemShardMode shard_mode_ = ItemShardMode::kAuto;
   mutable std::atomic<uint64_t> requests_{0};
   mutable std::atomic<uint64_t> scanned_items_{0};
+  mutable std::atomic<uint64_t> scanned_bytes_{0};
   mutable std::atomic<uint64_t> probed_clusters_{0};
 };
 

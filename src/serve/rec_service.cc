@@ -43,6 +43,7 @@ void CheckKeyRanges(int64_t user, int64_t k) {
 void AddInto(RetrieverStats* into, const RetrieverStats& s) {
   into->requests += s.requests;
   into->scanned_items += s.scanned_items;
+  into->scanned_bytes += s.scanned_bytes;
   into->probed_clusters += s.probed_clusters;
 }
 
@@ -340,7 +341,9 @@ util::Status RecService::LoadAndSwap(const std::string& path) {
   // Load v+1 while v keeps serving; nothing above the lock blocks readers,
   // and validation + install happen in one critical section so no
   // concurrent swap can slip a shape change between them.
-  util::Result<core::ServingModel> loaded = core::LoadServingModel(path);
+  util::Result<core::ServingModel> loaded =
+      options_.mmap_artifacts ? core::LoadServingModelMapped(path)
+                              : core::LoadServingModel(path);
   if (!loaded.ok()) return loaded.status();
   core::ServingModel next = std::move(loaded).value();
   if (options_.retriever == RetrieverKind::kIvf && !next.has_ivf()) {

@@ -93,6 +93,12 @@ class RecService {
     /// kIvf: cluster count used when LoadAndSwap must build an index for
     /// an artifact that lacks one (<= 0 picks the default).
     int64_t nlist = 0;
+    /// LoadAndSwap opens v3 artifacts zero-copy (LoadServingModelMapped):
+    /// the snapshot serves straight out of the page cache and load time is
+    /// O(1) in the table size. Pre-v3 artifacts silently fall back to the
+    /// owned-storage loader. Snapshot lifetime is unchanged — the mapping
+    /// lives as long as any in-flight request pins the snapshot.
+    bool mmap_artifacts = false;
   };
 
   /// Serves from `model` (non-null), filtering each user's `seen` items

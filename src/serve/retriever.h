@@ -129,6 +129,11 @@ struct RetrieverStats {
   uint64_t requests = 0;
   /// Item rows scored across all requests.
   uint64_t scanned_items = 0;
+  /// Embedding bytes streamed to produce those scores: scanned item rows
+  /// plus, for IVF, the centroid rows read by every cluster probe. This
+  /// is the memory-bandwidth cost of the scan — the number that matters
+  /// when the model is served out of a shared mmap.
+  uint64_t scanned_bytes = 0;
   /// IVF only: posting lists visited across all requests (0 for exact).
   uint64_t probed_clusters = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "src/tensor/backend.h"
 #include "src/util/check.h"
@@ -28,9 +29,11 @@ CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
     return a.row != b.row ? a.row < b.row : a.col < b.col;
   });
 
-  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
-  m.col_idx_.reserve(sorted.size());
-  m.values_.reserve(sorted.size());
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(sorted.size());
+  values.reserve(sorted.size());
   for (size_t i = 0; i < sorted.size();) {
     size_t j = i;
     float acc = 0.0f;
@@ -39,14 +42,33 @@ CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
       acc += sorted[j].value;
       ++j;
     }
-    m.col_idx_.push_back(sorted[i].col);
-    m.values_.push_back(acc);
-    m.row_ptr_[static_cast<size_t>(sorted[i].row) + 1] += 1;
+    col_idx.push_back(sorted[i].col);
+    values.push_back(acc);
+    row_ptr[static_cast<size_t>(sorted[i].row) + 1] += 1;
     i = j;
   }
   for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
-    m.row_ptr_[r + 1] += m.row_ptr_[r];
+    row_ptr[r + 1] += row_ptr[r];
   }
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromView(int64_t rows, int64_t cols, int64_t nnz,
+                              const int64_t* row_ptr, const int64_t* col_idx,
+                              const float* values,
+                              std::shared_ptr<const void> keepalive) {
+  GNMR_CHECK_GE(rows, 0);
+  GNMR_CHECK_GE(cols, 0);
+  GNMR_CHECK_GE(nnz, 0);
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = Storage<int64_t>::View(row_ptr, rows + 1, keepalive);
+  m.col_idx_ = Storage<int64_t>::View(col_idx, nnz, keepalive);
+  m.values_ = Storage<float>::View(values, nnz, std::move(keepalive));
   return m;
 }
 
@@ -67,39 +89,46 @@ CsrMatrix CsrMatrix::Transposed() const {
   CsrMatrix t;
   t.rows_ = cols_;
   t.cols_ = rows_;
-  t.row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
-  t.col_idx_.assign(col_idx_.size(), 0);
-  t.values_.assign(values_.size(), 0.0f);
+  std::vector<int64_t> t_row_ptr(static_cast<size_t>(cols_) + 1, 0);
+  std::vector<int64_t> t_col_idx(static_cast<size_t>(nnz()), 0);
+  std::vector<float> t_values(static_cast<size_t>(nnz()), 0.0f);
 
   // Counting pass.
-  for (int64_t c : col_idx_) t.row_ptr_[static_cast<size_t>(c) + 1] += 1;
+  for (int64_t c : col_idx_) t_row_ptr[static_cast<size_t>(c) + 1] += 1;
   for (size_t r = 0; r < static_cast<size_t>(cols_); ++r) {
-    t.row_ptr_[r + 1] += t.row_ptr_[r];
+    t_row_ptr[r + 1] += t_row_ptr[r];
   }
   // Placement pass; iterating source rows in order keeps target columns
   // sorted within each target row.
-  std::vector<int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  std::vector<int64_t> cursor(t_row_ptr.begin(), t_row_ptr.end() - 1);
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t p = row_ptr_[static_cast<size_t>(r)];
          p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
       int64_t c = col_idx_[static_cast<size_t>(p)];
       int64_t dst = cursor[static_cast<size_t>(c)]++;
-      t.col_idx_[static_cast<size_t>(dst)] = r;
-      t.values_[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
+      t_col_idx[static_cast<size_t>(dst)] = r;
+      t_values[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
     }
   }
+  t.row_ptr_ = std::move(t_row_ptr);
+  t.col_idx_ = std::move(t_col_idx);
+  t.values_ = std::move(t_values);
   return t;
 }
 
 CsrMatrix CsrMatrix::RowScaled(const std::vector<float>& scale) const {
   GNMR_CHECK_EQ(static_cast<int64_t>(scale.size()), rows_);
+  // The result owns fresh values even when this matrix is a view; the
+  // structure arrays are shared via Storage's cheap copy.
   CsrMatrix out = *this;
+  std::vector<float> scaled(values_.begin(), values_.end());
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t p = row_ptr_[static_cast<size_t>(r)];
          p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-      out.values_[static_cast<size_t>(p)] *= scale[static_cast<size_t>(r)];
+      scaled[static_cast<size_t>(p)] *= scale[static_cast<size_t>(r)];
     }
   }
+  out.values_ = std::move(scaled);
   return out;
 }
 

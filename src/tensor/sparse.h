@@ -5,8 +5,10 @@
 #define GNMR_TENSOR_SPARSE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/tensor/storage.h"
 #include "src/tensor/tensor.h"
 
 namespace gnmr {
@@ -86,13 +88,25 @@ class CsrMatrix {
   static CsrMatrix FromCoo(int64_t rows, int64_t cols,
                            const std::vector<Coo>& entries);
 
+  /// Non-owning view over externally kept-alive CSR arrays (row_ptr of
+  /// size rows+1, col_idx/values of size nnz). `keepalive` — e.g. a
+  /// util::MappedFile — is held by the matrix and every copy of it.
+  /// Structural invariants are the caller's responsibility; run
+  /// CheckInvariants() on untrusted input.
+  static CsrMatrix FromView(int64_t rows, int64_t cols, int64_t nnz,
+                            const int64_t* row_ptr, const int64_t* col_idx,
+                            const float* values,
+                            std::shared_ptr<const void> keepalive);
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
-  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+  int64_t nnz() const { return col_idx_.size(); }
+  /// False when the arrays are views over external memory (FromView).
+  bool owns_storage() const { return !col_idx_.is_view(); }
 
-  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<int64_t>& col_idx() const { return col_idx_; }
-  const std::vector<float>& values() const { return values_; }
+  const Storage<int64_t>& row_ptr() const { return row_ptr_; }
+  const Storage<int64_t>& col_idx() const { return col_idx_; }
+  const Storage<float>& values() const { return values_; }
 
   /// Number of stored entries in row `r`.
   int64_t RowNnz(int64_t r) const;
@@ -118,9 +132,9 @@ class CsrMatrix {
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
-  std::vector<int64_t> row_ptr_;   // size rows_+1
-  std::vector<int64_t> col_idx_;   // size nnz, sorted within each row
-  std::vector<float> values_;      // size nnz
+  Storage<int64_t> row_ptr_;   // size rows_+1
+  Storage<int64_t> col_idx_;   // size nnz, sorted within each row
+  Storage<float> values_;      // size nnz
 };
 
 namespace ops {

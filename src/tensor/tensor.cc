@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace gnmr {
@@ -46,17 +47,28 @@ Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data) {
   return t;
 }
 
+Tensor Tensor::FromView(std::vector<int64_t> shape, const float* data,
+                        std::shared_ptr<const void> keepalive) {
+  int64_t n = ShapeNumel(shape);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = Storage<float>::View(data, n, std::move(keepalive));
+  return t;
+}
+
 Tensor Tensor::RandomNormal(std::vector<int64_t> shape, util::Rng* rng,
                             float mean, float stddev) {
   Tensor t(std::move(shape));
-  for (float& v : t.data_) v = rng->Normal(mean, stddev);
+  float* p = t.data_.mutable_data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng->Normal(mean, stddev);
   return t;
 }
 
 Tensor Tensor::RandomUniform(std::vector<int64_t> shape, util::Rng* rng,
                              float lo, float hi) {
   Tensor t(std::move(shape));
-  for (float& v : t.data_) v = rng->Uniform(lo, hi);
+  float* p = t.data_.mutable_data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng->Uniform(lo, hi);
   return t;
 }
 
@@ -90,22 +102,27 @@ int64_t Tensor::cols() const {
 float& Tensor::at(int64_t i) {
   GNMR_CHECK_EQ(rank(), 1);
   GNMR_CHECK(i >= 0 && i < shape_[0]) << "index " << i;
-  return data_[static_cast<size_t>(i)];
+  return data_.mutable_data()[i];
 }
 
 float Tensor::at(int64_t i) const {
-  return const_cast<Tensor*>(this)->at(i);
+  GNMR_CHECK_EQ(rank(), 1);
+  GNMR_CHECK(i >= 0 && i < shape_[0]) << "index " << i;
+  return data_[static_cast<size_t>(i)];
 }
 
 float& Tensor::at(int64_t i, int64_t j) {
   GNMR_CHECK_EQ(rank(), 2);
   GNMR_CHECK(i >= 0 && i < shape_[0]) << "row " << i;
   GNMR_CHECK(j >= 0 && j < shape_[1]) << "col " << j;
-  return data_[static_cast<size_t>(i * shape_[1] + j)];
+  return data_.mutable_data()[i * shape_[1] + j];
 }
 
 float Tensor::at(int64_t i, int64_t j) const {
-  return const_cast<Tensor*>(this)->at(i, j);
+  GNMR_CHECK_EQ(rank(), 2);
+  GNMR_CHECK(i >= 0 && i < shape_[0]) << "row " << i;
+  GNMR_CHECK(j >= 0 && j < shape_[1]) << "col " << j;
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
 }
 
 float& Tensor::at(int64_t i, int64_t j, int64_t k) {
@@ -113,15 +130,25 @@ float& Tensor::at(int64_t i, int64_t j, int64_t k) {
   GNMR_CHECK(i >= 0 && i < shape_[0]) << "dim0 " << i;
   GNMR_CHECK(j >= 0 && j < shape_[1]) << "dim1 " << j;
   GNMR_CHECK(k >= 0 && k < shape_[2]) << "dim2 " << k;
-  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  return data_.mutable_data()[(i * shape_[1] + j) * shape_[2] + k];
 }
 
 float Tensor::at(int64_t i, int64_t j, int64_t k) const {
-  return const_cast<Tensor*>(this)->at(i, j, k);
+  GNMR_CHECK_EQ(rank(), 3);
+  GNMR_CHECK(i >= 0 && i < shape_[0]) << "dim0 " << i;
+  GNMR_CHECK(j >= 0 && j < shape_[1]) << "dim1 " << j;
+  GNMR_CHECK(k >= 0 && k < shape_[2]) << "dim2 " << k;
+  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  float* p = data_.mutable_data();
+  std::fill(p, p + numel(), value);
+}
+
+Tensor Tensor::OwnedCopy() const {
+  std::vector<float> copy(data_.begin(), data_.end());
+  return FromData(shape_, std::move(copy));
 }
 
 Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
@@ -133,7 +160,8 @@ Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
 }
 
 float Tensor::SumValue() const {
-  // Kahan summation: reductions feed metrics and losses, keep them stable.
+  // Double accumulation: reductions feed metrics and losses, keep them
+  // stable.
   double sum = 0.0;
   for (float v : data_) sum += static_cast<double>(v);
   return static_cast<float>(sum);

@@ -1,14 +1,19 @@
 // Dense row-major float32 tensor with value semantics. This is the storage
 // type underneath the autodiff layer (see autodiff.h); forward-only math on
-// raw tensors lives in tensor_ops.h.
+// raw tensors lives in tensor_ops.h. The buffer behind a tensor is a
+// Storage<float> (storage.h): owned heap memory by default, or a read-only
+// view over externally kept-alive memory (FromView) — the mechanism that
+// lets model_io serve embeddings straight out of a memory-mapped artifact.
 #ifndef GNMR_TENSOR_TENSOR_H_
 #define GNMR_TENSOR_TENSOR_H_
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/tensor/storage.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -41,6 +46,12 @@ class Tensor {
   /// i.i.d. U[lo, hi) entries.
   static Tensor RandomUniform(std::vector<int64_t> shape, util::Rng* rng,
                               float lo = 0.0f, float hi = 1.0f);
+  /// Non-owning read-only view of the shape's numel floats at `data`.
+  /// `keepalive` (e.g. a util::MappedFile) is held by the tensor and every
+  /// copy of it, so the memory outlives all views. The tensor is
+  /// immutable: mutating accessors abort.
+  static Tensor FromView(std::vector<int64_t> shape, const float* data,
+                         std::shared_ptr<const void> keepalive);
 
   /// Shape queries ----------------------------------------------------------
 
@@ -59,8 +70,14 @@ class Tensor {
 
   /// Element access ---------------------------------------------------------
 
-  float* data() { return data_.data(); }
+  /// Mutable access aborts on view tensors (see FromView); code that only
+  /// reads should go through a const reference / std::as_const.
+  float* data() { return data_.mutable_data(); }
   const float* data() const { return data_.data(); }
+
+  /// False when the buffer is a view over external memory (FromView /
+  /// memory-mapped artifacts); such tensors are read-only.
+  bool owns_storage() const { return !data_.is_view(); }
 
   /// Bounds-checked element access for rank-1 tensors.
   float& at(int64_t i);
@@ -74,12 +91,15 @@ class Tensor {
 
   /// Mutation helpers -------------------------------------------------------
 
-  /// Sets every element to `value`.
+  /// Sets every element to `value`. Aborts on view tensors.
   void Fill(float value);
-  /// Deep copy (same as copy-construction; provided for call-site clarity).
+  /// Copy (same as copy-construction; provided for call-site clarity).
+  /// Deep for owned tensors; O(1) keepalive-sharing for views.
   Tensor Clone() const { return *this; }
+  /// Deep copy into freshly owned storage, even when this is a view.
+  Tensor OwnedCopy() const;
   /// Returns a tensor with the same data viewed under a new shape.
-  /// numel must be preserved.
+  /// numel must be preserved. Copies owned data; shares a view's buffer.
   Tensor Reshaped(std::vector<int64_t> new_shape) const;
 
   /// Whole-tensor reductions (forward-only conveniences) --------------------
@@ -93,12 +113,9 @@ class Tensor {
   /// True if any element is NaN or +-inf.
   bool HasNonFinite() const;
 
-  /// Underlying storage (e.g. for serialisation).
-  const std::vector<float>& storage() const { return data_; }
-
  private:
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  Storage<float> data_;
 };
 
 /// Computes the number of elements implied by a shape; checks positivity.

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used for artifact
+// section checksums in model_io. Software table implementation — artifact
+// validation is an offline/load-time path, not a serving hot path.
+#ifndef GNMR_UTIL_CRC32_H_
+#define GNMR_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gnmr {
+namespace util {
+
+/// CRC-32 of `size` bytes at `data`. `seed` is a previous Crc32 result,
+/// allowing incremental computation over discontiguous buffers:
+///   Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b), na + nb).
+/// Known answer: Crc32("123456789", 9) == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace util
+}  // namespace gnmr
+
+#endif  // GNMR_UTIL_CRC32_H_

@@ -1,0 +1,76 @@
+#include "src/util/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GNMR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gnmr {
+namespace util {
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  // shared_ptr with access to the private ctor.
+  std::shared_ptr<MappedFile> file(new MappedFile());
+  file->path_ = path;
+#if GNMR_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " +
+                           std::strerror(errno));
+  }
+  file->size_ = static_cast<int64_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* base = ::mmap(nullptr, static_cast<size_t>(file->size_), PROT_READ,
+                        MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path + ": " +
+                             std::strerror(errno));
+    }
+    file->data_ = static_cast<const uint8_t*>(base);
+    file->mapped_ = true;
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  file->fallback_.resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(file->fallback_.data()), size)) {
+    return Status::IOError("cannot read " + path);
+  }
+  file->size_ = static_cast<int64_t>(size);
+  file->data_ = file->fallback_.data();
+#endif
+  return std::shared_ptr<const MappedFile>(std::move(file));
+}
+
+MappedFile::~MappedFile() {
+#if GNMR_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), static_cast<size_t>(size_));
+  }
+#endif
+}
+
+}  // namespace util
+}  // namespace gnmr

@@ -1,0 +1,56 @@
+// Read-only memory-mapped file. The mapping lives as long as the
+// MappedFile object; tensor views over it hold the object via a
+// shared_ptr keepalive (tensor/storage.h), so the address range cannot be
+// unmapped while any view — e.g. a retired serving snapshot with requests
+// still in flight — is alive.
+//
+// On POSIX the file is mapped MAP_SHARED | PROT_READ: pages are demand-
+// faulted from the page cache and shared read-only across every process
+// mapping the same artifact, which is what makes N serving processes hold
+// one physical copy of the model. On other platforms Open falls back to
+// reading the file into heap memory (same interface, no sharing).
+#ifndef GNMR_UTIL_MMAP_FILE_H_
+#define GNMR_UTIL_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace gnmr {
+namespace util {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IOError if the file cannot be
+  /// opened, stat'ed or mapped. Empty files map to data() == nullptr,
+  /// size() == 0.
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  int64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  /// True when backed by a real mmap (false on the heap-read fallback).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const uint8_t* data_ = nullptr;
+  int64_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> fallback_;  // heap copy on non-POSIX platforms
+  std::string path_;
+};
+
+}  // namespace util
+}  // namespace gnmr
+
+#endif  // GNMR_UTIL_MMAP_FILE_H_

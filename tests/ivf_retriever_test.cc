@@ -455,6 +455,35 @@ TEST(IvfRetrieverTest, RecallAtQuarterNprobeOnClusteredData) {
   EXPECT_GT(scanned_fraction, 0.0);
 }
 
+TEST(IvfRetrieverTest, ScannedBytesAccountsForStreamedEmbeddings) {
+  // scanned_bytes is the exact memory-bandwidth cost of the scan: item
+  // rows streamed, plus (for IVF) the centroid rows every probe reads.
+  core::ServingModel m = ClusteredModel(32, 512, 8, 8, 91);
+  ASSERT_TRUE(core::BuildIvfIndex(&m, 8).ok());
+  auto model = std::make_shared<const core::ServingModel>(std::move(m));
+  const uint64_t width = static_cast<uint64_t>(model->embeddings.cols());
+  const std::vector<int64_t> users = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  ExactRetriever exact(model, nullptr, ItemShardMode::kOff);
+  exact.RetrieveTopN(0, 10);
+  exact.RetrieveBatch(users, 10);
+  serve::RetrieverStats es = exact.Stats();
+  EXPECT_EQ(es.scanned_items,
+            (1 + users.size()) * static_cast<uint64_t>(model->num_items));
+  EXPECT_EQ(es.scanned_bytes, es.scanned_items * width * sizeof(float));
+
+  IvfRetriever ivf(model, nullptr, /*nprobe=*/2, ItemShardMode::kOff);
+  ivf.RetrieveTopN(0, 10);
+  ivf.RetrieveBatch(users, 10);
+  serve::RetrieverStats is = ivf.Stats();
+  EXPECT_GT(is.scanned_items, 0u);
+  EXPECT_LT(is.scanned_items, es.scanned_items);  // probes a subset
+  const uint64_t centroid_rows =
+      is.requests * static_cast<uint64_t>(ivf.nlist());
+  EXPECT_EQ(is.scanned_bytes,
+            (is.scanned_items + centroid_rows) * width * sizeof(float));
+}
+
 TEST(IvfRetrieverTest, ProbeSelectionDeterministicAcrossBackends) {
   int64_t tied_lo = 0, tied_hi = 0;
   auto model = TiedIvfModel(&tied_lo, &tied_hi);

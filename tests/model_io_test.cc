@@ -2,12 +2,20 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/gnmr_trainer.h"
 #include "src/core/model_io.h"
 #include "src/data/split.h"
 #include "src/data/synthetic.h"
 #include "src/eval/evaluator.h"
+#include "src/serve/exact_retriever.h"
+#include "src/serve/ivf_retriever.h"
+#include "src/tensor/backend.h"
 #include "src/util/csv.h"
 
 namespace gnmr {
@@ -104,6 +112,225 @@ TEST(ModelIoTest, SaveRejectsInconsistentModel) {
   bad.num_items = 3;
   bad.embeddings = tensor::Tensor({4, 2});  // wrong row count
   EXPECT_FALSE(SaveServingModel(bad, testing::TempDir() + "/x.bin").ok());
+}
+
+// ---- v3 container, zero-copy loading, cross-version matrix ------------------
+
+ServingModel TinyModel() {
+  ServingModel m;
+  m.num_users = 2;
+  m.num_items = 3;
+  m.embeddings = tensor::Tensor::FromData(
+      {5, 4}, {0.5f,  -1.0f, 2.0f,  0.25f, 1.5f,  0.0f,  -0.5f, 3.0f,
+               0.1f,  0.2f,  0.3f,  0.4f,  -2.0f, 1.0f,  0.75f, -0.25f,
+               4.0f,  -3.0f, 0.125f, 2.5f});
+  return m;
+}
+
+void ExpectSameModel(const ServingModel& a, const ServingModel& b) {
+  ASSERT_EQ(a.num_users, b.num_users);
+  ASSERT_EQ(a.num_items, b.num_items);
+  ASSERT_TRUE(a.embeddings.SameShape(b.embeddings));
+  const float* ad = std::as_const(a).embeddings.data();
+  const float* bd = std::as_const(b).embeddings.data();
+  for (int64_t i = 0; i < a.embeddings.numel(); ++i) EXPECT_EQ(ad[i], bd[i]);
+  ASSERT_EQ(a.has_ivf(), b.has_ivf());
+  if (a.has_ivf()) {
+    const IvfIndex& ai = *a.ivf;
+    const IvfIndex& bi = *b.ivf;
+    ASSERT_EQ(ai.nlist(), bi.nlist());
+    ASSERT_TRUE(ai.centroids.SameShape(bi.centroids));
+    const float* ac = std::as_const(ai).centroids.data();
+    const float* bc = std::as_const(bi).centroids.data();
+    for (int64_t i = 0; i < ai.centroids.numel(); ++i) EXPECT_EQ(ac[i], bc[i]);
+    EXPECT_EQ(ai.list_offsets, bi.list_offsets);
+    EXPECT_EQ(ai.list_items, bi.list_items);
+  }
+}
+
+// The storage refactor must not change a single byte the v1 writer emits:
+// old readers parse these files with fixed offsets.
+TEST(ModelIoV3Test, V1WriterBytesUnchanged) {
+  ServingModel m = TinyModel();
+  std::string path = testing::TempDir() + "/gnmr_v1_golden.bin";
+  ASSERT_TRUE(SaveServingModel(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+
+  std::string expected = "GNMRSM01";
+  int64_t header[3] = {m.num_users, m.num_items, m.embeddings.cols()};
+  expected.append(reinterpret_cast<const char*>(header), sizeof(header));
+  expected.append(
+      reinterpret_cast<const char*>(std::as_const(m).embeddings.data()),
+      static_cast<size_t>(m.embeddings.numel()) * sizeof(float));
+  ASSERT_EQ(blob.value().size(), expected.size());
+  EXPECT_EQ(std::memcmp(blob.value().data(), expected.data(),
+                        expected.size()),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV3Test, V3LayoutIsAligned) {
+  ServingModel m = TinyModel();
+  std::string path = testing::TempDir() + "/gnmr_v3_layout.bin";
+  ASSERT_TRUE(SaveServingModelV3(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  const std::string& bytes = blob.value();
+  ASSERT_EQ(bytes.substr(0, 8), "GNMRSM03");
+  int64_t header[4];
+  std::memcpy(header, bytes.data() + 8, sizeof(header));
+  EXPECT_EQ(header[0], m.num_users);
+  EXPECT_EQ(header[1], m.num_items);
+  EXPECT_EQ(header[2], m.embeddings.cols());
+  EXPECT_EQ(header[3], 1);  // embeddings only
+  int64_t entry[4];         // {id, offset, length, crc}
+  std::memcpy(entry, bytes.data() + 8 + sizeof(header), sizeof(entry));
+  EXPECT_EQ(entry[0], 1);
+  EXPECT_EQ(entry[1] % 64, 0);  // payload 64-byte aligned
+  EXPECT_EQ(entry[2], m.embeddings.numel() * static_cast<int64_t>(
+                                                  sizeof(float)));
+  EXPECT_EQ(static_cast<int64_t>(bytes.size()), entry[1] + entry[2]);
+  std::remove(path.c_str());
+}
+
+// The full cross-version matrix: every writer x every loader that accepts
+// the version, all bit-identical to the in-memory original.
+TEST(ModelIoV3Test, CrossVersionRoundTripMatrix) {
+  GnmrTrainer trainer = TrainedTrainer();
+  trainer.model().RefreshInferenceCache();
+  ServingModel plain = ExportServingModel(trainer.model());
+  ServingModel indexed = ExportServingModel(trainer.model());
+  ASSERT_TRUE(BuildIvfIndex(&indexed, 8).ok());
+
+  struct Case {
+    const char* name;
+    const ServingModel* model;
+    bool v3;
+    bool mapped_is_zero_copy;
+  };
+  const Case cases[] = {
+      {"v1-heap", &plain, false, false},
+      {"v2-heap", &indexed, false, false},
+      {"v3-heap", &plain, true, true},
+      {"v3-ivf", &indexed, true, true},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::string path = testing::TempDir() + "/gnmr_matrix.bin";
+    ASSERT_TRUE((c.v3 ? SaveServingModelV3(*c.model, path)
+                      : SaveServingModel(*c.model, path))
+                    .ok());
+
+    auto heap = LoadServingModel(path);
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    EXPECT_FALSE(heap.value().is_mapped());
+    EXPECT_TRUE(heap.value().embeddings.owns_storage());
+    ExpectSameModel(*c.model, heap.value());
+
+    // The mapped loader accepts every version; v1/v2 fall back to owned
+    // storage, v3 serves views straight over the mapping.
+    auto mapped = LoadServingModelMapped(path, /*verify_checksums=*/true);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_EQ(mapped.value().is_mapped(), c.mapped_is_zero_copy);
+    EXPECT_EQ(mapped.value().embeddings.owns_storage(),
+              !c.mapped_is_zero_copy);
+    ExpectSameModel(*c.model, mapped.value());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ModelIoV3Test, ChecksumCatchesPayloadCorruption) {
+  ServingModel m = TinyModel();
+  std::string path = testing::TempDir() + "/gnmr_v3_corrupt.bin";
+  ASSERT_TRUE(SaveServingModelV3(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  std::string bytes = blob.value();
+  bytes[bytes.size() - 1] ^= 0x40;  // flip a bit inside the payload
+  ASSERT_TRUE(util::WriteStringToFile(path, bytes).ok());
+
+  // The heap loader always verifies checksums; the mapped loader does on
+  // request (by default it stays O(1) and validates structure only).
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path, /*verify_checksums=*/true).ok());
+  auto lazy = LoadServingModelMapped(path, /*verify_checksums=*/false);
+  EXPECT_TRUE(lazy.ok()) << lazy.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV3Test, RejectsStructuralDamage) {
+  ServingModel m = TinyModel();
+  std::string path = testing::TempDir() + "/gnmr_v3_broken.bin";
+  ASSERT_TRUE(SaveServingModelV3(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  const std::string& good = blob.value();
+
+  // Trailing junk: the section table says where the file must end.
+  ASSERT_TRUE(util::WriteStringToFile(path, good + "junk").ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path).ok());
+
+  // Truncation anywhere — inside the payload, the table, the header.
+  for (size_t keep : {good.size() - 5, size_t{60}, size_t{20}}) {
+    ASSERT_TRUE(util::WriteStringToFile(path, good.substr(0, keep)).ok());
+    EXPECT_FALSE(LoadServingModel(path).ok()) << "keep=" << keep;
+    EXPECT_FALSE(LoadServingModelMapped(path).ok()) << "keep=" << keep;
+  }
+
+  // A mangled section offset breaks the fixed-layout chain.
+  std::string bad_offset = good;
+  bad_offset[8 + 4 * 8 + 8] ^= 0x01;  // entry 0's offset field
+  ASSERT_TRUE(util::WriteStringToFile(path, bad_offset).ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path).ok());
+  std::remove(path.c_str());
+}
+
+// Retrieval must not care where the embedding bytes live: a heap-loaded
+// and an mmap-loaded copy of the same artifact produce bit-identical
+// rankings on every kernel backend, through both strategies.
+TEST(ModelIoV3Test, MmapVsHeapRetrievalBitIdenticalAllBackends) {
+  GnmrTrainer trainer = TrainedTrainer();
+  trainer.model().RefreshInferenceCache();
+  ServingModel original = ExportServingModel(trainer.model());
+  ASSERT_TRUE(BuildIvfIndex(&original, 8).ok());
+  std::string path = testing::TempDir() + "/gnmr_v3_parity.bin";
+  ASSERT_TRUE(SaveServingModelV3(original, path).ok());
+
+  auto heap_loaded = LoadServingModel(path);
+  auto mapped_loaded = LoadServingModelMapped(path);
+  ASSERT_TRUE(heap_loaded.ok());
+  ASSERT_TRUE(mapped_loaded.ok());
+  ASSERT_TRUE(mapped_loaded.value().is_mapped());
+  auto heap = std::make_shared<const ServingModel>(
+      std::move(heap_loaded).value());
+  auto mapped = std::make_shared<const ServingModel>(
+      std::move(mapped_loaded).value());
+
+  const std::vector<int64_t> users = {0, 1, 2, 5, 9};
+  constexpr int64_t kTopK = 10;
+  for (const tensor::KernelBackend* backend : tensor::AllBackends()) {
+    SCOPED_TRACE(backend->name());
+    tensor::ScopedBackend scoped(backend->name());
+
+    serve::ExactRetriever exact_heap(heap), exact_mapped(mapped);
+    serve::IvfRetriever ivf_heap(heap, nullptr, 4);
+    serve::IvfRetriever ivf_mapped(mapped, nullptr, 4);
+
+    for (int64_t u : users) {
+      EXPECT_EQ(exact_heap.RetrieveTopN(u, kTopK),
+                exact_mapped.RetrieveTopN(u, kTopK));
+      EXPECT_EQ(ivf_heap.RetrieveTopN(u, kTopK),
+                ivf_mapped.RetrieveTopN(u, kTopK));
+    }
+    EXPECT_EQ(exact_heap.RetrieveBatch(users, kTopK),
+              exact_mapped.RetrieveBatch(users, kTopK));
+    EXPECT_EQ(ivf_heap.RetrieveBatch(users, kTopK),
+              ivf_mapped.RetrieveBatch(users, kTopK));
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -438,6 +438,65 @@ TEST(RecServiceTest, ConcurrentRecommendUnderSwaps) {
   EXPECT_EQ(stats.swaps, 24u);
 }
 
+TEST(RecServiceTest, ConcurrentRecommendUnderHeapMmapSwaps) {
+  // Alternating LoadAndSwap between a v1 artifact (owned heap storage)
+  // and a v3 artifact served zero-copy out of an mmap must stay race-free
+  // under concurrent readers: a reader pinning a mapped snapshot keeps the
+  // mapping alive through its tensors' keepalives even after the service
+  // swaps back to heap storage and drops every other reference.
+  const int64_t num_users = 16, num_items = 48, width = 8;
+  auto model_a = RandomModel(num_users, num_items, width, 73);
+  auto model_b = RandomModel(num_users, num_items, width, 79);
+  const int64_t k = 8;
+  std::vector<std::vector<RecEntry>> want_a, want_b;
+  for (int64_t u = 0; u < num_users; ++u) {
+    want_a.push_back(BruteForceTopN(*model_a, u, k));
+    want_b.push_back(BruteForceTopN(*model_b, u, k));
+  }
+
+  std::string heap_path = testing::TempDir() + "/serve_swap_v1.bin";
+  std::string mmap_path = testing::TempDir() + "/serve_swap_v3.bin";
+  ASSERT_TRUE(core::SaveServingModel(*model_a, heap_path).ok());
+  ASSERT_TRUE(core::SaveServingModelV3(*model_b, mmap_path).ok());
+
+  RecService::Options options;
+  options.mmap_artifacts = true;
+  RecService service(model_a, nullptr, options);
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      util::Rng rng(200 + static_cast<uint64_t>(t));
+      for (int64_t i = 0; i < 300; ++i) {
+        int64_t user = rng.UniformInt(0, num_users - 1);
+        std::vector<RecEntry> got = service.Recommend(user, k);
+        if (got != want_a[static_cast<size_t>(user)] &&
+            got != want_b[static_cast<size_t>(user)]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int s = 0; s < 16; ++s) {
+      ASSERT_TRUE(
+          service.LoadAndSwap(s % 2 == 0 ? mmap_path : heap_path).ok());
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& th : readers) th.join();
+  swapper.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.stats().swaps, 16u);
+  // The last swap loaded the v3 artifact's predecessor (heap v1), so the
+  // final snapshot is heap-backed; a fresh mmap swap flips it back.
+  ASSERT_TRUE(service.LoadAndSwap(mmap_path).ok());
+  ExpectExactlyEqual(service.Recommend(3, k),
+                     want_b[3]);
+  std::remove(heap_path.c_str());
+  std::remove(mmap_path.c_str());
+}
+
 TEST(RecServiceTest, BatchCoalescesDuplicateMisses) {
   // A cold batch holding the same (user, k) three times misses three
   // times but retrieves once: the first occurrence leads, the other two

@@ -1,7 +1,9 @@
 // Tests for CSR matrices and sparse-dense products.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/tensor/sparse.h"
@@ -90,6 +92,66 @@ TEST(CsrTest, RowScaled) {
   auto sums = s.RowSums();
   EXPECT_FLOAT_EQ(sums[0], 6.0f);
   EXPECT_FLOAT_EQ(sums[2], 3.5f);
+}
+
+TEST(CsrViewTest, FromViewMatchesOwned) {
+  // A view over an owned matrix's arrays behaves identically: same
+  // structure queries, same SpMM result, same row-range views.
+  auto owner = std::make_shared<CsrMatrix>(SmallMatrix());
+  CsrMatrix view = CsrMatrix::FromView(
+      owner->rows(), owner->cols(), owner->nnz(), owner->row_ptr().data(),
+      owner->col_idx().data(), owner->values().data(), owner);
+  EXPECT_FALSE(view.owns_storage());
+  view.CheckInvariants();
+  EXPECT_EQ(view.nnz(), owner->nnz());
+  EXPECT_EQ(view.row_ptr(), owner->row_ptr());
+  EXPECT_EQ(view.RowNnz(2), 2);
+
+  util::Rng rng(7);
+  Tensor x = Tensor::RandomNormal({3, 4}, &rng);
+  Tensor from_owned = top::Spmm(*owner, x);
+  Tensor from_view = top::Spmm(view, x);
+  for (int64_t i = 0; i < from_owned.numel(); ++i) {
+    EXPECT_EQ(std::as_const(from_owned).data()[i],
+              std::as_const(from_view).data()[i]);
+  }
+
+  CsrRowRange range = view.RowRangeView(1, 3);
+  EXPECT_EQ(range.rows(), 2);
+  EXPECT_EQ(range.nnz(), 2);
+}
+
+TEST(CsrViewTest, KeepaliveSurvivesOwnerHandleDrop) {
+  std::weak_ptr<CsrMatrix> observer;
+  CsrMatrix view;
+  {
+    auto owner = std::make_shared<CsrMatrix>(SmallMatrix());
+    observer = owner;
+    view = CsrMatrix::FromView(owner->rows(), owner->cols(), owner->nnz(),
+                               owner->row_ptr().data(),
+                               owner->col_idx().data(),
+                               owner->values().data(), owner);
+  }
+  EXPECT_FALSE(observer.expired());  // the view pins the owner
+  EXPECT_EQ(view.RowNnz(0), 2);
+  view = CsrMatrix();
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(CsrViewTest, DerivedCopiesOwnTheirData) {
+  auto owner = std::make_shared<CsrMatrix>(SmallMatrix());
+  CsrMatrix view = CsrMatrix::FromView(
+      owner->rows(), owner->cols(), owner->nnz(), owner->row_ptr().data(),
+      owner->col_idx().data(), owner->values().data(), owner);
+  // Transform paths materialise owned outputs from a view input.
+  CsrMatrix t = view.Transposed();
+  EXPECT_TRUE(t.owns_storage());
+  t.CheckInvariants();
+  EXPECT_EQ(t.col_idx(), owner->Transposed().col_idx());
+  CsrMatrix scaled = view.RowScaled({2.0f, 3.0f, 4.0f});
+  scaled.CheckInvariants();
+  EXPECT_FLOAT_EQ(scaled.values()[0], 2.0f);
+  EXPECT_FLOAT_EQ(scaled.values()[3], 16.0f);
 }
 
 TEST(CsrDeathTest, OutOfRangeEntryAborts) {

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/tensor/tensor.h"
@@ -99,6 +101,67 @@ TEST(TensorDeathTest, ShapeViolationsAbort) {
   EXPECT_DEATH(Tensor::FromData({2, 2}, {1.0f}), "");
   Tensor t({2, 2});
   EXPECT_DEATH(t.at(2, 0), "");
+}
+
+// ----------------------------------------------------------------- views ----
+
+TEST(TensorViewTest, FromViewReadsExternalMemory) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f});
+  Tensor v = Tensor::FromView({2, 3}, backing->data(), backing);
+  EXPECT_FALSE(v.owns_storage());
+  EXPECT_EQ(v.numel(), 6);
+  EXPECT_EQ(std::as_const(v).data(), backing->data());  // zero-copy
+  EXPECT_FLOAT_EQ(std::as_const(v).at(1, 2), 6.0f);
+  EXPECT_FLOAT_EQ(v.SumValue(), 21.0f);
+  EXPECT_FLOAT_EQ(v.MaxValue(), 6.0f);
+}
+
+TEST(TensorViewTest, KeepaliveOutlivesEveryCopy) {
+  std::weak_ptr<std::vector<float>> observer;
+  Tensor copy;
+  {
+    auto backing =
+        std::make_shared<std::vector<float>>(std::vector<float>{7.0f, 8.0f});
+    observer = backing;
+    Tensor v = Tensor::FromView({2}, backing->data(), backing);
+    copy = v.Clone();  // O(1); shares the keepalive
+  }
+  // The original handle and view are gone; the copy still pins the memory.
+  EXPECT_FALSE(observer.expired());
+  EXPECT_FLOAT_EQ(std::as_const(copy).at(1), 8.0f);
+  copy = Tensor();
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(TensorViewTest, ReshapedViewSharesBuffer) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor v = Tensor::FromView({2, 2}, backing->data(), backing);
+  Tensor r = v.Reshaped({4});
+  EXPECT_FALSE(r.owns_storage());
+  EXPECT_EQ(std::as_const(r).data(), backing->data());
+  EXPECT_FLOAT_EQ(std::as_const(r).at(3), 4.0f);
+}
+
+TEST(TensorViewTest, OwnedCopyDetachesFromView) {
+  auto backing =
+      std::make_shared<std::vector<float>>(std::vector<float>{1.0f, 2.0f});
+  Tensor v = Tensor::FromView({2}, backing->data(), backing);
+  Tensor owned = v.OwnedCopy();
+  EXPECT_TRUE(owned.owns_storage());
+  EXPECT_NE(std::as_const(owned).data(), backing->data());
+  owned.at(0) = 9.0f;  // mutable again
+  EXPECT_FLOAT_EQ(std::as_const(v).at(0), 1.0f);
+}
+
+TEST(TensorViewDeathTest, MutationAborts) {
+  auto backing =
+      std::make_shared<std::vector<float>>(std::vector<float>{1.0f, 2.0f});
+  Tensor v = Tensor::FromView({2}, backing->data(), backing);
+  EXPECT_DEATH(v.Fill(0.0f), "view");
+  EXPECT_DEATH(v.data(), "view");
+  EXPECT_DEATH(v.at(0) = 1.0f, "view");
 }
 
 // ------------------------------------------------------------ arithmetic ----

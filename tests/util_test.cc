@@ -1,13 +1,17 @@
-// Tests for src/util: status, rng, strings, csv, flags, table printer.
+// Tests for src/util: status, rng, strings, csv, flags, table printer,
+// crc32, mmap.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/util/crc32.h"
 #include "src/util/csv.h"
+#include "src/util/mmap_file.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -303,6 +307,73 @@ TEST(CsvTest, ReadFileToStringRoundTrip) {
   auto s = ReadFileToString(path);
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(s.value(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- Crc32 ----
+
+TEST(Crc32Test, KnownAnswers) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string blob = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(blob.data(), blob.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{10}, blob.size()}) {
+    const uint32_t part = Crc32(blob.data(), split);
+    EXPECT_EQ(Crc32(blob.data() + split, blob.size() - split, part), whole);
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(1024, 0x5A);
+  const uint32_t clean = Crc32(data.data(), data.size());
+  data[512] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), clean);
+}
+
+// ------------------------------------------------------------ MappedFile ----
+
+TEST(MappedFileTest, ExposesFileContents) {
+  std::string path = testing::TempDir() + "/gnmr_mmap.bin";
+  const std::string blob("mapped-bytes\0with\0nuls", 22);
+  ASSERT_TRUE(WriteStringToFile(path, blob).ok());
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const auto& file = mapped.value();
+  ASSERT_EQ(file->size(), static_cast<int64_t>(blob.size()));
+  EXPECT_EQ(std::memcmp(file->data(), blob.data(), blob.size()), 0);
+  EXPECT_EQ(file->path(), path);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, ContentsSurviveFileRemoval) {
+  // POSIX semantics: an unlinked file stays readable through an existing
+  // mapping — exactly what keeps a retired serving snapshot safe when the
+  // artifact is replaced on disk mid-flight.
+  std::string path = testing::TempDir() + "/gnmr_mmap_gone.bin";
+  ASSERT_TRUE(WriteStringToFile(path, "still-here").ok());
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(std::memcmp(mapped.value()->data(), "still-here", 10), 0);
+}
+
+TEST(MappedFileTest, MissingFileIsIOError) {
+  auto mapped = MappedFile::Open("/nonexistent/gnmr.bin");
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError);
+}
+
+TEST(MappedFileTest, EmptyFileMapsToNull) {
+  std::string path = testing::TempDir() + "/gnmr_mmap_empty.bin";
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped.value()->size(), 0);
   std::remove(path.c_str());
 }
 
