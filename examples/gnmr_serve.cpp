@@ -11,6 +11,8 @@
 //                               [--shard_workers=N]
 //                               [--retriever=exact|ivf] [--nlist=N]
 //                               [--nprobe=N]
+//                               [--metrics_json=path] [--trace]
+//                               [--trace_json=path] [--trace_sample=N]
 //
 // --model=path skips training and loads a SaveServingModel artifact;
 // --save=path writes the trained artifact for later runs. --mmap opens a
@@ -32,11 +34,22 @@
 // loaded with --model= reuses its embedded index when it has one; --save=
 // writes a v2 artifact carrying the index. Catalogues smaller than
 // tensor::kIvfMinItemsForIndex fall back to the exact scan.
+//
+// Observability (src/obs/): --metrics_json= dumps the process metrics
+// registry (service counters as gauges + the per-phase latency
+// histograms) as JSON on exit. --trace (or --trace_json=, which implies
+// it) records trace spans across the run; --trace_json= writes them as
+// chrome://tracing / Perfetto JSON. --trace_sample=N spans 1 request in N
+// on the serving fast path (default 16; 1 = every request).
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 #include "src/core/gnmr_trainer.h"
 #include "src/core/model_io.h"
@@ -83,8 +96,45 @@ void ReplayPhase(const char* phase, serve::RecService* service,
       phase, static_cast<unsigned long long>(requests),
       static_cast<double>(requests) / seconds,
       100.0 * static_cast<double>(hits) / static_cast<double>(requests),
-      static_cast<double>(after.latency_us_total - before.latency_us_total) /
-          static_cast<double>(requests));
+      static_cast<double>(after.latency_ns_total - before.latency_ns_total) /
+          1e3 / static_cast<double>(requests));
+}
+
+// The run's end-to-end latency distribution per serving phase, straight
+// from the service's histograms (nanosecond recordings, printed in us).
+void PrintLatencyTable(serve::RecService* service) {
+  struct Row {
+    const char* label;
+    const char* histogram;
+  };
+  const Row rows[] = {
+      {"cache hit", "serve.latency.hit"},
+      {"coalesced join", "serve.latency.coalesced"},
+      {"full miss", "serve.latency.miss"},
+      {"exact fallback", "serve.latency.exact"},
+      {"batch call", "serve.latency.batch"},
+  };
+  std::printf("\nlatency by phase (us):\n");
+  std::printf("%-16s %10s %10s %10s %10s %10s\n", "phase", "count", "p50",
+              "p95", "p99", "max");
+  for (const Row& row : rows) {
+    obs::HistogramSnapshot snap =
+        service->metrics().HistogramOf(row.histogram).Snapshot();
+    if (snap.count == 0) continue;
+    std::printf("%-16s %10llu %10.1f %10.1f %10.1f %10.1f\n", row.label,
+                static_cast<unsigned long long>(snap.count),
+                static_cast<double>(snap.P50()) / 1e3,
+                static_cast<double>(snap.P95()) / 1e3,
+                static_cast<double>(snap.P99()) / 1e3,
+                static_cast<double>(snap.max) / 1e3);
+  }
+}
+
+bool WriteTextFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << body << "\n";
+  return out.good();
 }
 
 }  // namespace
@@ -104,6 +154,11 @@ int main(int argc, char** argv) {
   std::string retriever_name = flags.GetString("retriever", "exact");
   int64_t nlist = flags.GetInt("nlist", 0);
   int64_t nprobe = flags.GetInt("nprobe", 0);
+  std::string metrics_json = flags.GetString("metrics_json", "");
+  std::string trace_json = flags.GetString("trace_json", "");
+  int64_t trace_sample = flags.GetInt("trace_sample", 16);
+  const bool tracing = flags.GetBool("trace", false) || !trace_json.empty();
+  if (tracing) obs::SetTraceEnabled(true);
   if (flags.Has("shard_workers")) {
     tensor::SetShardWorkers(flags.GetInt("shard_workers", 0));
   }
@@ -158,6 +213,10 @@ int main(int argc, char** argv) {
   serve::RecService::Options service_options;
   // Hot swaps reload the artifact the same way it was first opened.
   service_options.mmap_artifacts = use_mmap;
+  // One process-wide registry so --metrics_json exports everything the
+  // run recorded in a single document.
+  service_options.metrics = &obs::MetricsRegistry::Global();
+  service_options.trace_sample_period = trace_sample;
   if (retriever_name == "ivf") {
     if (artifact.num_items < tensor::kIvfMinItemsForIndex) {
       std::printf("catalogue of %lld items is below "
@@ -267,7 +326,9 @@ int main(int argc, char** argv) {
   ReplayPhase("phase C (post-swap)", &service, stream, k, num_threads);
   ReplayPhase("phase D (re-warmed)", &service, stream, k, num_threads);
 
-  // 6. Show a few recommendations from the final snapshot.
+  // 6. Final report: counters, then the per-phase latency distribution
+  //    from the histogram layer (quantiles, not flat averages — the mean
+  //    hides exactly the tail a serving path is judged on).
   serve::ServiceStats stats = service.stats();
   std::printf("\ntotals: %llu requests, %.1f%% cache hit rate, "
               "%llu evictions, %llu swap(s)\n",
@@ -275,6 +336,7 @@ int main(int argc, char** argv) {
               100.0 * stats.HitRate(),
               static_cast<unsigned long long>(stats.cache.evictions),
               static_cast<unsigned long long>(stats.swaps));
+  PrintLatencyTable(&service);
   if (stats.retrieval.requests > 0) {
     std::printf("retrieval: %llu scans, %llu items scored (%.1f%% of "
                 "exhaustive), %.1f MB streamed, %llu clusters probed\n",
@@ -297,6 +359,41 @@ int main(int argc, char** argv) {
       std::printf(" item%lld(%.2f)", static_cast<long long>(e.item), e.score);
     }
     std::printf("\n");
+  }
+
+  // 7. Observability exports. Service counters become gauges so the
+  //    metrics document is self-contained (histograms live there already).
+  if (!metrics_json.empty()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    serve::ServiceStats final_stats = service.stats();
+    reg.GaugeOf("serve.requests").Set(static_cast<int64_t>(final_stats.requests));
+    reg.GaugeOf("serve.cache_hits")
+        .Set(static_cast<int64_t>(final_stats.cache_hits));
+    reg.GaugeOf("serve.coalesced")
+        .Set(static_cast<int64_t>(final_stats.coalesced));
+    reg.GaugeOf("serve.swaps").Set(static_cast<int64_t>(final_stats.swaps));
+    reg.GaugeOf("serve.cache.evictions")
+        .Set(static_cast<int64_t>(final_stats.cache.evictions));
+    reg.GaugeOf("serve.cache.entries")
+        .Set(static_cast<int64_t>(final_stats.cache.entries));
+    reg.GaugeOf("serve.retrieval.scanned_items")
+        .Set(static_cast<int64_t>(final_stats.retrieval.scanned_items));
+    if (!WriteTextFile(metrics_json, reg.ToJson())) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_json.c_str());
+  }
+  if (!trace_json.empty()) {
+    if (!WriteTextFile(trace_json, obs::TraceToChromeJson())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%llu spans, %llu dropped) — load in "
+                "chrome://tracing or ui.perfetto.dev\n",
+                trace_json.c_str(),
+                static_cast<unsigned long long>(obs::TraceSnapshot().size()),
+                static_cast<unsigned long long>(obs::TraceDroppedEvents()));
   }
   return 0;
 }

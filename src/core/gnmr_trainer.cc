@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/tensor/ad_ops.h"
 #include "src/tensor/shard_pool.h"
 #include "src/util/check.h"
@@ -84,6 +85,9 @@ util::Rng GnmrTrainer::BatchRng(int64_t epoch, int64_t batch_index) const {
 GnmrTrainer::TripletBatch GnmrTrainer::BuildBatch(
     const std::vector<int64_t>& order, size_t start, size_t end,
     util::Rng* rng) const {
+  // Under the pipelined epoch loop this span lands on the producer
+  // thread's ring, so the trace shows sampling overlapping TrainStep.
+  GNMR_TRACE_SPAN("train.build_batch");
   TripletBatch batch;
   size_t samples_per_user = static_cast<size_t>(config_.positives_per_user *
                                                 config_.negatives_per_positive);
@@ -110,6 +114,7 @@ GnmrTrainer::TripletBatch GnmrTrainer::BuildBatch(
 
 void GnmrTrainer::TrainStep(const TripletBatch& batch, double* loss_sum,
                             int64_t* steps, EpochStats* stats) {
+  GNMR_TRACE_SPAN("train.step");
   if (batch.users.empty()) return;
   std::vector<ad::Var> layers = model_->Propagate();
   ad::Var pos_scores = model_->ScorePairs(layers, batch.users,
@@ -131,6 +136,7 @@ void GnmrTrainer::TrainStep(const TripletBatch& batch, double* loss_sum,
 }
 
 EpochStats GnmrTrainer::TrainEpoch() {
+  GNMR_TRACE_SPAN("train.epoch");
   util::Stopwatch timer;
   EpochStats stats;
   stats.epoch = epoch_;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/kmeans.h"
 #include "src/util/check.h"
@@ -328,6 +329,7 @@ util::Status BuildIvfIndex(ServingModel* model, int64_t nlist) {
 
 util::Status SaveServingModel(const ServingModel& model,
                               const std::string& path) {
+  GNMR_TRACE_SPAN("io.save");
   if (model.embeddings.empty() ||
       model.embeddings.rows() != model.num_users + model.num_items) {
     return util::Status::InvalidArgument("inconsistent serving model");
@@ -363,6 +365,7 @@ util::Status SaveServingModel(const ServingModel& model,
 
 util::Status SaveServingModelV3(const ServingModel& model,
                                 const std::string& path) {
+  GNMR_TRACE_SPAN("io.save");
   if (model.embeddings.empty() ||
       model.embeddings.rows() != model.num_users + model.num_items) {
     return util::Status::InvalidArgument("inconsistent serving model");
@@ -430,6 +433,7 @@ util::Status SaveServingModelV3(const ServingModel& model,
 
 util::Result<ServingModel> LoadServingModelMapped(const std::string& path,
                                                   bool verify_checksums) {
+  GNMR_TRACE_SPAN("io.load_mapped");
   auto mapped = util::MappedFile::Open(path);
   if (!mapped.ok()) return mapped.status();
   std::shared_ptr<const util::MappedFile> file = std::move(mapped).value();
@@ -444,6 +448,7 @@ util::Result<ServingModel> LoadServingModelMapped(const std::string& path,
 }
 
 util::Result<ServingModel> LoadServingModel(const std::string& path) {
+  GNMR_TRACE_SPAN("io.load");
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return util::Status::IOError("cannot open " + path);
   char magic[8];

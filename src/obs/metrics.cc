@@ -1,0 +1,217 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace gnmr {
+namespace obs {
+
+namespace {
+
+int LeadingBit(uint64_t v) {
+  // v >= 1; position of the highest set bit (0-based).
+  return 63 - __builtin_clzll(v);
+}
+
+void AppendJsonNumber(std::ostringstream* out, double v) {
+  // Metrics are ratios and counts; 6 significant digits is plenty and
+  // keeps the export diff-stable.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    *out << static_cast<int64_t>(v);
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(6);
+    tmp << v;
+    *out << tmp.str();
+  }
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < static_cast<uint64_t>(kSubBuckets)) {
+    return static_cast<int>(value);
+  }
+  const int h = LeadingBit(value);  // h >= kSubBucketBits
+  const int octave = h - kSubBucketBits + 1;
+  const int sub = static_cast<int>((value >> (h - kSubBucketBits)) &
+                                   (kSubBuckets - 1));
+  return octave * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  GNMR_CHECK(index >= 0 && index < kNumBuckets);
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const int shift = octave - 1;
+  return static_cast<uint64_t>(kSubBuckets + sub) << shift;
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  GNMR_CHECK(index >= 0 && index < kNumBuckets);
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const int shift = octave - 1;
+  const uint64_t lower = static_cast<uint64_t>(kSubBuckets + sub) << shift;
+  // The bucket spans [lower, lower + 2^shift); its largest member is one
+  // below the next bucket's lower bound. The final bucket's upper bound
+  // saturates at UINT64_MAX (lower + width overflows by exactly the 1 we
+  // subtract).
+  return lower + ((static_cast<uint64_t>(1) << shift) - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  // Relaxed tearing across buckets is fine: each bucket count is itself
+  // consistent, and the snapshot is diagnostics, not a ledger. count is
+  // recomputed from the buckets so count == sum(buckets) always holds
+  // within one snapshot even while recorders race.
+  for (int b = 0; b < kNumBuckets; ++b) {
+    snap.buckets[static_cast<size_t>(b)] =
+        buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[static_cast<size_t>(b)];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile in the sorted sample, 1-based: the smallest
+  // rank r with r >= q * count (at least 1 so q=0 reports the min bucket).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count) - 1e-9)));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= rank) {
+      // Report the bucket's upper bound so the estimate errs high by at
+      // most one bucket width; clamp to the exact max so p99 can never
+      // exceed the largest value actually recorded.
+      return std::min(Histogram::BucketUpperBound(static_cast<int>(b)), max);
+    }
+  }
+  return max;
+}
+
+double HistogramSnapshot::QuantileInterpolated(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = cum + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      const double lower =
+          static_cast<double>(Histogram::BucketLowerBound(static_cast<int>(b)));
+      const double upper = static_cast<double>(
+                               Histogram::BucketUpperBound(static_cast<int>(b))) +
+                           1.0;  // half-open width so frac=1 reaches the top
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(buckets[b]);
+      return std::min(lower + frac * (upper - lower),
+                      static_cast<double>(max));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.buckets.empty()) return;
+  if (buckets.empty()) {
+    *this = other;
+    return;
+  }
+  GNMR_CHECK_EQ(buckets.size(), other.buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+std::string HistogramSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"count\":" << count << ",\"sum\":" << sum << ",\"max\":" << max
+      << ",\"mean\":";
+  AppendJsonNumber(&out, Mean());
+  out << ",\"p50\":" << P50() << ",\"p95\":" << P95() << ",\"p99\":" << P99()
+      << "}";
+  return out.str();
+}
+
+Counter& MetricsRegistry::CounterOf(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GaugeOf(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::HistogramOf(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << counter->Value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << gauge->Value();
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ",") << "\"" << name
+        << "\":" << histogram->Snapshot().ToJson();
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace gnmr

@@ -1,0 +1,160 @@
+// Serving-path metrics: named counters, gauges and log-linear latency
+// histograms behind a MetricsRegistry.
+//
+// The record path is lock-free: Counter::Add and Histogram::Record are a
+// handful of relaxed atomic adds (plus a CAS loop for the histogram max),
+// so they can sit on the per-request serving hot path. Registration
+// (name -> metric lookup) takes a mutex and is meant for construction
+// time: callers resolve their metrics once and keep the returned pointer,
+// which stays valid for the registry's lifetime.
+//
+// Histogram buckets are log-linear (HdrHistogram style): kSubBuckets
+// sub-buckets per power-of-two octave, so any recorded value lands in a
+// bucket whose width is at most value / kSubBuckets. Quantiles read from
+// the bucket boundaries are therefore within a 1/kSubBuckets relative
+// error (12.5% at the default 8 sub-buckets) plus one integer unit — a
+// bound tests/obs_test.cc pins against exact sorted samples. Values are
+// dimensionless uint64; the serving layer records nanoseconds.
+#ifndef GNMR_OBS_METRICS_H_
+#define GNMR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gnmr {
+namespace obs {
+
+/// Monotonic event counter. Add/Value are lock-free.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, worker count, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram, with quantile accessors. Snapshots
+/// with the same bucket layout (all of them — the layout is static) can be
+/// merged, which is how per-phase histograms roll up into totals.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// Exact largest recorded value (not bucket-rounded).
+  uint64_t max = 0;
+  /// Per-bucket counts, Histogram::kNumBuckets wide (empty when count==0
+  /// snapshots are default-constructed).
+  std::vector<uint64_t> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Smallest value v with CDF(v) >= q, reported as the upper bound of its
+  /// bucket (clamped to `max`), so the estimate errs high by at most one
+  /// bucket width. q in [0, 1]; returns 0 on an empty snapshot.
+  uint64_t Quantile(double q) const;
+  uint64_t P50() const { return Quantile(0.50); }
+  uint64_t P95() const { return Quantile(0.95); }
+  uint64_t P99() const { return Quantile(0.99); }
+
+  /// Like Quantile but linearly interpolated inside the winning bucket,
+  /// assuming values spread uniformly across it. Same one-bucket error
+  /// bound, but sub-bucket resolution — two nearby distributions compare
+  /// smoothly instead of snapping to bucket boundaries (which would make
+  /// any difference either 0 or a full 12.5% step). Used by the
+  /// tracing-overhead comparison in the load harness.
+  double QuantileInterpolated(double q) const;
+
+  /// Adds `other`'s counts into this snapshot (same static layout).
+  void MergeFrom(const HistogramSnapshot& other);
+
+  /// {"count":..,"sum":..,"max":..,"mean":..,"p50":..,"p95":..,"p99":..}
+  std::string ToJson() const;
+};
+
+/// Fixed-boundary log-linear histogram of uint64 values. Record is
+/// lock-free (wait-free but for the max CAS) and safe from any thread.
+class Histogram {
+ public:
+  /// Sub-buckets per power-of-two octave; 8 bounds the relative bucket
+  /// width (and so the quantile error) at 12.5%.
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  /// The linear [0, kSubBuckets) prefix plus one kSubBuckets-wide group
+  /// per octave for leading-bit positions kSubBucketBits..63.
+  static constexpr int kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index of `value` (exposed for tests).
+  static int BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket `index`.
+  static uint64_t BucketLowerBound(int index);
+  /// Largest value mapping to bucket `index`.
+  static uint64_t BucketUpperBound(int index);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Name -> metric map. Lookup/creation is mutex-guarded; the returned
+/// references are stable for the registry's lifetime, so hot paths resolve
+/// once at construction and record lock-free thereafter. Metric kinds
+/// share one namespace per kind (a counter and a histogram may share a
+/// name; two counters with one name are the same counter).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& CounterOf(const std::string& name);
+  Gauge& GaugeOf(const std::string& name);
+  Histogram& HistogramOf(const std::string& name);
+
+  /// {"counters":{..},"gauges":{..},"histograms":{name: snapshot json}}
+  /// — names sorted, stable across runs.
+  std::string ToJson() const;
+
+  /// Process-wide registry for binaries that export one metrics document
+  /// (gnmr_serve --metrics_json, the serve_throughput harness). Library
+  /// code takes a registry (or defaults to a private one) instead of
+  /// assuming this, so tests stay isolated.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace gnmr
+
+#endif  // GNMR_OBS_METRICS_H_

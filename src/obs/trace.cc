@@ -1,0 +1,187 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace gnmr {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+constexpr int64_t kDefaultCapacity = 16384;
+
+/// One thread's bounded event ring. The owning thread appends; an
+/// exporter (or ClearTrace) reads under the same mutex. The mutex is
+/// uncontended in steady state — only the owner touches it — so a record
+/// costs an uncontended lock/unlock, and concurrent export is race-free
+/// by construction rather than by luck.
+struct ThreadLog {
+  std::mutex mu;
+  std::vector<TraceEvent> ring;
+  /// Monotonic append count; ring slot = head % capacity. head > capacity
+  /// means the ring wrapped and (head - capacity) events were dropped.
+  uint64_t head = 0;
+  uint32_t tid = 0;
+};
+
+struct Sink {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  int64_t capacity = kDefaultCapacity;
+};
+
+Sink& GlobalSink() {
+  static Sink* sink = new Sink();
+  return *sink;
+}
+
+/// Registered lazily on a thread's first span; the shared_ptr in the sink
+/// keeps the log exportable after the thread exits.
+ThreadLog& LocalLog() {
+  thread_local std::shared_ptr<ThreadLog> log = [] {
+    auto fresh = std::make_shared<ThreadLog>();
+    Sink& sink = GlobalSink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    fresh->tid = static_cast<uint32_t>(sink.logs.size() + 1);
+    fresh->ring.resize(static_cast<size_t>(sink.capacity));
+    sink.logs.push_back(fresh);
+    return fresh;
+  }();
+  return *log;
+}
+
+thread_local uint32_t t_depth = 0;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+void SetTraceEnabled(bool enabled) {
+  TraceEpoch();  // pin the epoch no later than the first enable
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTraceBufferCapacity(int64_t events_per_thread) {
+  Sink& sink = GlobalSink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  sink.capacity = std::max<int64_t>(1, events_per_thread);
+}
+
+void TraceSpan::Begin(const char* name) {
+  name_ = name;
+  start_ns_ = TraceNowNs();
+  ++t_depth;
+}
+
+void TraceSpan::End() {
+  const uint64_t end_ns = TraceNowNs();
+  --t_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns - start_ns_;
+  event.depth = t_depth;
+  ThreadLog& log = LocalLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  event.tid = log.tid;
+  log.ring[static_cast<size_t>(log.head % log.ring.size())] = event;
+  ++log.head;
+}
+
+std::vector<TraceEvent> TraceSnapshot() {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    Sink& sink = GlobalSink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    logs = sink.logs;
+  }
+  std::vector<TraceEvent> out;
+  for (const std::shared_ptr<ThreadLog>& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    const uint64_t cap = log->ring.size();
+    const uint64_t kept = std::min(log->head, cap);
+    // Oldest retained first: when wrapped, that is slot head % cap.
+    const uint64_t first = log->head > cap ? log->head % cap : 0;
+    for (uint64_t i = 0; i < kept; ++i) {
+      out.push_back(log->ring[static_cast<size_t>((first + i) % cap)]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+uint64_t TraceDroppedEvents() {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    Sink& sink = GlobalSink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    logs = sink.logs;
+  }
+  uint64_t dropped = 0;
+  for (const std::shared_ptr<ThreadLog>& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    const uint64_t cap = log->ring.size();
+    if (log->head > cap) dropped += log->head - cap;
+  }
+  return dropped;
+}
+
+void ClearTrace() {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    Sink& sink = GlobalSink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    logs = sink.logs;
+  }
+  for (const std::shared_ptr<ThreadLog>& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    log->head = 0;
+  }
+}
+
+std::string TraceToChromeJson() {
+  const std::vector<TraceEvent> events = TraceSnapshot();
+  std::ostringstream out;
+  // Timestamps grow to ~1e9 us over a long run; 15 significant digits
+  // keep the sub-microsecond fraction from rounding away.
+  out.precision(15);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    // Complete events; ts/dur are microseconds (chrome://tracing's unit),
+    // kept fractional so sub-microsecond spans stay visible.
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\"gnmr\",\"ph\":\"X\""
+        << ",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":"
+        << static_cast<double>(e.start_ns) / 1e3
+        << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3
+        << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace gnmr

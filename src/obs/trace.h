@@ -1,0 +1,120 @@
+// Lightweight tracing spans for the serving and training hot paths —
+// the PyTorch profiler record-function idiom: an RAII span opens at a
+// named scope, closes on destruction, and the closed interval lands in a
+// bounded event sink that exports chrome://tracing JSON.
+//
+// Cost model:
+//   - Tracing disabled (the default): constructing a TraceSpan is one
+//     relaxed atomic load and a predictable branch — cheap enough to
+//     leave spans compiled into every hot path. Defining
+//     GNMR_DISABLE_TRACING compiles spans out entirely.
+//   - Tracing enabled: two steady_clock reads plus one write into the
+//     recording thread's own bounded ring buffer (guarded by that
+//     thread's otherwise-uncontended mutex, so a concurrent export can
+//     read without tearing — the layout ThreadSanitizer holds us to).
+//
+// Every thread records into its own ring (fixed capacity, oldest events
+// overwritten; drops are counted), so recording threads never contend
+// with each other. Span nesting is tracked per thread with a depth
+// counter; the exporter emits complete ("ph":"X") events whose ts/dur
+// containment reproduces the nesting in the chrome://tracing flame view.
+#ifndef GNMR_OBS_TRACE_H_
+#define GNMR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnmr {
+namespace obs {
+
+/// One closed span. `name` must be a string with static storage duration
+/// (span sites pass literals); events are POD so the ring is copy-cheap.
+struct TraceEvent {
+  const char* name = nullptr;
+  /// Start offset from the process trace epoch (first trace-clock use).
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  /// Stable per-thread id in registration order (1-based).
+  uint32_t tid = 0;
+  /// Nesting depth at open (0 = top-level span on its thread).
+  uint32_t depth = 0;
+};
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// True while spans record. The inline relaxed load is the entire cost of
+/// a span site when tracing is off.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on/off. Spans already open keep recording their close;
+/// spans opened while disabled stay no-ops even if tracing flips on
+/// before they close.
+void SetTraceEnabled(bool enabled);
+
+/// Nanoseconds since the process trace epoch (monotonic).
+uint64_t TraceNowNs();
+
+/// Per-thread ring capacity for threads that START recording after the
+/// call (existing rings keep their size). Default 16384 events/thread.
+void SetTraceBufferCapacity(int64_t events_per_thread);
+
+/// All retained events across threads, oldest first by start time.
+std::vector<TraceEvent> TraceSnapshot();
+
+/// Events overwritten because a thread's ring wrapped.
+uint64_t TraceDroppedEvents();
+
+/// Empties every thread's ring (drop counters reset too).
+void ClearTrace();
+
+/// chrome://tracing / Perfetto JSON: {"traceEvents":[{"ph":"X",...}]}.
+/// Load via chrome://tracing "Load" or ui.perfetto.dev.
+std::string TraceToChromeJson();
+
+/// RAII span. Opens on construction when tracing is enabled (and the
+/// optional `sampled` gate passes), records on destruction.
+class TraceSpan {
+ public:
+#ifdef GNMR_DISABLE_TRACING
+  explicit TraceSpan(const char*) {}
+  TraceSpan(const char*, bool) {}
+#else
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) Begin(name);
+  }
+  /// `sampled` lets per-request samplers (RecService) keep ultra-hot
+  /// paths under the overhead budget: false skips the span entirely.
+  TraceSpan(const char* name, bool sampled) {
+    if (sampled && TraceEnabled()) Begin(name);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) End();
+  }
+#endif
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+#define GNMR_OBS_CONCAT_INNER(a, b) a##b
+#define GNMR_OBS_CONCAT(a, b) GNMR_OBS_CONCAT_INNER(a, b)
+/// Spans the enclosing scope: GNMR_TRACE_SPAN("serve.retrieve");
+#define GNMR_TRACE_SPAN(name) \
+  ::gnmr::obs::TraceSpan GNMR_OBS_CONCAT(gnmr_trace_span_, __LINE__)(name)
+
+}  // namespace obs
+}  // namespace gnmr
+
+#endif  // GNMR_OBS_TRACE_H_

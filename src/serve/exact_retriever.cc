@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/shard_plan.h"
 #include "src/tensor/shard_pool.h"
@@ -30,6 +31,10 @@ void ExactRetriever::RetrieveBlock(const int64_t* users, int64_t count,
                                    int64_t k, int64_t item_begin,
                                    int64_t item_end,
                                    std::vector<RecEntry>* outs) const {
+  // The innermost scan unit — on a sharded retrieval each pool worker
+  // opens its own exact.scan, so the trace shows the per-shard fan-out
+  // nested under the retrieve span that dispatched it.
+  GNMR_TRACE_SPAN("exact.scan");
   GNMR_CHECK(count >= 1 && count <= kUserBlock);
   GNMR_CHECK(item_begin >= 0 && item_begin <= item_end &&
              item_end <= model_->num_items);
@@ -122,6 +127,7 @@ void ExactRetriever::RetrieveBlockItemSharded(
 
 std::vector<RecEntry> ExactRetriever::RetrieveTopN(int64_t user,
                                                    int64_t k) const {
+  GNMR_TRACE_SPAN("exact.retrieve");
   GNMR_CHECK_GE(k, 1);
   const int64_t num_items = model_->num_items;
   k = std::min(k, num_items);
@@ -143,6 +149,7 @@ std::vector<RecEntry> ExactRetriever::RetrieveTopN(int64_t user,
 
 std::vector<std::vector<RecEntry>> ExactRetriever::RetrieveBatch(
     const std::vector<int64_t>& users, int64_t k) const {
+  GNMR_TRACE_SPAN("exact.batch");
   GNMR_CHECK_GE(k, 1);
   const int64_t num_items = model_->num_items;
   k = std::min(k, num_items);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/shard_plan.h"
 #include "src/tensor/shard_pool.h"
@@ -45,6 +46,7 @@ IvfRetriever::IvfRetriever(std::shared_ptr<const core::ServingModel> model,
 }
 
 std::vector<int64_t> IvfRetriever::ProbeClusters(int64_t user) const {
+  GNMR_TRACE_SPAN("ivf.probe");
   const int64_t width = model_->embeddings.cols();
   const float* urow = model_->embeddings.data() + user * width;
   const float* centroids = ivf_->centroids.data();
@@ -81,6 +83,10 @@ std::vector<int64_t> IvfRetriever::ProbeClusters(int64_t user) const {
 void IvfRetriever::ScanCandidates(int64_t user, const int64_t* candidates,
                                   int64_t count, int64_t k,
                                   std::vector<RecEntry>* heap) const {
+  // Per posting-list (or per shard range) scan unit; nests under
+  // ivf.retrieve in the trace the way exact.scan nests under
+  // exact.retrieve.
+  GNMR_TRACE_SPAN("ivf.scan");
   const int64_t width = model_->embeddings.cols();
   const float* emb = model_->embeddings.data();
   const float* item_base = emb + model_->num_users * width;
@@ -183,6 +189,7 @@ std::vector<RecEntry> IvfRetriever::RetrieveOne(int64_t user, int64_t k,
 
 std::vector<RecEntry> IvfRetriever::RetrieveTopN(int64_t user,
                                                  int64_t k) const {
+  GNMR_TRACE_SPAN("ivf.retrieve");
   GNMR_CHECK_GE(k, 1);
   k = std::min(k, model_->num_items);
   return RetrieveOne(user, k, /*allow_shard=*/true);
@@ -190,6 +197,7 @@ std::vector<RecEntry> IvfRetriever::RetrieveTopN(int64_t user,
 
 std::vector<std::vector<RecEntry>> IvfRetriever::RetrieveBatch(
     const std::vector<int64_t>& users, int64_t k) const {
+  GNMR_TRACE_SPAN("ivf.batch");
   GNMR_CHECK_GE(k, 1);
   k = std::min(k, model_->num_items);
   const int64_t n = static_cast<int64_t>(users.size());

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/serve/ivf_retriever.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
@@ -53,7 +54,17 @@ RecService::RecService(std::shared_ptr<const core::ServingModel> model,
                        std::shared_ptr<const SeenItems> seen,
                        Options options)
     : options_(options),
-      cache_(options.cache_capacity_per_shard, options.cache_shards) {
+      cache_(std::make_shared<RecCache>(options.cache_capacity_per_shard,
+                                        options.cache_shards)) {
+  if (options_.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  obs::MetricsRegistry& reg = metrics();
+  lat_hit_ = &reg.HistogramOf("serve.latency.hit");
+  lat_coalesced_ = &reg.HistogramOf("serve.latency.coalesced");
+  lat_miss_ = &reg.HistogramOf("serve.latency.miss");
+  lat_exact_ = &reg.HistogramOf("serve.latency.exact");
+  lat_batch_ = &reg.HistogramOf("serve.latency.batch");
   // Same construction path a hot swap takes, minus the version bump: the
   // service has never served anything yet, so this is version 0.
   exact_ = std::make_shared<const ExactRetriever>(model, seen);
@@ -73,11 +84,25 @@ RecService::RecService(std::shared_ptr<const core::ServingModel> model,
                        std::shared_ptr<const SeenItems> seen)
     : RecService(std::move(model), std::move(seen), Options()) {}
 
-std::pair<std::shared_ptr<const Retriever>, uint64_t>
-RecService::Snapshot() const {
+RecService::ServingSnapshot RecService::Snapshot() const {
   std::lock_guard<std::mutex> lock(swap_mu_);
-  return {retriever_, cache_.version()};
+  // swap_mu_ orders this against InstallLocked, so the retriever and the
+  // cache generation are the same swap's pair; the version is read from
+  // that generation so the triple is self-consistent.
+  std::shared_ptr<RecCache> cache = std::atomic_load(&cache_);
+  const uint64_t version = cache->version();
+  return {retriever_, std::move(cache), version};
 }
+
+bool RecService::SampleTrace() const {
+  if (!obs::TraceEnabled()) return false;
+  if (options_.trace_sample_period <= 1) return true;
+  thread_local uint64_t counter = 0;
+  return (counter++ % static_cast<uint64_t>(options_.trace_sample_period)) ==
+         0;
+}
+
+void RecService::InvalidateCache() { CurrentCache()->Invalidate(); }
 
 std::shared_ptr<const ExactRetriever> RecService::ExactFallbackIfRequested(
     bool exact) {
@@ -138,16 +163,22 @@ void RecService::AbandonFlight(uint64_t key,
   flight->cv.notify_all();
 }
 
-std::vector<RecEntry> RecService::RetrieveCoalesced(int64_t user, int64_t k) {
+std::vector<RecEntry> RecService::RetrieveCoalesced(int64_t user, int64_t k,
+                                                    bool sampled,
+                                                    Outcome* outcome) {
   const uint64_t key = FlightKey(user, k);
   std::vector<RecEntry> out;
   for (;;) {
     // Re-checked every round: a racing leader (including another waiter
     // promoted after an abandon) publishes to the cache before waking
     // anyone, so a hit here is always fresher than re-scanning.
-    if (cache_.Get(user, k, &out)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return out;
+    {
+      obs::TraceSpan probe("serve.cache_probe", sampled);
+      if (CurrentCache()->Get(user, k, &out)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (outcome != nullptr) *outcome = Outcome::kHit;
+        return out;
+      }
     }
     // Leader unwind protection (e.g. allocation failure mid-retrieval):
     // the lease abandons the flight so waiters don't hang on a dead key.
@@ -157,23 +188,32 @@ std::vector<RecEntry> RecService::RetrieveCoalesced(int64_t user, int64_t k) {
     lease.Reserve(1);
     FlightSlot slot = JoinOrLead(key);
     if (slot.leader) {
+      obs::TraceSpan lead("serve.flight_lead", sampled);
       lease.Add(key, slot.flight);
-      // Snapshot pins the model: a concurrent swap cannot free it from
-      // under this retrieval, and the version captured here matches the
-      // snapshot, so the Put below can never surface a pre-swap list
-      // post-swap.
-      auto [retriever, version] = Snapshot();
-      out = retriever->RetrieveTopN(user, k);
-      cache_.Put(user, k, version, out);
+      // Snapshot pins the model AND the cache generation: a concurrent
+      // swap cannot free the model from under this retrieval, and the Put
+      // goes into the generation whose version was captured — if a swap
+      // lands mid-retrieval, the list is parked in the retired (now
+      // unreachable) generation instead of surfacing post-swap.
+      ServingSnapshot snap = Snapshot();
+      {
+        obs::TraceSpan retrieve("serve.retrieve", sampled);
+        out = snap.retriever->RetrieveTopN(user, k);
+      }
+      obs::TraceSpan publish("serve.publish", sampled);
+      snap.cache->Put(user, k, snap.cache_version, out);
       PublishFlight(key, slot.flight, out);
+      if (outcome != nullptr) *outcome = Outcome::kLead;
       return out;
     }
     // Another thread is already retrieving this exact list; wait for its
     // result instead of burning a full catalogue scan on the same key.
+    obs::TraceSpan join("serve.flight_join", sampled);
     std::unique_lock<std::mutex> lock(slot.flight->mu);
     slot.flight->cv.wait(lock, [&slot] { return slot.flight->done; });
     if (!slot.flight->abandoned) {
       coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome != nullptr) *outcome = Outcome::kCoalesced;
       return slot.flight->result;
     }
     // The leader unwound before publishing; its empty placeholder is not
@@ -183,6 +223,8 @@ std::vector<RecEntry> RecService::RetrieveCoalesced(int64_t user, int64_t k) {
 
 std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k,
                                             bool exact) {
+  const bool sampled = SampleTrace();
+  obs::TraceSpan span("serve.recommend", sampled);
   util::Stopwatch timer;
   // Clamp before the cache lookup: the cache packs k into the low 32 key
   // bits, and unclamped k would also cache the same full-catalogue list
@@ -197,19 +239,30 @@ std::vector<RecEntry> RecService::Recommend(int64_t user, int64_t k,
   std::shared_ptr<const ExactRetriever> fallback =
       ExactFallbackIfRequested(exact);
   std::vector<RecEntry> out;
+  Outcome outcome = Outcome::kLead;
+  obs::Histogram* histogram = nullptr;
   if (fallback != nullptr) {
     exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     out = fallback->RetrieveTopN(user, k);
+    histogram = lat_exact_;
   } else {
-    out = RetrieveCoalesced(user, k);
+    out = RetrieveCoalesced(user, k, sampled, &outcome);
+    histogram = outcome == Outcome::kHit         ? lat_hit_
+                : outcome == Outcome::kCoalesced ? lat_coalesced_
+                                                 : lat_miss_;
   }
-  latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
-                        std::memory_order_relaxed);
+  // One clock reading feeds both the cumulative total and the per-phase
+  // histogram, so the reported mean and quantiles agree exactly.
+  const uint64_t elapsed_ns = timer.ElapsedNanos();
+  latency_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  histogram->Record(elapsed_ns);
   return out;
 }
 
 std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
     const std::vector<int64_t>& users, int64_t k, bool exact) {
+  const bool sampled = SampleTrace();
+  obs::TraceSpan span("serve.recommend_batch", sampled);
   util::Stopwatch timer;
   GNMR_CHECK_GE(k, 1);
   k = std::min(k, num_items_.load(std::memory_order_relaxed));
@@ -224,20 +277,25 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
     exact_fallbacks_.fetch_add(static_cast<uint64_t>(n),
                                std::memory_order_relaxed);
     std::vector<std::vector<RecEntry>> out = fallback->RetrieveBatch(users, k);
-    latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
-                          std::memory_order_relaxed);
+    const uint64_t elapsed_ns = timer.ElapsedNanos();
+    latency_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    lat_exact_->Record(elapsed_ns);
     return out;
   }
   std::vector<std::vector<RecEntry>> out(static_cast<size_t>(n));
   std::vector<int64_t> miss_users;
   std::vector<int64_t> miss_slots;
-  for (int64_t i = 0; i < n; ++i) {
-    if (cache_.Get(users[static_cast<size_t>(i)], k,
-                   &out[static_cast<size_t>(i)])) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      miss_users.push_back(users[static_cast<size_t>(i)]);
-      miss_slots.push_back(i);
+  {
+    obs::TraceSpan probe("serve.cache_probe", sampled);
+    std::shared_ptr<RecCache> cache = CurrentCache();
+    for (int64_t i = 0; i < n; ++i) {
+      if (cache->Get(users[static_cast<size_t>(i)], k,
+                     &out[static_cast<size_t>(i)])) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        miss_users.push_back(users[static_cast<size_t>(i)]);
+        miss_slots.push_back(i);
+      }
     }
   }
   if (!miss_users.empty()) {
@@ -271,17 +329,22 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
       }
     }
     if (!lead_users.empty()) {
-      auto [retriever, version] = Snapshot();
-      std::vector<std::vector<RecEntry>> fetched =
-          retriever->RetrieveBatch(lead_users, k);
+      ServingSnapshot snap = Snapshot();
+      std::vector<std::vector<RecEntry>> fetched;
+      {
+        obs::TraceSpan retrieve("serve.retrieve", sampled);
+        fetched = snap.retriever->RetrieveBatch(lead_users, k);
+      }
+      obs::TraceSpan publish("serve.publish", sampled);
       for (size_t m = 0; m < lead_users.size(); ++m) {
-        cache_.Put(lead_users[m], k, version, fetched[m]);
+        snap.cache->Put(lead_users[m], k, snap.cache_version, fetched[m]);
         PublishFlight(FlightKey(lead_users[m], k), lead_flights[m],
                       fetched[m]);
         out[static_cast<size_t>(lead_slots[m])] = std::move(fetched[m]);
       }
     }
     for (Join& join : joins) {
+      obs::TraceSpan wait_span("serve.flight_join", sampled);
       std::unique_lock<std::mutex> lock(join.flight->mu);
       join.flight->cv.wait(lock,
                            [&join] { return join.flight->done; });
@@ -290,21 +353,27 @@ std::vector<std::vector<RecEntry>> RecService::RecommendBatch(
         // the coalescing miss path rather than returning its empty
         // placeholder as a real list.
         lock.unlock();
-        out[static_cast<size_t>(join.slot)] = RetrieveCoalesced(join.user, k);
+        out[static_cast<size_t>(join.slot)] =
+            RetrieveCoalesced(join.user, k, sampled);
       } else {
         out[static_cast<size_t>(join.slot)] = join.flight->result;
         coalesced_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
-  latency_us_.fetch_add(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3),
-                        std::memory_order_relaxed);
+  // The batch is one timed unit (matching the single requests_ += n /
+  // latency += elapsed accounting): the histogram sees one end-to-end
+  // batch latency, not n synthetic per-user shares.
+  const uint64_t elapsed_ns = timer.ElapsedNanos();
+  latency_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  lat_batch_->Record(elapsed_ns);
   return out;
 }
 
 void RecService::InstallLocked(
     std::shared_ptr<const core::ServingModel> next,
     std::shared_ptr<const SeenItems> seen) {
+  GNMR_TRACE_SPAN("serve.install");
   // Caller holds swap_mu_. Retriever construction is O(1) for exact and
   // O(1) shape checks for IVF (the O(num_items) index validation runs
   // where the index is produced — BuildIvfIndex / LoadServingModel — not
@@ -324,7 +393,21 @@ void RecService::InstallLocked(
   } else {
     retriever_ = exact_;
   }
-  cache_.Invalidate();
+  // Replace the cache generation instead of version-bumping it: the
+  // outgoing generation's counters are retired (mirroring
+  // retired_retrieval_) and its stale lists are freed as soon as the last
+  // in-flight leader drops its pin, rather than lingering until LRU churn
+  // pushes them out. `entries` is deliberately not carried over — a
+  // retired generation holds no servable entries.
+  std::shared_ptr<RecCache> outgoing = std::atomic_load(&cache_);
+  const CacheStats retired = outgoing->stats();
+  retired_cache_.hits += retired.hits;
+  retired_cache_.misses += retired.misses;
+  retired_cache_.evictions += retired.evictions;
+  std::atomic_store(&cache_,
+                    std::make_shared<RecCache>(
+                        options_.cache_capacity_per_shard,
+                        options_.cache_shards));
   version_.fetch_add(1, std::memory_order_acq_rel);
   swaps_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -338,6 +421,7 @@ void RecService::SwapModel(std::shared_ptr<const core::ServingModel> next,
 }
 
 util::Status RecService::LoadAndSwap(const std::string& path) {
+  GNMR_TRACE_SPAN("serve.load_and_swap");
   // Load v+1 while v keeps serving; nothing above the lock blocks readers,
   // and validation + install happen in one critical section so no
   // concurrent swap can slip a shape change between them.
@@ -349,6 +433,7 @@ util::Status RecService::LoadAndSwap(const std::string& path) {
   if (options_.retriever == RetrieverKind::kIvf && !next.has_ivf()) {
     // v1 artifact on an IVF service: build the index here (offline work,
     // off the swap lock) so the swap below installs a complete snapshot.
+    GNMR_TRACE_SPAN("serve.build_ivf");
     util::Status built = core::BuildIvfIndex(&next, options_.nlist);
     if (!built.ok()) return built;
   }
@@ -386,10 +471,17 @@ ServiceStats RecService::stats() const {
   out.exact_fallbacks =
       exact_fallbacks_.load(std::memory_order_relaxed);
   out.swaps = swaps_.load(std::memory_order_relaxed);
-  out.latency_us_total = latency_us_.load(std::memory_order_relaxed);
+  out.latency_ns_total = latency_ns_.load(std::memory_order_relaxed);
   out.model_version = model_version();
-  out.cache = cache_.stats();
   std::lock_guard<std::mutex> lock(swap_mu_);
+  // Retired generations first (their entries are 0 by construction), then
+  // the live generation on top — same shape as the retrieval aggregation.
+  out.cache = retired_cache_;
+  const CacheStats live = std::atomic_load(&cache_)->stats();
+  out.cache.hits += live.hits;
+  out.cache.misses += live.misses;
+  out.cache.evictions += live.evictions;
+  out.cache.entries = live.entries;
   out.retrieval = retired_retrieval_;
   AddInto(&out.retrieval, retriever_->Stats());
   if (exact_.get() != retriever_.get()) {

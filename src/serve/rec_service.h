@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/serve/exact_retriever.h"
 #include "src/serve/rec_cache.h"
 #include "src/serve/retriever.h"
@@ -57,10 +58,17 @@ struct ServiceStats {
   /// per-request `exact` knob).
   uint64_t exact_fallbacks = 0;
   uint64_t swaps = 0;
-  /// Cumulative request latency in microseconds.
-  uint64_t latency_us_total = 0;
+  /// Cumulative request latency in integer nanoseconds from the monotonic
+  /// clock — the same readings the latency histograms record, so the mean
+  /// here and the histogram quantiles describe one population.
+  uint64_t latency_ns_total = 0;
   /// Version of the currently served snapshot (bumps on every swap).
   uint64_t model_version = 0;
+  /// Cache counters summed across every cache generation this service has
+  /// owned: each swap installs a fresh cache (eagerly freeing the stale
+  /// lists) and retires the outgoing generation's hits/misses/evictions
+  /// here, the way `retrieval` aggregates retired retrievers. `entries`
+  /// counts only the live generation — retired entries are freed.
   CacheStats cache;
   /// Retrieval-side counters summed across every retriever this service
   /// has owned (current + retired snapshots): items scanned, clusters
@@ -75,7 +83,7 @@ struct ServiceStats {
   double MeanLatencyUs() const {
     return requests == 0
                ? 0.0
-               : static_cast<double>(latency_us_total) / requests;
+               : static_cast<double>(latency_ns_total) / 1e3 / requests;
   }
 };
 
@@ -99,6 +107,20 @@ class RecService {
     /// owned-storage loader. Snapshot lifetime is unchanged — the mapping
     /// lives as long as any in-flight request pins the snapshot.
     bool mmap_artifacts = false;
+    /// Registry the per-phase latency histograms live in
+    /// ("serve.latency.hit" / ".coalesced" / ".miss" / ".exact" /
+    /// ".batch", nanoseconds). nullptr (the default) gives the service a
+    /// private registry so tests and co-hosted services stay isolated;
+    /// binaries that export one metrics document pass
+    /// &obs::MetricsRegistry::Global().
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Trace-span sampling on the per-request fast path: with tracing
+    /// enabled, 1 request in `trace_sample_period` (per thread) opens
+    /// spans. Cache hits finish in ~1-2us, so spanning every one would
+    /// dominate the path it measures; sampling keeps the overhead in the
+    /// noise while the flame view stays representative. <= 1 spans every
+    /// request.
+    int64_t trace_sample_period = 16;
   };
 
   /// Serves from `model` (non-null), filtering each user's `seen` items
@@ -156,9 +178,16 @@ class RecService {
     return version_.load(std::memory_order_acquire);
   }
 
+  /// The registry holding this service's latency histograms — the one
+  /// passed via Options::metrics, else the service's private registry.
+  obs::MetricsRegistry& metrics() const {
+    return options_.metrics != nullptr ? *options_.metrics : *owned_metrics_;
+  }
+
   /// Drops all cached lists without swapping the model (e.g. after an
-  /// out-of-band seen-set update).
-  void InvalidateCache() { cache_.Invalidate(); }
+  /// out-of-band seen-set update). O(1): the version bump invalidates
+  /// lazily, unlike a swap (which replaces the cache generation).
+  void InvalidateCache();
 
  private:
   /// White-box access for tests/serve_test.cc (flight registry races are
@@ -176,8 +205,28 @@ class RecService {
     bool leader = false;
   };
 
-  /// Reads (retriever, cache version) as one consistent pair.
-  std::pair<std::shared_ptr<const Retriever>, uint64_t> Snapshot() const;
+  /// How RetrieveCoalesced answered a request — picks the latency
+  /// histogram the request lands in.
+  enum class Outcome { kHit, kCoalesced, kLead };
+
+  /// (retriever, cache generation, cache version) as one consistent
+  /// triple: a leader Puts into the SAME generation whose version it
+  /// captured, so a list computed pre-swap can never surface post-swap
+  /// (the retired generation is unreachable from new readers).
+  struct ServingSnapshot {
+    std::shared_ptr<const Retriever> retriever;
+    std::shared_ptr<RecCache> cache;
+    uint64_t cache_version = 0;
+  };
+  ServingSnapshot Snapshot() const;
+
+  /// The cache generation currently serving reads.
+  std::shared_ptr<RecCache> CurrentCache() const {
+    return std::atomic_load(&cache_);
+  }
+
+  /// Whether this request's spans record (see Options::trace_sample_period).
+  bool SampleTrace() const;
 
   /// Resolves the per-request `exact` knob: the pinned exact fallback when
   /// it is a DIFFERENT strategy than the primary (i.e. the knob changes
@@ -201,7 +250,11 @@ class RecService {
   /// went. Loops back to the cache check when a joined leader unwinds
   /// before publishing, so coalescing survives an abandon (one waiter
   /// re-elects itself leader, the rest join that new flight).
-  std::vector<RecEntry> RetrieveCoalesced(int64_t user, int64_t k);
+  /// `outcome` (optional) reports which way the request resolved;
+  /// `sampled` gates this request's trace spans.
+  std::vector<RecEntry> RetrieveCoalesced(int64_t user, int64_t k,
+                                          bool sampled,
+                                          Outcome* outcome = nullptr);
 
   /// Publishes the leader's result and wakes the waiters; unregisters
   /// `key`. `flight` must be the one this thread leads under `key`.
@@ -263,7 +316,15 @@ class RecService {
   std::shared_ptr<const ExactRetriever> exact_;
   /// Counters of retrievers already swapped out; guarded by swap_mu_.
   RetrieverStats retired_retrieval_;
-  RecCache cache_;
+  /// Counters of cache generations already swapped out (entries always 0 —
+  /// a retired generation's lists are freed); guarded by swap_mu_.
+  CacheStats retired_cache_;
+  /// The live cache generation. Replaced wholesale on every swap (stale
+  /// lists are reclaimed eagerly instead of lingering until LRU pushes
+  /// them out); all access goes through std::atomic_load/atomic_store so
+  /// readers never touch swap_mu_. In-flight leaders pin their generation
+  /// via ServingSnapshot.
+  std::shared_ptr<RecCache> cache_;
   /// Catalogue size of the current snapshot (k is clamped against it
   /// before cache lookups, off the lock).
   std::atomic<int64_t> num_items_{0};
@@ -273,7 +334,16 @@ class RecService {
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> exact_fallbacks_{0};
   std::atomic<uint64_t> swaps_{0};
-  std::atomic<uint64_t> latency_us_{0};
+  std::atomic<uint64_t> latency_ns_{0};
+  /// Backing storage when Options::metrics is null (see Options).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  /// Per-phase end-to-end latency histograms (nanoseconds), resolved once
+  /// at construction; Record is lock-free so they sit on the hot path.
+  obs::Histogram* lat_hit_ = nullptr;
+  obs::Histogram* lat_coalesced_ = nullptr;
+  obs::Histogram* lat_miss_ = nullptr;
+  obs::Histogram* lat_exact_ = nullptr;
+  obs::Histogram* lat_batch_ = nullptr;
   /// Guards flights_; held only for map lookups/insert/erase, never across
   /// a retrieval.
   std::mutex flights_mu_;

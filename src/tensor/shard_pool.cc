@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "src/obs/trace.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/util/check.h"
 
@@ -82,6 +83,9 @@ ShardPool::~ShardPool() {
 }
 
 void ShardPool::ExecuteTask(Worker* w, const Task& task) {
+  // One span per task on the worker that ran it (owner or thief), so the
+  // trace shows how a dispatch actually spread across the pool.
+  GNMR_TRACE_SPAN("shard.task");
   auto start = std::chrono::steady_clock::now();
   try {
     (*task.fn)(task.index);
@@ -170,6 +174,9 @@ void ShardPool::Run(int64_t num_tasks,
     for (int64_t t = 0; t < num_tasks; ++t) fn(t);
     return;
   }
+  // Covers enqueue through completion-wait: the gap between this span and
+  // the shard.task spans it fans out is queueing + wake-up latency.
+  GNMR_TRACE_SPAN("shard.dispatch");
   Completion completion;
   completion.remaining.store(num_tasks, std::memory_order_relaxed);
   dispatches_.fetch_add(1, std::memory_order_relaxed);

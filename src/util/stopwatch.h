@@ -3,6 +3,7 @@
 #define GNMR_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace gnmr {
 namespace util {
@@ -20,6 +21,16 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Integer nanoseconds from the monotonic clock — the reading latency
+  /// accounting feeds both the cumulative total and the histograms, so
+  /// means and quantiles agree to the tick (no double round-trip).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

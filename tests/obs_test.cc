@@ -1,0 +1,282 @@
+// Tests for the src/obs/ observability layer: histogram bucket geometry
+// and quantile error bounds against exact sorted samples, lock-free
+// recording conservation under concurrent writers, trace-span nesting in
+// the exported events, and the disabled-tracing path leaving serving
+// outputs bit-identical.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/model_io.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serve/rec_service.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace gnmr {
+namespace obs {
+namespace {
+
+// ------------------------------------------------------------ histogram ----
+
+TEST(HistogramBucketTest, BoundsArePreciseAndContiguous) {
+  // The linear prefix is exact: one bucket per integer value.
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    int idx = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(idx), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(idx), v);
+  }
+  // Every bucket contains its index's value and the buckets tile the
+  // uint64 range with no gaps or overlaps.
+  std::vector<uint64_t> probes = {8,   9,    15,   16,   17,  255,
+                                  256, 1000, 4095, 4096, 1u << 20};
+  probes.push_back(uint64_t{1} << 40);
+  probes.push_back(UINT64_MAX);
+  for (uint64_t v : probes) {
+    int idx = Histogram::BucketIndex(v);
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << v;
+    EXPECT_GE(Histogram::BucketUpperBound(idx), v) << v;
+  }
+  for (int idx = 0; idx + 1 < Histogram::kNumBuckets; ++idx) {
+    EXPECT_EQ(Histogram::BucketUpperBound(idx) + 1,
+              Histogram::BucketLowerBound(idx + 1))
+        << "gap after bucket " << idx;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(HistogramTest, QuantilesWithinRelativeErrorOfExactSamples) {
+  // Log-uniform samples spanning six decades, so every octave regime
+  // (linear prefix, small buckets, wide buckets) is exercised.
+  util::Rng rng(2024);
+  Histogram hist;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t magnitude = rng.UniformInt(0, 5);
+    int64_t scale = 1;
+    for (int64_t m = 0; m < magnitude; ++m) scale *= 10;
+    uint64_t v = static_cast<uint64_t>(rng.UniformInt(1, 9 * scale));
+    samples.push_back(v);
+    hist.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, samples.size());
+  EXPECT_EQ(snap.max, samples.back());
+
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    // Exact quantile: smallest sample at 1-based rank ceil(q * n).
+    size_t rank = static_cast<size_t>(
+        std::max<int64_t>(1, static_cast<int64_t>(
+                                 std::ceil(q * samples.size() - 1e-9))));
+    uint64_t exact = samples[rank - 1];
+    uint64_t reported = snap.Quantile(q);
+    // Upper-bound semantics: errs high only, by at most one bucket width
+    // (12.5% relative) plus one unit.
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(reported),
+              static_cast<double>(exact) * 1.125 + 1.0)
+        << "q=" << q;
+    // Interpolated variant: may err either way, same one-bucket bound.
+    double interp = snap.QuantileInterpolated(q);
+    EXPECT_GE(interp, static_cast<double>(exact) * 0.875 - 1.0) << "q=" << q;
+    EXPECT_LE(interp, static_cast<double>(exact) * 1.125 + 1.0) << "q=" << q;
+  }
+  // The quantile never exceeds the exact recorded max, even at q=1.
+  EXPECT_EQ(snap.Quantile(1.0), samples.back());
+}
+
+TEST(HistogramTest, ConcurrentRecordingConservesCountSumAndMax) {
+  Histogram hist;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        // Deterministic per-thread stream covering several octaves.
+        hist.Record((static_cast<uint64_t>(t) * kPerThread + i) % 9973 + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  uint64_t want_sum = 0, want_max = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      uint64_t v = (static_cast<uint64_t>(t) * kPerThread + i) % 9973 + 1;
+      want_sum += v;
+      want_max = std::max(want_max, v);
+    }
+  }
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, want_sum);
+  EXPECT_EQ(snap.max, want_max);
+  // count is recomputed from the buckets, so it matches their sum exactly.
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(HistogramTest, MergeCombinesSnapshots) {
+  Histogram a, b;
+  for (uint64_t v = 1; v <= 100; ++v) a.Record(v);
+  for (uint64_t v = 1000; v <= 1100; ++v) b.Record(v);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.count, 201u);
+  EXPECT_EQ(merged.max, 1100u);
+  EXPECT_EQ(merged.sum, a.Snapshot().sum + b.Snapshot().sum);
+  // Low quantiles come from a's range, high ones from b's.
+  EXPECT_LE(merged.Quantile(0.25), 128u);
+  EXPECT_GE(merged.Quantile(0.75), 1000u);
+  // Merging into an empty (default) snapshot copies.
+  HistogramSnapshot empty;
+  empty.MergeFrom(merged);
+  EXPECT_EQ(empty.count, merged.count);
+}
+
+TEST(MetricsRegistryTest, NamesResolveToStableMetrics) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.CounterOf("serve.requests");
+  c1.Add(3);
+  EXPECT_EQ(&reg.CounterOf("serve.requests"), &c1);
+  EXPECT_EQ(reg.CounterOf("serve.requests").Value(), 3u);
+  reg.GaugeOf("pool.workers").Set(-2);
+  EXPECT_EQ(reg.GaugeOf("pool.workers").Value(), -2);
+  reg.HistogramOf("lat").Record(42);
+  EXPECT_EQ(reg.HistogramOf("lat").Snapshot().count, 1u);
+
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"serve.requests\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pool.workers\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\":{\"count\":1"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------- traces ----
+
+// Serializes the trace tests against each other (the trace sink is
+// process-global) and restores the disabled default afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    GNMR_TRACE_SPAN("off.outer");
+    GNMR_TRACE_SPAN("off.inner");
+  }
+  EXPECT_TRUE(TraceSnapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansExportWithDepthAndContainment) {
+  SetTraceEnabled(true);
+  {
+    TraceSpan outer("test.outer");
+    {
+      TraceSpan inner1("test.inner1");
+    }
+    {
+      TraceSpan inner2("test.inner2");
+    }
+  }
+  {
+    TraceSpan sampled_out("test.unsampled", /*sampled=*/false);
+    TraceSpan sampled_in("test.sampled", /*sampled=*/true);
+  }
+  SetTraceEnabled(false);
+
+  std::vector<TraceEvent> events = TraceSnapshot();
+  ASSERT_EQ(events.size(), 4u);  // unsampled span skipped entirely
+  // Snapshot orders by start time: outer opened first, then the inners.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner1");
+  EXPECT_STREQ(events[2].name, "test.inner2");
+  EXPECT_STREQ(events[3].name, "test.sampled");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 1u);
+  EXPECT_EQ(events[3].depth, 0u);
+  // Interval containment reproduces the nesting for the flame view.
+  for (int i : {1, 2}) {
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].dur_ns,
+              events[0].start_ns + events[0].dur_ns);
+  }
+  // inner1 fully precedes inner2.
+  EXPECT_LE(events[1].start_ns + events[1].dur_ns, events[2].start_ns);
+
+  std::string json = TraceToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapsAndCountsDrops) {
+  SetTraceBufferCapacity(8);
+  SetTraceEnabled(true);
+  // A fresh thread picks up the new capacity (the main thread's ring may
+  // already exist at the default size).
+  std::thread recorder([] {
+    for (int i = 0; i < 20; ++i) {
+      TraceSpan span("test.wrap");
+    }
+  });
+  recorder.join();
+  SetTraceEnabled(false);
+  std::vector<TraceEvent> events = TraceSnapshot();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(TraceDroppedEvents(), 12u);
+  SetTraceBufferCapacity(16384);  // restore the default for later threads
+}
+
+TEST_F(TraceTest, ServingOutputsBitIdenticalWithTracingOnAndOff) {
+  core::ServingModel m;
+  m.num_users = 12;
+  m.num_items = 40;
+  util::Rng rng(7);
+  m.embeddings = tensor::Tensor::RandomNormal({52, 8}, &rng);
+  auto model = std::make_shared<const core::ServingModel>(std::move(m));
+
+  serve::RecService::Options options;
+  options.trace_sample_period = 1;  // span every request when enabled
+  serve::RecService traced(model, nullptr, options);
+  serve::RecService untraced(model, nullptr, options);
+
+  SetTraceEnabled(true);
+  std::vector<std::vector<serve::RecEntry>> with_trace;
+  for (int64_t u = 0; u < 12; ++u) with_trace.push_back(traced.Recommend(u, 9));
+  SetTraceEnabled(false);
+  ASSERT_FALSE(TraceSnapshot().empty());
+
+  for (int64_t u = 0; u < 12; ++u) {
+    std::vector<serve::RecEntry> got = untraced.Recommend(u, 9);
+    ASSERT_EQ(got.size(), with_trace[static_cast<size_t>(u)].size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].item, with_trace[static_cast<size_t>(u)][i].item);
+      EXPECT_EQ(got[i].score,
+                with_trace[static_cast<size_t>(u)][i].score);  // bitwise
+    }
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gnmr

@@ -359,6 +359,113 @@ TEST(RecServiceTest, SwapInvalidatesAndServesNewModel) {
   EXPECT_EQ(service.stats().cache_hits, 0u);
 }
 
+TEST(RecServiceTest, CacheStatsAggregateAcrossSwaps) {
+  auto model_a = RandomModel(10, 30, 8, 83);
+  auto model_b = RandomModel(10, 30, 8, 89);
+  RecService service(model_a);
+  service.Recommend(0, 5);  // miss
+  service.Recommend(0, 5);  // hit
+  service.Recommend(1, 5);  // miss
+  ServiceStats before = service.stats();
+  EXPECT_EQ(before.cache.hits, 1u);
+  EXPECT_EQ(before.cache.misses, 2u);
+  EXPECT_EQ(before.cache.entries, 2u);
+
+  // The swap installs a fresh cache generation (the stale lists are freed
+  // eagerly); the outgoing generation's counters must keep aggregating.
+  service.SwapModel(model_b);
+  ServiceStats after = service.stats();
+  EXPECT_EQ(after.cache.hits, 1u);
+  EXPECT_EQ(after.cache.misses, 2u);
+  EXPECT_EQ(after.cache.entries, 0u);  // retired entries are gone
+
+  service.Recommend(0, 5);  // miss in the new generation
+  service.Recommend(0, 5);  // hit
+  ServiceStats final_stats = service.stats();
+  EXPECT_EQ(final_stats.cache.hits, 2u);
+  EXPECT_EQ(final_stats.cache.misses, 3u);
+  EXPECT_EQ(final_stats.cache.entries, 1u);
+}
+
+TEST(RecServiceTest, CacheCountersSurviveMidTrafficSwaps) {
+  // Regression for the per-generation cache: counters must aggregate
+  // across generations while swaps retire them mid-traffic, not reset.
+  const int64_t num_users = 24, num_items = 64, width = 8;
+  auto model_a = RandomModel(num_users, num_items, width, 101);
+  auto model_b = RandomModel(num_users, num_items, width, 103);
+  constexpr int kReaders = 4;
+  constexpr int64_t kPerReader = 400;
+  constexpr int kSwaps = 16;
+
+  RecService service(model_a);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      util::Rng rng(300 + static_cast<uint64_t>(t));
+      for (int64_t i = 0; i < kPerReader; ++i) {
+        service.Recommend(rng.UniformInt(0, num_users - 1), 10);
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int s = 0; s < kSwaps; ++s) {
+      service.SwapModel(s % 2 == 0 ? model_b : model_a);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& th : readers) th.join();
+  swapper.join();
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kReaders) * kPerReader);
+  EXPECT_EQ(stats.swaps, static_cast<uint64_t>(kSwaps));
+  // Every request probes its generation's cache exactly once. A probe that
+  // races the retirement of its generation can land after that
+  // generation's counters were harvested (at most one in-flight probe per
+  // reader per swap), so the aggregate is bounded, not exact.
+  const uint64_t probed = stats.cache.hits + stats.cache.misses;
+  EXPECT_LE(probed, stats.requests);
+  EXPECT_GE(probed + static_cast<uint64_t>(kReaders) * kSwaps,
+            stats.requests);
+  // Service-level hit counting never loses increments, and a generation
+  // hit is only ever recorded for a service-level hit.
+  EXPECT_LE(stats.cache.hits, stats.cache_hits);
+  EXPECT_LE(stats.cache_hits - stats.cache.hits,
+            static_cast<uint64_t>(kReaders) * kSwaps);
+  EXPECT_GT(stats.cache.hits, 0u);
+  EXPECT_GT(stats.cache.misses, 0u);
+}
+
+TEST(RecServiceTest, LatencyNanosFeedTotalsAndHistograms) {
+  auto model = RandomModel(10, 30, 8, 97);
+  RecService service(model);
+  for (int i = 0; i < 6; ++i) service.Recommend(i % 3, 5);
+  std::vector<int64_t> users = {0, 1, 5, 6};
+  service.RecommendBatch(users, 5);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 10u);
+  EXPECT_GT(stats.latency_ns_total, 0u);
+
+  obs::HistogramSnapshot hit =
+      service.metrics().HistogramOf("serve.latency.hit").Snapshot();
+  obs::HistogramSnapshot miss =
+      service.metrics().HistogramOf("serve.latency.miss").Snapshot();
+  obs::HistogramSnapshot coalesced =
+      service.metrics().HistogramOf("serve.latency.coalesced").Snapshot();
+  obs::HistogramSnapshot batch =
+      service.metrics().HistogramOf("serve.latency.batch").Snapshot();
+  // Users 0,1,2 missed once each, then hit; the batch is one timed unit.
+  EXPECT_EQ(miss.count, 3u);
+  EXPECT_EQ(hit.count, 3u);
+  EXPECT_EQ(coalesced.count, 0u);
+  EXPECT_EQ(batch.count, 1u);
+  // The histograms record the SAME clock readings that accumulate into
+  // latency_ns_total, so the populations agree exactly, not approximately.
+  EXPECT_EQ(hit.sum + miss.sum + coalesced.sum + batch.sum,
+            stats.latency_ns_total);
+}
+
 TEST(RecServiceTest, BatchMixesHitsAndMisses) {
   auto model = RandomModel(12, 40, 8, 43);
   RecService service(model);

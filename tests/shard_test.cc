@@ -528,6 +528,7 @@ std::shared_ptr<const core::ServingModel> TiedModel(int64_t num_users,
   // shards, so the global top-k must break score ties by item id across
   // shard merges.
   for (int64_t clone : {int64_t{700}, int64_t{1400}, int64_t{2741}}) {
+    if (clone >= num_items) continue;  // smaller catalogues skip the far clones
     for (int64_t c = 0; c < width; ++c) {
       data[(num_users + clone) * width + c] =
           data[(num_users + 3) * width + c];
