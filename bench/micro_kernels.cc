@@ -15,6 +15,7 @@
 #include "src/graph/negative_sampler.h"
 #include "src/tensor/ad_ops.h"
 #include "src/tensor/backend.h"
+#include "src/tensor/element_ops.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace {
@@ -54,9 +55,13 @@ BENCHMARK(BM_SpmmPerNnz)->Arg(5)->Arg(20)->Arg(80);
 
 // ---- Per-backend kernel variants -------------------------------------------
 // Named <kernel>_backend/<name>; the 512^3 MatMul case is the acceptance
-// gauge for the blocked backend (>= 1.3x serial). The sharded cases track
-// shard scaling: they run on the std::thread shard pool (GNMR_SHARD_WORKERS
-// governs the worker count; 1 worker degrades to serial + dispatch cost).
+// gauge for the blocked backend (>= 1.3x serial) and the simd backend
+// (>= 4x serial single-thread, same host same run). The sharded cases
+// track shard scaling: they run on the std::thread shard pool
+// (GNMR_SHARD_WORKERS governs the worker count; 1 worker degrades to
+// serial + dispatch cost). The blas captures exist only in GNMR_BLAS
+// builds and are NOT bit-exact — treat them as a roofline reference, not
+// a drop-in backend.
 
 void BM_MatMulBackend(benchmark::State& state, const std::string& backend) {
   const tensor::KernelBackend* b = tensor::FindBackend(backend);
@@ -75,6 +80,10 @@ BENCHMARK_CAPTURE(BM_MatMulBackend, serial, "serial")->Arg(256)->Arg(512);
 BENCHMARK_CAPTURE(BM_MatMulBackend, omp, "omp")->Arg(256)->Arg(512);
 BENCHMARK_CAPTURE(BM_MatMulBackend, blocked, "blocked")->Arg(256)->Arg(512);
 BENCHMARK_CAPTURE(BM_MatMulBackend, sharded, "sharded")->Arg(256)->Arg(512);
+BENCHMARK_CAPTURE(BM_MatMulBackend, simd, "simd")->Arg(256)->Arg(512);
+#ifdef GNMR_HAVE_BLAS
+BENCHMARK_CAPTURE(BM_MatMulBackend, blas, "blas")->Arg(256)->Arg(512);
+#endif
 
 void BM_SpmmBackend(benchmark::State& state, const std::string& backend) {
   const tensor::KernelBackend* b = tensor::FindBackend(backend);
@@ -99,6 +108,7 @@ BENCHMARK_CAPTURE(BM_SpmmBackend, serial, "serial");
 BENCHMARK_CAPTURE(BM_SpmmBackend, omp, "omp");
 BENCHMARK_CAPTURE(BM_SpmmBackend, blocked, "blocked");
 BENCHMARK_CAPTURE(BM_SpmmBackend, sharded, "sharded");
+BENCHMARK_CAPTURE(BM_SpmmBackend, simd, "simd");
 
 void BM_ScatterAddRowsBackend(benchmark::State& state,
                               const std::string& backend) {
@@ -120,6 +130,50 @@ BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, serial, "serial");
 BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, omp, "omp");
 BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, blocked, "blocked");
 BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, sharded, "sharded");
+BENCHMARK_CAPTURE(BM_ScatterAddRowsBackend, simd, "simd");
+
+void BM_RowDotBackend(benchmark::State& state, const std::string& backend) {
+  const tensor::KernelBackend* b = tensor::FindBackend(backend);
+  int64_t n = 4096, m = 64;
+  util::Rng rng(5);
+  tensor::Tensor x = tensor::Tensor::RandomNormal({n, m}, &rng);
+  tensor::Tensor y = tensor::Tensor::RandomNormal({n, m}, &rng);
+  tensor::Tensor out({n, 1});
+  for (auto _ : state) {
+    b->RowDot(x.data(), y.data(), out.data(), n, m);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * m);
+}
+BENCHMARK_CAPTURE(BM_RowDotBackend, serial, "serial");
+BENCHMARK_CAPTURE(BM_RowDotBackend, omp, "omp");
+BENCHMARK_CAPTURE(BM_RowDotBackend, blocked, "blocked");
+BENCHMARK_CAPTURE(BM_RowDotBackend, sharded, "sharded");
+BENCHMARK_CAPTURE(BM_RowDotBackend, simd, "simd");
+
+// The sigmoid-backward zip is the hottest EltwiseZip in training; routing
+// it through each backend exercises the simd backend's pointer-keyed twin
+// substitution (backend_simd.h) on a body the portable TUs instantiated.
+void BM_ActivationZipBackend(benchmark::State& state,
+                             const std::string& backend) {
+  const tensor::KernelBackend* b = tensor::FindBackend(backend);
+  int64_t n = 1 << 20;
+  util::Rng rng(6);
+  tensor::Tensor x = tensor::Tensor::RandomNormal({n, 1}, &rng);
+  tensor::Tensor y = tensor::Tensor::RandomNormal({n, 1}, &rng);
+  tensor::Tensor out({n, 1});
+  for (auto _ : state) {
+    b->EltwiseZip(x.data(), y.data(), out.data(), n,
+                  &tensor::ZipLoop<&tensor::elops::SigmoidBwdEl>, 0.0f);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_ActivationZipBackend, serial, "serial");
+BENCHMARK_CAPTURE(BM_ActivationZipBackend, omp, "omp");
+BENCHMARK_CAPTURE(BM_ActivationZipBackend, blocked, "blocked");
+BENCHMARK_CAPTURE(BM_ActivationZipBackend, sharded, "sharded");
+BENCHMARK_CAPTURE(BM_ActivationZipBackend, simd, "simd");
 
 void BM_GraphBuild(benchmark::State& state) {
   data::Dataset d = data::GenerateSynthetic(

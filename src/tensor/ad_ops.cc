@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/tensor/backend.h"
+#include "src/tensor/element_ops.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/check.h"
 
@@ -17,30 +18,13 @@ namespace {
 
 // Backward rules of the unary activations are elementwise zips of the
 // upstream grad against the cached input/output; they dispatch through
-// the kernel backend like their forward counterparts. As in tensor_ops.cc,
-// the element bodies are named functions baked into the shared
-// tensor::ZipLoop instantiations (backend.h) so the backend pays one
-// indirect call per range, not per element.
+// the kernel backend like their forward counterparts. The element bodies
+// (elops::ReluBwdEl, ...) live in element_ops.h — shared with the SIMD
+// backend's vector twins — and are baked into the shared tensor::ZipLoop
+// instantiations (backend.h) so the backend pays one indirect call per
+// range, not per element. The zip convention is x = cached forward value,
+// y = upstream gradient.
 using ElZipFn = float (*)(float a, float g, float p);
-
-inline float ReluBwdEl(float x, float g, float) {
-  return x > 0.0f ? g : 0.0f;
-}
-inline float LeakyReluBwdEl(float x, float g, float p) {
-  return x > 0.0f ? g : p * g;
-}
-inline float SigmoidBwdEl(float y, float g, float) {
-  return g * y * (1.0f - y);
-}
-inline float TanhBwdEl(float y, float g, float) {
-  return g * (1.0f - y * y);
-}
-inline float LogBwdEl(float x, float g, float p) {
-  return x > p ? g / x : 0.0f;
-}
-inline float SqrtBwdEl(float y, float g, float) {
-  return y > 0.0f ? 0.5f * g / y : 0.0f;
-}
 
 template <ElZipFn F>
 Tensor BackwardZip(const Tensor& a, const Tensor& grad, float p = 0.0f) {
@@ -173,7 +157,7 @@ Var Relu(const Var& a) {
   return MakeOpVar(std::move(out), {a}, [](Node* self) {
     Node* a_node = self->inputs[0].get();
     a_node->AccumulateGrad(
-        BackwardZip<&ReluBwdEl>(a_node->value, self->grad));
+        BackwardZip<&tensor::elops::ReluBwdEl>(a_node->value, self->grad));
   });
 }
 
@@ -181,8 +165,8 @@ Var LeakyRelu(const Var& a, float alpha) {
   Tensor out = top::LeakyRelu(a.value(), alpha);
   return MakeOpVar(std::move(out), {a}, [alpha](Node* self) {
     Node* a_node = self->inputs[0].get();
-    a_node->AccumulateGrad(
-        BackwardZip<&LeakyReluBwdEl>(a_node->value, self->grad, alpha));
+    a_node->AccumulateGrad(BackwardZip<&tensor::elops::LeakyReluBwdEl>(
+        a_node->value, self->grad, alpha));
   });
 }
 
@@ -190,7 +174,8 @@ Var Sigmoid(const Var& a) {
   Tensor out = top::Sigmoid(a.value());
   Tensor y = out;  // cache output for backward
   return MakeOpVar(std::move(out), {a}, [y = std::move(y)](Node* self) {
-    self->inputs[0]->AccumulateGrad(BackwardZip<&SigmoidBwdEl>(y, self->grad));
+    self->inputs[0]->AccumulateGrad(
+        BackwardZip<&tensor::elops::SigmoidBwdEl>(y, self->grad));
   });
 }
 
@@ -198,7 +183,8 @@ Var Tanh(const Var& a) {
   Tensor out = top::Tanh(a.value());
   Tensor y = out;
   return MakeOpVar(std::move(out), {a}, [y = std::move(y)](Node* self) {
-    self->inputs[0]->AccumulateGrad(BackwardZip<&TanhBwdEl>(y, self->grad));
+    self->inputs[0]->AccumulateGrad(
+        BackwardZip<&tensor::elops::TanhBwdEl>(y, self->grad));
   });
 }
 
@@ -215,7 +201,7 @@ Var Log(const Var& a, float eps) {
   return MakeOpVar(std::move(out), {a}, [eps](Node* self) {
     Node* a_node = self->inputs[0].get();
     a_node->AccumulateGrad(
-        BackwardZip<&LogBwdEl>(a_node->value, self->grad, eps));
+        BackwardZip<&tensor::elops::LogBwdEl>(a_node->value, self->grad, eps));
   });
 }
 
@@ -223,7 +209,8 @@ Var Sqrt(const Var& a) {
   Tensor out = top::Sqrt(a.value());
   Tensor y = out;
   return MakeOpVar(std::move(out), {a}, [y = std::move(y)](Node* self) {
-    self->inputs[0]->AccumulateGrad(BackwardZip<&SqrtBwdEl>(y, self->grad));
+    self->inputs[0]->AccumulateGrad(
+        BackwardZip<&tensor::elops::SqrtBwdEl>(y, self->grad));
   });
 }
 

@@ -4,13 +4,18 @@
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "src/tensor/backend_kernels.h"
+#include "src/tensor/backend_simd.h"
+#include "src/tensor/element_ops.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/shard_plan.h"
 #include "src/tensor/shard_pool.h"
 #include "src/util/check.h"
+#include "src/util/cpu_features.h"
+#include "src/util/logging.h"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -517,14 +522,137 @@ class ShardedBackend : public KernelBackend {
   mutable std::unordered_map<const int64_t*, CachedPlan> plan_cache_;
 };
 
+// ---- SimdFallbackBackend ----------------------------------------------------
+// What the "simd" name resolves to on hosts whose runtime cpuid probe
+// (util/cpu_features.h) lacks AVX2+FMA — and in builds where the vector
+// TU was compiled out. Serial kernels under the simd name, plus a
+// one-time warning on first use, so a requested-but-unavailable vector
+// tier shows up in logs as a visible downgrade instead of silently slow
+// numbers (running the AVX2 code anyway would SIGILL).
+
+class SimdFallbackBackend : public SerialBackend {
+ public:
+  const char* name() const override { return "simd"; }
+
+  void MatMul(const float* a, const float* b, float* out, int64_t n,
+              int64_t k, int64_t m) const override {
+    WarnOnce();
+    SerialBackend::MatMul(a, b, out, n, k, m);
+  }
+
+  void Spmm(const CsrMatrix& a, const float* x, float* out,
+            int64_t d) const override {
+    WarnOnce();
+    SerialBackend::Spmm(a, x, out, d);
+  }
+
+  void GatherRows(const float* a, int64_t m, const int64_t* idx,
+                  int64_t count, float* out) const override {
+    WarnOnce();
+    SerialBackend::GatherRows(a, m, idx, count, out);
+  }
+
+  void ScatterAddRows(float* target, int64_t rows, int64_t m,
+                      const int64_t* idx, int64_t count,
+                      const float* src) const override {
+    WarnOnce();
+    SerialBackend::ScatterAddRows(target, rows, m, idx, count, src);
+  }
+
+  void RowDot(const float* a, const float* b, float* out, int64_t n,
+              int64_t m) const override {
+    WarnOnce();
+    SerialBackend::RowDot(a, b, out, n, m);
+  }
+
+  void EltwiseMap(const float* in, float* out, int64_t n, MapFn f,
+                  float p) const override {
+    WarnOnce();
+    SerialBackend::EltwiseMap(in, out, n, f, p);
+  }
+
+  void EltwiseZip(const float* a, const float* b, float* out, int64_t n,
+                  ZipFn f, float p) const override {
+    WarnOnce();
+    SerialBackend::EltwiseZip(a, b, out, n, f, p);
+  }
+
+  double ReduceSum(const float* in, int64_t n) const override {
+    WarnOnce();
+    return SerialBackend::ReduceSum(in, n);
+  }
+
+ private:
+  void WarnOnce() const {
+    std::call_once(warned_, [] {
+      GNMR_LOG(WARNING)
+          << "backend 'simd' selected but this host lacks AVX2+FMA; "
+             "falling back to the serial reference kernels";
+    });
+  }
+  mutable std::once_flag warned_;
+};
+
 // ---- Registry ---------------------------------------------------------------
+
+// Portable MapLoop/ZipLoop instantiations for every element_ops.h X-macro
+// body, in list order — the exact function pointers tensor_ops.cc and
+// ad_ops.cc pass to EltwiseMap/EltwiseZip (template instantiations
+// COMDAT-merge across the portable TUs, so the addresses agree). The simd
+// backend keys its vector-twin substitution on this table; see
+// backend_simd.h for why it cannot instantiate the templates itself.
+constexpr KernelBackend::MapFn kSimdMapKeys[] = {
+#define GNMR_MAP_KEY(name, expr) &MapLoop<&elops::name##El>,
+    GNMR_ELTWISE_MAP_BODIES(GNMR_MAP_KEY)
+#undef GNMR_MAP_KEY
+};
+constexpr KernelBackend::ZipFn kSimdZipKeys[] = {
+#define GNMR_ZIP_KEY(name, expr) &ZipLoop<&elops::name##El>,
+    GNMR_ELTWISE_ZIP_BODIES(GNMR_ZIP_KEY)
+#undef GNMR_ZIP_KEY
+};
 
 const SerialBackend kSerialBackend;
 const OmpBackend kOmpBackend;
 const BlockedBackend kBlockedBackend;
 const ShardedBackend kShardedBackend;
+const SimdFallbackBackend kSimdFallbackBackend;
+
+// The backend registered as "simd": the native vectorized implementation
+// when both the build (backend_simd.cc compiled with AVX2) and the host
+// (runtime cpuid) support it, the warning fallback otherwise. The cpuid
+// check happens BEFORE touching the vector TU, so no AVX2 instruction can
+// execute on an unsupported host.
+const KernelBackend* SimdBackendInstance() {
+  static const KernelBackend* const instance = [] {
+    const util::CpuFeatures& cpu = util::HostCpuFeatures();
+    if (cpu.avx2 && cpu.fma) {
+      simd::EltwiseKeyTable keys;
+      keys.map_keys = kSimdMapKeys;
+      keys.num_map =
+          static_cast<int>(sizeof(kSimdMapKeys) / sizeof(kSimdMapKeys[0]));
+      keys.zip_keys = kSimdZipKeys;
+      keys.num_zip =
+          static_cast<int>(sizeof(kSimdZipKeys) / sizeof(kSimdZipKeys[0]));
+      const KernelBackend* native = simd::NativeSimdBackend(keys);
+      if (native != nullptr) return native;
+    }
+    return static_cast<const KernelBackend*>(&kSimdFallbackBackend);
+  }();
+  return instance;
+}
 
 std::atomic<const KernelBackend*> g_backend{nullptr};
+
+// Registered backend names for error messages, in registration order.
+std::string AvailableNames() {
+  std::string names;
+  for (const KernelBackend* b : AllBackends()) {
+    if (!names.empty()) names += ", ";
+    names += b->name();
+  }
+  return names;
+}
 
 const KernelBackend* DefaultBackend() {
   if (const char* env = std::getenv("GNMR_BACKEND")) {
@@ -532,7 +660,7 @@ const KernelBackend* DefaultBackend() {
       const KernelBackend* b = FindBackend(env);
       if (b != nullptr) return b;
       GNMR_CHECK(false) << "unknown GNMR_BACKEND '" << env
-                        << "' (available: serial, omp, blocked, sharded)";
+                        << "' (available: " << AvailableNames() << ")";
     }
   }
 #ifdef _OPENMP
@@ -544,11 +672,26 @@ const KernelBackend* DefaultBackend() {
 
 }  // namespace
 
+#ifdef GNMR_HAVE_BLAS
+// Defined in backend_blas.cc, compiled only when -DGNMR_BLAS=ON finds a
+// BLAS library at configure time.
+const KernelBackend* BlasBackendInstance();
+#endif
+
 const std::vector<const KernelBackend*>& AllBackends() {
-  static const std::vector<const KernelBackend*> all = {
-      &kSerialBackend, &kOmpBackend, &kBlockedBackend, &kShardedBackend};
+  static const std::vector<const KernelBackend*> all = [] {
+    std::vector<const KernelBackend*> v = {&kSerialBackend, &kOmpBackend,
+                                           &kBlockedBackend, &kShardedBackend,
+                                           SimdBackendInstance()};
+#ifdef GNMR_HAVE_BLAS
+    v.push_back(BlasBackendInstance());
+#endif
+    return v;
+  }();
   return all;
 }
+
+const KernelBackend* SimdFallbackForTest() { return &kSimdFallbackBackend; }
 
 const KernelBackend* FindBackend(const std::string& name) {
   for (const KernelBackend* b : AllBackends()) {
@@ -571,7 +714,7 @@ const KernelBackend& GetBackend() {
 void SetBackend(const std::string& name) {
   const KernelBackend* b = FindBackend(name);
   GNMR_CHECK(b != nullptr) << "unknown backend '" << name
-                           << "' (available: serial, omp, blocked, sharded)";
+                           << "' (available: " << AvailableNames() << ")";
   g_backend.store(b, std::memory_order_release);
 }
 

@@ -19,6 +19,17 @@
 //               dependency. Serial bodies per shard, so bit-identical to
 //               "serial" at any worker count (GNMR_SHARD_WORKERS /
 //               SetShardWorkers).
+//   "simd"    — hand-vectorized AVX2/FMA micro-kernels (backend_simd.cc):
+//               register-tiled MatMul, column-paneled SpMM, lane-partial
+//               RowDot/ReduceSum, AVX2-compiled eltwise twins — all
+//               keeping serial's per-element accumulation order with
+//               unfused mul+add, so still bit-identical. On hosts without
+//               AVX2+FMA (runtime cpuid, util/cpu_features.h) the name
+//               resolves to a serial fallback that logs one warning.
+//   "blas"    — only when built with -DGNMR_BLAS=ON and a BLAS is found:
+//               vendor sgemm MatMul, serial everything else. The one
+//               backend that is NOT bit-exact (bit_exact() is false);
+//               benchmark comparisons only, never selected by default.
 //
 // Selection: SetBackend()/ScopedBackend at runtime, or the GNMR_BACKEND
 // environment variable read on first use (bench/example binaries also map
@@ -60,8 +71,13 @@ class KernelBackend {
 
   virtual ~KernelBackend() = default;
 
-  /// Registry name ("serial", "omp", "blocked", "sharded").
+  /// Registry name ("serial", "omp", "blocked", "sharded", "simd", ...).
   virtual const char* name() const = 0;
+
+  /// True when this backend honors the bit-identical-to-serial contract
+  /// (every registered backend except "blas"). Cross-backend bit-compare
+  /// loops filter on this; non-bit-exact backends are benchmark-only.
+  virtual bool bit_exact() const { return true; }
 
   /// Dense [n,k] x [k,m] -> out [n,m]; out is zero-initialised.
   virtual void MatMul(const float* a, const float* b, float* out, int64_t n,
@@ -133,6 +149,12 @@ const KernelBackend* FindBackend(const std::string& name);
 
 /// All registered backends, in registration order.
 const std::vector<const KernelBackend*>& AllBackends();
+
+/// The serial fallback that "simd" resolves to on hosts without AVX2+FMA
+/// (it logs a one-time warning, then runs the serial kernels). Exposed so
+/// tests can exercise the fallback path on any host; on supported hosts
+/// the registry serves the native vectorized backend instead.
+const KernelBackend* SimdFallbackForTest();
 
 /// RAII backend switch for tests: sets on construction, restores the
 /// previous backend on destruction.

@@ -1,0 +1,111 @@
+// Optional BLAS-backed MatMul behind the "blas" backend, compiled only
+// when configured with -DGNMR_BLAS=ON and a BLAS library is found (see
+// the root CMakeLists.txt). Benchmark-only: vendor sgemm blocks and
+// re-associates the k-sum however it likes, so this is the one registered
+// backend that does NOT honor the bit-identical-to-serial contract —
+// bit_exact() is false, results agree with serial only to rounding.
+// Everything except MatMul runs the shared serial reference bodies.
+//
+// The Fortran sgemm_ symbol is declared directly instead of going through
+// cblas.h so any reference BLAS / OpenBLAS / vendor library links without
+// needing its C headers installed.
+#include "src/tensor/backend.h"
+
+#ifdef GNMR_HAVE_BLAS
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/backend_kernels.h"
+#include "src/tensor/kernel_tunables.h"
+
+extern "C" void sgemm_(const char* transa, const char* transb, const int* m,
+                       const int* n, const int* k, const float* alpha,
+                       const float* a, const int* lda, const float* b,
+                       const int* ldb, const float* beta, float* c,
+                       const int* ldc);
+
+namespace gnmr {
+namespace tensor {
+
+namespace {
+
+class BlasBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "blas"; }
+  bool bit_exact() const override { return false; }
+
+  void MatMul(const float* a, const float* b, float* out, int64_t n,
+              int64_t k, int64_t m) const override {
+    if (n == 0 || m == 0) return;
+    if (k == 0) return;  // out stays zero-initialised
+    // Row-major C = A*B via the column-major identity C^T = B^T * A^T:
+    // a row-major array read column-major IS its transpose, so pass
+    // (b, a) and receive C^T laid out exactly as row-major C.
+    const int im = static_cast<int>(m);
+    const int in_ = static_cast<int>(n);
+    const int ik = static_cast<int>(k);
+    const float alpha = 1.0f;
+    const float beta = 0.0f;
+    sgemm_("N", "N", &im, &in_, &ik, &alpha, b, &im, a, &ik, &beta, out,
+           &im);
+  }
+
+  void Spmm(const CsrMatrix& a, const float* x, float* out,
+            int64_t d) const override {
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      kernels::SpmmRow(a, x, out + i * d, i, d);
+    }
+  }
+
+  void GatherRows(const float* a, int64_t m, const int64_t* idx,
+                  int64_t count, float* out) const override {
+    kernels::GatherRowRange(a, m, idx, out, 0, count);
+  }
+
+  void ScatterAddRows(float* target, int64_t rows, int64_t m,
+                      const int64_t* idx, int64_t count,
+                      const float* src) const override {
+    kernels::ScatterAddRowRange(target, m, idx, count, src, 0, rows);
+  }
+
+  void RowDot(const float* a, const float* b, float* out, int64_t n,
+              int64_t m) const override {
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] =
+          static_cast<float>(kernels::RowDotOne(a + i * m, b + i * m, m));
+    }
+  }
+
+  void EltwiseMap(const float* in, float* out, int64_t n, MapFn f,
+                  float p) const override {
+    f(in, out, n, p);
+  }
+
+  void EltwiseZip(const float* a, const float* b, float* out, int64_t n,
+                  ZipFn f, float p) const override {
+    f(a, b, out, n, p);
+  }
+
+  double ReduceSum(const float* in, int64_t n) const override {
+    double total = 0.0;
+    for (int64_t start = 0; start < n; start += kReduceSumChunk) {
+      total +=
+          kernels::ChunkSum(in, start, std::min(n, start + kReduceSumChunk));
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+const KernelBackend* BlasBackendInstance() {
+  static const BlasBackend backend;
+  return &backend;
+}
+
+}  // namespace tensor
+}  // namespace gnmr
+
+#endif  // GNMR_HAVE_BLAS

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/tensor/kernel_tunables.h"
 #include "src/tensor/sparse.h"
 
 namespace gnmr {
@@ -83,19 +84,46 @@ inline void GatherRowRange(const float* a, int64_t m, const int64_t* idx,
   }
 }
 
+// One row dot product in double, accumulated as kReduceLanes fixed lane
+// partials (lane l sums elements j with j % kReduceLanes == l) combined in
+// ascending lane order. The lane shape — not plain left-to-right
+// accumulation — is the op's contract: it is exactly the association a
+// vector unit computes with the row cut into kReduceLanes-wide groups, so
+// the SIMD backend can vectorize RowDot while every backend (this scalar
+// body included) produces bit-identical sums.
 inline double RowDotOne(const float* a_row, const float* b_row, int64_t m) {
-  double acc = 0.0;
-  for (int64_t j = 0; j < m; ++j) {
-    acc += static_cast<double>(a_row[j]) * b_row[j];
+  double lane[kReduceLanes] = {0.0};
+  int64_t j = 0;
+  for (; j + kReduceLanes <= m; j += kReduceLanes) {
+    for (int64_t l = 0; l < kReduceLanes; ++l) {
+      lane[l] += static_cast<double>(a_row[j + l]) * b_row[j + l];
+    }
   }
+  for (int64_t l = 0; j + l < m; ++l) {
+    lane[l] += static_cast<double>(a_row[j + l]) * b_row[j + l];
+  }
+  double acc = 0.0;
+  for (int64_t l = 0; l < kReduceLanes; ++l) acc += lane[l];
   return acc;
 }
 
 // Double partial over one fixed-width chunk (the unit of ReduceSum's
-// backend-independent association, kReduceSumChunk).
+// backend-independent association, kReduceSumChunk), accumulated with the
+// same fixed kReduceLanes lane-partial shape as RowDotOne and for the same
+// reason.
 inline double ChunkSum(const float* in, int64_t begin, int64_t end) {
+  double lane[kReduceLanes] = {0.0};
+  int64_t i = begin;
+  for (; i + kReduceLanes <= end; i += kReduceLanes) {
+    for (int64_t l = 0; l < kReduceLanes; ++l) {
+      lane[l] += static_cast<double>(in[i + l]);
+    }
+  }
+  for (int64_t l = 0; i + l < end; ++l) {
+    lane[l] += static_cast<double>(in[i + l]);
+  }
   double acc = 0.0;
-  for (int64_t i = begin; i < end; ++i) acc += static_cast<double>(in[i]);
+  for (int64_t l = 0; l < kReduceLanes; ++l) acc += lane[l];
   return acc;
 }
 

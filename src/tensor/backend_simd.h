@@ -1,0 +1,60 @@
+// Internal glue between the portable backend registry (backend.cc) and the
+// AVX2/FMA-compiled translation unit (backend_simd.cc). Include only from
+// backend implementation files and tests.
+//
+// backend_simd.cc is the one TU in the build compiled with -mavx2 -mfma
+// (and -ffp-contract=off, so explicit mul+add intrinsic pairs are never
+// re-fused into FMAs — fusing would change rounding and break bit-parity
+// with serial). Everything vector lives there behind internal linkage;
+// this header only carries portable declarations, so including it never
+// leaks vector code into portable TUs.
+//
+// The eltwise key table exists because EltwiseMap/EltwiseZip receive a
+// *function pointer* (an instantiated MapLoop/ZipLoop from a portable TU).
+// The simd backend cannot instantiate those shared templates itself — a
+// COMDAT-merged AVX2 copy could be picked by the linker and then run in the
+// serial path of a non-AVX2 host — so backend.cc (portable) instantiates
+// the loops for every body in element_ops.h's X-macro lists and passes
+// their addresses here once; the simd backend compares incoming pointers
+// against the keys and substitutes its own internal-linkage vector twin,
+// falling back to calling the given pointer for unknown bodies (e.g.
+// test-local lambdas), which is still bit-identical — just not vectorized.
+#ifndef GNMR_TENSOR_BACKEND_SIMD_H_
+#define GNMR_TENSOR_BACKEND_SIMD_H_
+
+#include "src/tensor/backend.h"
+
+namespace gnmr {
+namespace tensor {
+namespace simd {
+
+/// Portable MapLoop/ZipLoop instantiations for the X-macro bodies in
+/// element_ops.h, in list order — the exact pointers the ops layer passes
+/// to EltwiseMap/EltwiseZip. Built by backend.cc.
+struct EltwiseKeyTable {
+  const KernelBackend::MapFn* map_keys = nullptr;
+  int num_map = 0;
+  const KernelBackend::ZipFn* zip_keys = nullptr;
+  int num_zip = 0;
+};
+
+/// The vectorized backend, constructed on first call with the portable key
+/// table. Returns nullptr when backend_simd.cc was compiled without AVX2
+/// support (non-x86 target or missing per-TU flags) — the registry then
+/// installs the serial fallback under the "simd" name. The caller must
+/// ensure the host really supports AVX2+FMA (util::HostCpuFeatures) before
+/// routing kernels through the returned backend; constructing it is safe
+/// anywhere.
+const KernelBackend* NativeSimdBackend(const EltwiseKeyTable& keys);
+
+/// Test hook: when false, MatMul uses the AVX2 16-column tiles even on
+/// AVX-512 hosts, so the parity suite can cover both tile paths in one
+/// run. Enabling it on a host without avx512f is a no-op (the runtime
+/// probe still gates the wide path). Default true.
+void SetSimdAvx512TilesEnabledForTest(bool enabled);
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace gnmr
+
+#endif  // GNMR_TENSOR_BACKEND_SIMD_H_

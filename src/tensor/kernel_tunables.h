@@ -38,9 +38,18 @@ inline constexpr int64_t kSpmmRowChunk = 64;
 /// ReduceSum accumulates double partials over fixed chunks of this many
 /// elements, then combines partials in chunk order. The chunking is part of
 /// the op's contract (independent of backend and thread count), so every
-/// backend produces bit-identical sums. Tensors at or below one chunk reduce
-/// exactly like a plain sequential double accumulation.
+/// backend produces bit-identical sums.
 inline constexpr int64_t kReduceSumChunk = 4096;
+
+/// Lane count of the fixed lane-partial accumulation inside a ReduceSum
+/// chunk and across a RowDot row: lane l accumulates elements j with
+/// j % lanes == l, and lanes are combined in ascending order. Like
+/// kReduceSumChunk, the lane shape is part of the op contract — the scalar
+/// reference in backend_kernels.h evaluates the exact association the SIMD
+/// backend computes with two 4-wide double vectors, so every backend stays
+/// bit-identical. 8 = one AVX2 register of floats widened to two of doubles;
+/// changing it breaks bit-compatibility with previously recorded results.
+inline constexpr int64_t kReduceLanes = 8;
 
 // ---- BlockedBackend tile shapes --------------------------------------------
 
@@ -53,6 +62,31 @@ inline constexpr int64_t kMatMulKUnroll = 4;
 /// Blocked SpMM groups rows into bins of roughly this many nonzeros; bins
 /// are the scheduling unit, so skewed rows can't serialize a whole chunk.
 inline constexpr int64_t kSpmmBinNnz = int64_t{1} << 12;
+
+// ---- SimdBackend tile/panel shapes (backend_simd.cc) ------------------------
+// The simd backend's determinism contract is "same per-element accumulation
+// order as serial, unfused mul+add" — so the tile shapes below only choose
+// which output elements are computed together in registers, never the order
+// of a single element's k-sum. They can be retuned freely without breaking
+// bit-compatibility; the *lane* constants (kReduceLanes above) cannot.
+
+/// Rows per MatMul register tile. 6 rows x 2 column vectors = 12 live
+/// accumulators, leaving headroom in 16 ymm registers for the b-panel loads
+/// and the broadcast.
+inline constexpr int64_t kSimdMatMulRowTile = 6;
+
+/// Columns per MatMul tile on the AVX2 path (2 x 8-float ymm).
+inline constexpr int64_t kSimdMatMulColTileAvx2 = 16;
+
+/// Columns per MatMul tile on the AVX-512 path (2 x 16-float zmm). The
+/// wider tile is what clears the >=4x-serial acceptance bar on AVX-512
+/// hosts; without FMA (which would change results), AVX2 mul+add peaks
+/// around 3x serial on current Intel cores.
+inline constexpr int64_t kSimdMatMulColTileAvx512 = 32;
+
+/// Column panel width of the SpMM inner loop: up to 4 ymm accumulators per
+/// output row panel, re-walking the row's nonzeros once per panel.
+inline constexpr int64_t kSimdSpmmColPanel = 32;
 
 // ---- ShardedBackend (shard_plan.h / shard_pool.h) ---------------------------
 

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "src/tensor/backend.h"
+#include "src/tensor/element_ops.h"
 
 namespace gnmr {
 namespace tensor {
@@ -34,11 +35,11 @@ std::vector<int64_t> BroadcastStrides(const std::vector<int64_t>& padded,
   return strides;
 }
 
-// Element bodies are named functions so they can parameterize the shared
-// MapLoop/ZipLoop templates (backend.h) as compile-time constants: the
-// backend receives a pointer to an instantiated loop whose per-element
-// body is fully inlined and vectorised, and pays one indirect call per
-// range.
+// Element bodies live in element_ops.h (shared with ad_ops.cc and the SIMD
+// backend's vector twins) and parameterize the shared MapLoop/ZipLoop
+// templates (backend.h) as compile-time constants: the backend receives a
+// pointer to an instantiated loop whose per-element body is fully inlined
+// and vectorised, and pays one indirect call per range.
 using ElMapFn = float (*)(float x, float p);
 using ElZipFn = float (*)(float x, float y, float p);
 
@@ -91,36 +92,6 @@ Tensor UnaryOp(const Tensor& a, float p = 0.0f) {
   Tensor out(a.shape());
   GetBackend().EltwiseMap(a.data(), out.data(), a.numel(), MapLoop<F>, p);
   return out;
-}
-
-// ---- Element bodies --------------------------------------------------------
-
-inline float AddEl(float x, float y, float) { return x + y; }
-inline float SubEl(float x, float y, float) { return x - y; }
-inline float MulEl(float x, float y, float) { return x * y; }
-inline float DivEl(float x, float y, float) { return x / y; }
-inline float AddScalarEl(float x, float p) { return x + p; }
-inline float MulScalarEl(float x, float p) { return x * p; }
-inline float NegEl(float x, float) { return -x; }
-inline float ReluEl(float x, float) { return x > 0.0f ? x : 0.0f; }
-inline float LeakyReluEl(float x, float p) { return x > 0.0f ? x : p * x; }
-inline float SigmoidEl(float x, float) {
-  // Branch on sign for numerical stability.
-  if (x >= 0.0f) {
-    float z = std::exp(-x);
-    return 1.0f / (1.0f + z);
-  }
-  float z = std::exp(x);
-  return z / (1.0f + z);
-}
-inline float TanhEl(float x, float) { return std::tanh(x); }
-inline float ExpEl(float x, float) { return std::exp(x); }
-inline float LogEl(float x, float p) { return std::log(std::max(x, p)); }
-inline float SqrtEl(float x, float) { return std::sqrt(x); }
-inline float SquareEl(float x, float) { return x * x; }
-inline float SoftplusEl(float x, float) {
-  // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
-  return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
 }
 
 }  // namespace
@@ -187,30 +158,30 @@ Tensor ReduceToShape(const Tensor& t,
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast<&AddEl>(a, b);
+  return BinaryBroadcast<&elops::AddEl>(a, b);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast<&SubEl>(a, b);
+  return BinaryBroadcast<&elops::SubEl>(a, b);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast<&MulEl>(a, b);
+  return BinaryBroadcast<&elops::MulEl>(a, b);
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcast<&DivEl>(a, b);
+  return BinaryBroadcast<&elops::DivEl>(a, b);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp<&AddScalarEl>(a, s);
+  return UnaryOp<&elops::AddScalarEl>(a, s);
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp<&MulScalarEl>(a, s);
+  return UnaryOp<&elops::MulScalarEl>(a, s);
 }
 
-Tensor Neg(const Tensor& a) { return UnaryOp<&NegEl>(a); }
+Tensor Neg(const Tensor& a) { return UnaryOp<&elops::NegEl>(a); }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   GNMR_CHECK_EQ(a.rank(), 2);
@@ -240,25 +211,27 @@ Tensor Transpose(const Tensor& a) {
   return out;
 }
 
-Tensor Relu(const Tensor& a) { return UnaryOp<&ReluEl>(a); }
+Tensor Relu(const Tensor& a) { return UnaryOp<&elops::ReluEl>(a); }
 
 Tensor LeakyRelu(const Tensor& a, float alpha) {
-  return UnaryOp<&LeakyReluEl>(a, alpha);
+  return UnaryOp<&elops::LeakyReluEl>(a, alpha);
 }
 
-Tensor Sigmoid(const Tensor& a) { return UnaryOp<&SigmoidEl>(a); }
+Tensor Sigmoid(const Tensor& a) { return UnaryOp<&elops::SigmoidEl>(a); }
 
-Tensor Tanh(const Tensor& a) { return UnaryOp<&TanhEl>(a); }
+Tensor Tanh(const Tensor& a) { return UnaryOp<&elops::TanhEl>(a); }
 
-Tensor Exp(const Tensor& a) { return UnaryOp<&ExpEl>(a); }
+Tensor Exp(const Tensor& a) { return UnaryOp<&elops::ExpEl>(a); }
 
-Tensor Log(const Tensor& a, float eps) { return UnaryOp<&LogEl>(a, eps); }
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp<&elops::LogEl>(a, eps);
+}
 
-Tensor Sqrt(const Tensor& a) { return UnaryOp<&SqrtEl>(a); }
+Tensor Sqrt(const Tensor& a) { return UnaryOp<&elops::SqrtEl>(a); }
 
-Tensor Square(const Tensor& a) { return UnaryOp<&SquareEl>(a); }
+Tensor Square(const Tensor& a) { return UnaryOp<&elops::SquareEl>(a); }
 
-Tensor Softplus(const Tensor& a) { return UnaryOp<&SoftplusEl>(a); }
+Tensor Softplus(const Tensor& a) { return UnaryOp<&elops::SoftplusEl>(a); }
 
 Tensor SoftmaxRows(const Tensor& a) {
   GNMR_CHECK_EQ(a.rank(), 2);

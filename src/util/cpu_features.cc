@@ -1,0 +1,24 @@
+#include "src/util/cpu_features.h"
+
+namespace gnmr {
+namespace util {
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports reads libgcc's cpuid snapshot, which also
+    // verifies OS support (XGETBV) for the wide register states, so an
+    // avx512f "yes" is safe to act on.
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.fma = __builtin_cpu_supports("fma") != 0;
+    f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace util
+}  // namespace gnmr

@@ -1,25 +1,29 @@
 // Parity tests of the pluggable kernel backends (backend.h): every
-// registered backend must match the SerialBackend reference bit-for-bit on
-// order-preserving kernels (MatMul/SpMM/Gather/Scatter/RowDot/map/zip and
-// the fixed-chunk ReduceSum). The one sanctioned slack is EXPECT_FLOAT_EQ
-// (4 ulps) on BlockedBackend MatMul, whose register micro-panels keep the
-// serial accumulation order but may legally contract multiply-adds into
-// FMAs under -march=native builds.
+// bit-exact registered backend must match the SerialBackend reference
+// bit-for-bit on every kernel (MatMul/SpMM/Gather/Scatter/RowDot/map/zip
+// and the fixed-chunk ReduceSum). There is no sanctioned slack: the whole
+// build compiles with -ffp-contract=off, so neither the blocked register
+// panels nor the simd vector tiles may fuse multiply-adds the serial
+// reference keeps separate — even under -march=native.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "src/tensor/ad_ops.h"
 #include "src/tensor/autodiff.h"
 #include "src/tensor/backend.h"
+#include "src/tensor/backend_simd.h"
+#include "src/tensor/element_ops.h"
 #include "src/tensor/gradcheck.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor_ops.h"
+#include "src/util/cpu_features.h"
 #include "src/util/rng.h"
 
 namespace gnmr {
@@ -28,23 +32,16 @@ namespace {
 
 // Backends under test, always compared against the serial reference.
 // ("sharded" runs here with the pool's default worker count; shard_test
-// additionally sweeps explicit 1/2/7-worker pools.)
-const char* const kVariants[] = {"omp", "blocked", "sharded"};
+// additionally sweeps explicit 1/2/7-worker pools. "simd" resolves to the
+// AVX2/FMA vector kernels where the host supports them and to the serial
+// fallback elsewhere — parity must hold either way.)
+const char* const kVariants[] = {"omp", "blocked", "sharded", "simd"};
 
 void ExpectBitIdentical(const Tensor& ref, const Tensor& got,
                         const std::string& context) {
   ASSERT_EQ(ref.shape(), got.shape()) << context;
   for (int64_t i = 0; i < ref.numel(); ++i) {
     ASSERT_EQ(ref.data()[i], got.data()[i])
-        << context << " at flat index " << i;
-  }
-}
-
-void ExpectFloatEq(const Tensor& ref, const Tensor& got,
-                   const std::string& context) {
-  ASSERT_EQ(ref.shape(), got.shape()) << context;
-  for (int64_t i = 0; i < ref.numel(); ++i) {
-    ASSERT_FLOAT_EQ(ref.data()[i], got.data()[i])
         << context << " at flat index " << i;
   }
 }
@@ -67,12 +64,19 @@ CsrMatrix RandomCsr(int64_t rows, int64_t cols, double density,
 
 // ------------------------------------------------------------------ registry --
 
-TEST(BackendRegistryTest, AllFourBackendsRegistered) {
-  EXPECT_EQ(AllBackends().size(), 4u);
-  for (const char* name : {"serial", "omp", "blocked", "sharded"}) {
+TEST(BackendRegistryTest, AllBackendsRegistered) {
+  // 5 always; a 6th ("blas") only in GNMR_BLAS builds.
+  EXPECT_GE(AllBackends().size(), 5u);
+  for (const char* name : {"serial", "omp", "blocked", "sharded", "simd"}) {
     const KernelBackend* b = FindBackend(name);
     ASSERT_NE(b, nullptr) << name;
     EXPECT_STREQ(b->name(), name);
+    EXPECT_TRUE(b->bit_exact()) << name;
+  }
+  // "blas" is the only backend allowed to break the bit-exact contract.
+  for (const KernelBackend* b : AllBackends()) {
+    EXPECT_EQ(b->bit_exact(), std::string(b->name()) != "blas")
+        << b->name();
   }
   EXPECT_EQ(FindBackend("cuda"), nullptr);
 }
@@ -100,11 +104,15 @@ TEST(BackendRegistryDeathTest, UnknownNameAborts) {
 // -------------------------------------------------------------------- MatMul --
 
 TEST(BackendParityTest, MatMulAllShapes) {
-  // Includes 1-row/1-col panels and sizes that are not multiples of the
-  // blocked tile shape, so edge micro-kernels run.
+  // Includes 1-row/1-col panels and sizes that are not multiples of any
+  // tile shape — the blocked k-unroll (4) and the simd register tiles
+  // (6 rows x 16/32 columns) — so every edge micro-kernel runs: partial
+  // row tiles, scalar column tails, and tiles narrower than one vector.
   const struct { int64_t n, k, m; } shapes[] = {
-      {1, 1, 1},   {1, 7, 1},   {5, 1, 3},    {3, 5, 7},
-      {4, 16, 16}, {33, 17, 29}, {64, 64, 64}, {70, 31, 90},
+      {1, 1, 1},    {1, 7, 1},     {5, 1, 3},    {3, 5, 7},
+      {4, 16, 16},  {33, 17, 29},  {64, 64, 64}, {70, 31, 90},
+      {6, 33, 16},  {13, 64, 37},  {65, 128, 96}, {2, 9, 130},
+      {12, 8, 32},  {7, 40, 48},   {18, 21, 15},
   };
   const KernelBackend* serial = FindBackend("serial");
   util::Rng rng(11);
@@ -117,14 +125,40 @@ TEST(BackendParityTest, MatMulAllShapes) {
       Tensor got({s.n, s.m});
       FindBackend(name)->MatMul(a.data(), b.data(), got.data(), s.n, s.k,
                                 s.m);
-      std::string context = std::string(name) + " matmul " +
-                            a.ShapeString() + "x" + b.ShapeString();
-      if (std::string(name) == "blocked") {
-        ExpectFloatEq(ref, got, context);
-      } else {
-        ExpectBitIdentical(ref, got, context);
-      }
+      ExpectBitIdentical(ref, got, std::string(name) + " matmul " +
+                                       a.ShapeString() + "x" +
+                                       b.ShapeString());
     }
+  }
+}
+
+// Serial's MatMul skips a-elements that are exactly zero, which is
+// observable when B holds non-finite values (0 * inf would otherwise
+// poison a row with NaN). The simd backend must preserve the skip — its
+// zero-scan routes affected row tiles through guarded tile kernels — and
+// so must every other backend.
+TEST(BackendParityTest, MatMulZeroSkipPreservesNonFinitePolicy) {
+  const int64_t n = 13, k = 9, m = 40;  // partial tiles in both directions
+  const int64_t kz = 4;                 // the k index whose B row holds inf
+  util::Rng rng(22);
+  Tensor a = Tensor::RandomNormal({n, k}, &rng);
+  Tensor b = Tensor::RandomNormal({k, m}, &rng);
+  // Even rows of A skip column kz entirely; odd rows hit it with +1, so
+  // their outputs become +inf (never NaN — a NaN would break ASSERT_EQ
+  // even between identical tensors).
+  for (int64_t i = 0; i < n; ++i) a.at(i, kz) = (i % 2 == 0) ? 0.0f : 1.0f;
+  for (int64_t j = 0; j < m; j += 3) {
+    b.at(kz, j) = std::numeric_limits<float>::infinity();
+  }
+  Tensor ref({n, m});
+  FindBackend("serial")->MatMul(a.data(), b.data(), ref.data(), n, k, m);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(std::isinf(ref.at(i, 0)), i % 2 != 0) << "test setup broken";
+  }
+  for (const char* name : kVariants) {
+    Tensor got({n, m});
+    FindBackend(name)->MatMul(a.data(), b.data(), got.data(), n, k, m);
+    ExpectBitIdentical(ref, got, std::string(name) + " zero-skip matmul");
   }
 }
 
@@ -153,9 +187,12 @@ TEST(BackendParityTest, MatMulAgainstNaiveTripleLoop) {
 
 TEST(BackendParityTest, SpmmRaggedAndEmptyCsr) {
   util::Rng rng(13);
+  // d values straddle the simd column panel (32) and vector width (8):
+  // full panels, lone 8-wide chunks, and scalar tails all run.
   const struct { int64_t rows, cols, d; double density; } cases[] = {
-      {1, 1, 1, 1.0},    {1, 40, 8, 0.3},  {60, 40, 1, 0.1},
-      {60, 40, 9, 0.15}, {200, 100, 17, 0.05},
+      {1, 1, 1, 1.0},    {1, 40, 8, 0.3},      {60, 40, 1, 0.1},
+      {60, 40, 9, 0.15}, {200, 100, 17, 0.05}, {40, 30, 32, 0.2},
+      {30, 25, 33, 0.2}, {25, 50, 70, 0.15},
   };
   for (const auto& c : cases) {
     CsrMatrix m = RandomCsr(c.rows, c.cols, c.density, &rng);
@@ -298,6 +335,133 @@ TEST(BackendParityTest, ReduceSumBitIdenticalAcrossBackends) {
   }
 }
 
+TEST(BackendParityTest, RowDotRaggedWidths) {
+  // Widths around the kReduceLanes=8 lane group: below one group, exact
+  // multiples, and ragged tails of every phase.
+  util::Rng rng(23);
+  for (int64_t m : {int64_t{1}, int64_t{3}, int64_t{8}, int64_t{9},
+                    int64_t{15}, int64_t{16}, int64_t{64}, int64_t{77}}) {
+    int64_t n = 13;
+    Tensor a = Tensor::RandomNormal({n, m}, &rng);
+    Tensor b = Tensor::RandomNormal({n, m}, &rng);
+    Tensor ref({n, 1});
+    FindBackend("serial")->RowDot(a.data(), b.data(), ref.data(), n, m);
+    for (const char* name : kVariants) {
+      Tensor got({n, 1});
+      FindBackend(name)->RowDot(a.data(), b.data(), got.data(), n, m);
+      ExpectBitIdentical(ref, got,
+                         std::string(name) + " rowdot m=" + std::to_string(m));
+    }
+  }
+}
+
+// ------------------------------------------------------------- simd-specific --
+
+// The eltwise bodies the ops layer actually dispatches (the portable
+// MapLoop/ZipLoop instantiations over element_ops.h bodies) are the
+// pointers the simd backend translates to its AVX2 twins — unlike the
+// local lambdas above, which it runs as-given. Cover both translated maps
+// and translated zips, at sizes above and below the parallel fan-out
+// threshold and with ragged (non-multiple-of-8) lengths.
+TEST(BackendParityTest, SimdTranslatesKnownEltwiseBodies) {
+  util::Rng rng(24);
+  const KernelBackend* serial = FindBackend("serial");
+  const KernelBackend* simd = FindBackend("simd");
+  for (int64_t n : {int64_t{5}, int64_t{1000}, kParallelEltwiseMinWork + 7}) {
+    Tensor a = Tensor::RandomNormal({n}, &rng);
+    Tensor b = Tensor::RandomNormal({n}, &rng);
+    // Sqrt gets a non-negative input (NaN == NaN is false, so a negative
+    // input would fail the comparison even on identical outputs).
+    Tensor a_sq(a.shape());
+    for (int64_t i = 0; i < n; ++i) a_sq.data()[i] = a.data()[i] * a.data()[i];
+    const struct {
+      KernelBackend::MapFn f;
+      float p;
+      const char* tag;
+      const Tensor* in;
+    } maps[] = {
+        {&MapLoop<&elops::ReluEl>, 0.0f, "relu", &a},
+        {&MapLoop<&elops::LeakyReluEl>, 0.1f, "leaky-relu", &a},
+        {&MapLoop<&elops::AddScalarEl>, 1.75f, "add-scalar", &a},
+        {&MapLoop<&elops::SqrtEl>, 0.0f, "sqrt", &a_sq},
+    };
+    for (const auto& mc : maps) {
+      Tensor ref(a.shape()), got(a.shape());
+      serial->EltwiseMap(mc.in->data(), ref.data(), n, mc.f, mc.p);
+      simd->EltwiseMap(mc.in->data(), got.data(), n, mc.f, mc.p);
+      ExpectBitIdentical(ref, got, std::string("simd map ") + mc.tag +
+                                       " n=" + std::to_string(n));
+    }
+    const struct { KernelBackend::ZipFn f; float p; const char* tag; }
+        zips[] = {
+            {&ZipLoop<&elops::MulEl>, 0.0f, "mul"},
+            {&ZipLoop<&elops::SigmoidBwdEl>, 0.0f, "sigmoid-bwd"},
+            {&ZipLoop<&elops::TanhBwdEl>, 0.0f, "tanh-bwd"},
+            {&ZipLoop<&elops::SqrtBwdEl>, 0.0f, "sqrt-bwd"},
+        };
+    for (const auto& zc : zips) {
+      Tensor ref(a.shape()), got(a.shape());
+      serial->EltwiseZip(a.data(), b.data(), ref.data(), n, zc.f, zc.p);
+      simd->EltwiseZip(a.data(), b.data(), got.data(), n, zc.f, zc.p);
+      ExpectBitIdentical(ref, got, std::string("simd zip ") + zc.tag +
+                                       " n=" + std::to_string(n));
+    }
+  }
+}
+
+// On AVX-512 hosts MatMul dispatches 32-column zmm tiles; forcing them
+// off covers the AVX2 16-column path in the same run (on non-AVX-512
+// hosts this is a no-op and the test re-covers the AVX2 path).
+TEST(BackendParityTest, SimdMatMulAvx2TilePathForced) {
+  simd::SetSimdAvx512TilesEnabledForTest(false);
+  const struct { int64_t n, k, m; } shapes[] = {
+      {12, 30, 64}, {13, 16, 37}, {6, 8, 16},
+  };
+  util::Rng rng(25);
+  for (const auto& s : shapes) {
+    Tensor a = Tensor::RandomNormal({s.n, s.k}, &rng);
+    Tensor b = Tensor::RandomNormal({s.k, s.m}, &rng);
+    Tensor ref({s.n, s.m}), got({s.n, s.m});
+    FindBackend("serial")->MatMul(a.data(), b.data(), ref.data(), s.n, s.k,
+                                  s.m);
+    FindBackend("simd")->MatMul(a.data(), b.data(), got.data(), s.n, s.k,
+                                s.m);
+    ExpectBitIdentical(ref, got, "simd avx2-tile matmul " + a.ShapeString() +
+                                     "x" + b.ShapeString());
+  }
+  simd::SetSimdAvx512TilesEnabledForTest(true);
+}
+
+// The serial fallback the "simd" name resolves to on hosts without
+// AVX2+FMA: exercised explicitly so the fallback path is tested on every
+// host, not just legacy ones. It must behave exactly like serial (it runs
+// the serial kernels) while reporting the simd name.
+TEST(BackendParityTest, SimdFallbackMatchesSerial) {
+  const KernelBackend* fallback = SimdFallbackForTest();
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_STREQ(fallback->name(), "simd");
+  EXPECT_TRUE(fallback->bit_exact());
+  util::Rng rng(26);
+  int64_t n = 11, k = 19, m = 23;
+  Tensor a = Tensor::RandomNormal({n, k}, &rng);
+  Tensor b = Tensor::RandomNormal({k, m}, &rng);
+  Tensor ref({n, m}), got({n, m});
+  FindBackend("serial")->MatMul(a.data(), b.data(), ref.data(), n, k, m);
+  fallback->MatMul(a.data(), b.data(), got.data(), n, k, m);
+  ExpectBitIdentical(ref, got, "simd-fallback matmul");
+  Tensor r2 = Tensor::RandomNormal({n, m}, &rng);
+  EXPECT_EQ(FindBackend("serial")->ReduceSum(r2.data(), r2.numel()),
+            fallback->ReduceSum(r2.data(), r2.numel()));
+  // On hosts with AVX2+FMA the registered "simd" backend is the native
+  // one, not this fallback instance.
+  const util::CpuFeatures& cpu = util::HostCpuFeatures();
+  if (cpu.avx2 && cpu.fma) {
+    EXPECT_NE(FindBackend("simd"), fallback);
+  } else {
+    EXPECT_EQ(FindBackend("simd"), fallback);
+  }
+}
+
 // --------------------------------------------------------- ops-level dispatch --
 
 TEST(BackendDispatchTest, OpsRouteThroughSelectedBackend) {
@@ -313,7 +477,7 @@ TEST(BackendDispatchTest, OpsRouteThroughSelectedBackend) {
     ScopedBackend scoped("blocked");
     blocked = ops::MatMul(a, b);
   }
-  ExpectFloatEq(ref, blocked, "ops::MatMul dispatch");
+  ExpectBitIdentical(ref, blocked, "ops::MatMul dispatch");
 }
 
 // The GatherRows gradient is a ScatterAddRows with duplicate destinations;
@@ -334,6 +498,29 @@ TEST(BackendDispatchTest, GatherScatterGradCheckUnderOmpBackend) {
             ad::Mul(ad::GatherRows(table, idx), ad::Var::Constant(w)));
       },
       {table});
+  EXPECT_TRUE(report.Accept(2e-2, 2e-3))
+      << "rel=" << report.max_rel_err << " abs=" << report.max_abs_err
+      << " at " << report.worst;
+}
+
+// End-to-end autodiff under the simd backend: a MatMul + activation chain
+// whose backward pass routes through the vector MatMul, the translated
+// activation zips, and ReduceSum. Gradcheck's finite differences run
+// through the same backend, so this validates the whole vectorized path.
+TEST(BackendDispatchTest, MatMulActivationGradCheckUnderSimdBackend) {
+  ScopedBackend scoped("simd");
+  util::Rng rng(27);
+  ad::Var w1 =
+      ad::Var::Param(Tensor::RandomNormal({9, 7}, &rng, 0.0f, 0.3f));
+  ad::Var w2 =
+      ad::Var::Param(Tensor::RandomNormal({7, 5}, &rng, 0.0f, 0.3f));
+  Tensor x = Tensor::RandomNormal({11, 9}, &rng);
+  auto report = ad::GradCheck(
+      [&] {
+        ad::Var h = ad::Tanh(ad::MatMul(ad::Var::Constant(x), w1));
+        return ad::SumAll(ad::Sigmoid(ad::MatMul(h, w2)));
+      },
+      {w1, w2});
   EXPECT_TRUE(report.Accept(2e-2, 2e-3))
       << "rel=" << report.max_rel_err << " abs=" << report.max_abs_err
       << " at " << report.worst;
