@@ -6,7 +6,9 @@
 // in DESIGN.md and catch kernel-level performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/gnmr_model.h"
 #include "src/core/gnmr_trainer.h"
@@ -150,6 +152,32 @@ BENCHMARK_CAPTURE(BM_RowDotBackend, omp, "omp");
 BENCHMARK_CAPTURE(BM_RowDotBackend, blocked, "blocked");
 BENCHMARK_CAPTURE(BM_RowDotBackend, sharded, "sharded");
 BENCHMARK_CAPTURE(BM_RowDotBackend, simd, "simd");
+
+// The quantized posting-list scan kernel: one int8 query row against n
+// int8 code rows (KernelBackend::I8QueryDot). Every backend except simd
+// inherits the serial reference loop; the simd capture measures the AVX2
+// maddubs kernel against it. Same n/m as BM_RowDotBackend so the int8
+// and float scan costs compare directly.
+void BM_I8DotBackend(benchmark::State& state, const std::string& backend) {
+  const tensor::KernelBackend* b = tensor::FindBackend(backend);
+  int64_t n = 4096, m = 64;
+  util::Rng rng(7);
+  std::vector<int8_t> q(static_cast<size_t>(m));
+  std::vector<int8_t> codes(static_cast<size_t>(n * m));
+  for (auto& v : q) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (auto& v : codes) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    b->I8QueryDot(q.data(), codes.data(), out.data(), n, m);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * m);
+}
+BENCHMARK_CAPTURE(BM_I8DotBackend, serial, "serial");
+BENCHMARK_CAPTURE(BM_I8DotBackend, omp, "omp");
+BENCHMARK_CAPTURE(BM_I8DotBackend, blocked, "blocked");
+BENCHMARK_CAPTURE(BM_I8DotBackend, sharded, "sharded");
+BENCHMARK_CAPTURE(BM_I8DotBackend, simd, "simd");
 
 // The sigmoid-backward zip is the hottest EltwiseZip in training; routing
 // it through each backend exercises the simd backend's pointer-keyed twin

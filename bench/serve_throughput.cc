@@ -39,6 +39,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/core/model_io.h"
@@ -232,6 +233,80 @@ void BM_IvfRetrievalTopN(benchmark::State& state) {
                  static_cast<double>(kItems));
 }
 BENCHMARK(BM_IvfRetrievalTopN)->Arg(8)->Arg(16);
+
+// GlobalIvfModel's embeddings with int8 codes attached: deterministic
+// k-means reproduces the identical clustering, so the probe sets — and
+// therefore the candidate coverage — match the float IVF benches exactly;
+// only the bytes-per-scanned-item change.
+std::shared_ptr<const core::ServingModel> GlobalQuantIvfModel() {
+  static std::shared_ptr<const core::ServingModel> model = [] {
+    core::ServingModel m = *GlobalIvfModel();
+    GNMR_CHECK(core::BuildIvfIndex(&m, kIvfNlist, /*quantize=*/true).ok());
+    return std::make_shared<const core::ServingModel>(std::move(m));
+  }();
+  return model;
+}
+
+// Recall@k of the quantized two-phase scan vs the exact scan, cached like
+// MeasuredIvfRecall (the delta against the float IVF recall at the same
+// nprobe is the cost of int8 pool selection).
+double MeasuredQuantIvfRecall(int64_t nprobe, int64_t rerank_k, int64_t k) {
+  static std::map<std::tuple<int64_t, int64_t, int64_t>, double> cache;
+  const auto key = std::make_tuple(nprobe, rerank_k, k);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  serve::ExactRetriever exact(GlobalQuantIvfModel(), nullptr,
+                              serve::ItemShardMode::kOff);
+  serve::IvfRetriever quant(GlobalQuantIvfModel(), nullptr, nprobe,
+                            serve::ItemShardMode::kOff, /*quantized=*/true,
+                            rerank_k);
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 256; ++u) users.push_back((u * 131) % kUsers);
+  const double recall = eval::RetrievalRecallAtK(exact, quant, users, k);
+  cache[key] = recall;
+  return recall;
+}
+
+// The quantized tier at k = 10: same probe sets as BM_IvfRetrievalTopN
+// (deterministic clustering), but phase 1 streams int8 codes + scales
+// instead of float rows and phase 2 reranks only rerank_k candidates
+// exactly. code_frac is the quantized scan's share of its own streamed
+// bytes; compare scanned_frac * bytes-per-item against the float case for
+// the ~4x bandwidth cut, and the adjacent recall counters for its price.
+void BM_IvfQuantizedTopN(benchmark::State& state) {
+  const int64_t k = 10;
+  const int64_t nprobe = state.range(0);
+  const int64_t rerank_k = state.range(1);
+  serve::IvfRetriever retriever(GlobalQuantIvfModel(), nullptr, nprobe,
+                                serve::ItemShardMode::kOff,
+                                /*quantized=*/true, rerank_k);
+  GNMR_CHECK(retriever.quantized());
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveTopN(user, k));
+    user = (user + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+  serve::RetrieverStats stats = retriever.Stats();
+  state.counters["nprobe"] = static_cast<double>(nprobe);
+  state.counters["rerank_k"] = static_cast<double>(rerank_k);
+  state.counters["recall_at_10"] = MeasuredQuantIvfRecall(nprobe, rerank_k, k);
+  state.counters["scanned_frac"] =
+      stats.requests == 0
+          ? 0.0
+          : static_cast<double>(stats.scanned_items) /
+                (static_cast<double>(stats.requests) *
+                 static_cast<double>(kItems));
+  state.counters["code_frac"] =
+      stats.scanned_bytes == 0
+          ? 0.0
+          : static_cast<double>(stats.scanned_code_bytes) /
+                static_cast<double>(stats.scanned_bytes);
+}
+BENCHMARK(BM_IvfQuantizedTopN)
+    ->Args({8, 128})
+    ->Args({16, 64})
+    ->Args({16, 128});
 
 // Batched IVF retrieval: per-user probe + scan fanned across user blocks
 // (the approximate analogue of BM_BatchRetrieval).

@@ -10,7 +10,7 @@
 //                               [--backend=serial|omp|blocked|sharded|simd]
 //                               [--shard_workers=N]
 //                               [--retriever=exact|ivf] [--nlist=N]
-//                               [--nprobe=N]
+//                               [--nprobe=N] [--quantized] [--rerank_k=N]
 //                               [--metrics_json=path] [--trace]
 //                               [--trace_json=path] [--trace_sample=N]
 //
@@ -34,6 +34,14 @@
 // loaded with --model= reuses its embedded index when it has one; --save=
 // writes a v2 artifact carrying the index. Catalogues smaller than
 // tensor::kIvfMinItemsForIndex fall back to the exact scan.
+//
+// --quantized serves the probed posting lists through the two-phase int8
+// code scan (approximate code scan + exact float rerank of the rerank_k
+// best candidates; see src/serve/ivf_retriever.h). Indexes built here get
+// int8 codes attached, and --save= then writes the v4 quantized
+// container; an artifact loaded without codes serves float silently.
+// --rerank_k= bounds the exact-rerank pool (0 =
+// tensor::kIvfDefaultRerankK).
 //
 // Observability (src/obs/): --metrics_json= dumps the process metrics
 // registry (service counters as gauges + the per-phase latency
@@ -154,6 +162,8 @@ int main(int argc, char** argv) {
   std::string retriever_name = flags.GetString("retriever", "exact");
   int64_t nlist = flags.GetInt("nlist", 0);
   int64_t nprobe = flags.GetInt("nprobe", 0);
+  bool quantized = flags.GetBool("quantized", false);
+  int64_t rerank_k = flags.GetInt("rerank_k", 0);
   std::string metrics_json = flags.GetString("metrics_json", "");
   std::string trace_json = flags.GetString("trace_json", "");
   int64_t trace_sample = flags.GetInt("trace_sample", 16);
@@ -224,8 +234,12 @@ int main(int argc, char** argv) {
                   static_cast<long long>(artifact.num_items),
                   static_cast<long long>(tensor::kIvfMinItemsForIndex));
     } else {
-      if (!artifact.has_ivf() || flags.Has("nlist")) {
-        util::Status s = core::BuildIvfIndex(&artifact, nlist);
+      // Rebuild when the artifact has no index, when --nlist overrides the
+      // cluster count, or when --quantized needs codes the embedded index
+      // doesn't carry.
+      if (!artifact.has_ivf() || flags.Has("nlist") ||
+          (quantized && !artifact.ivf->has_codes())) {
+        util::Status s = core::BuildIvfIndex(&artifact, nlist, quantized);
         if (!s.ok()) {
           std::fprintf(stderr, "BuildIvfIndex: %s\n", s.ToString().c_str());
           return 1;
@@ -234,11 +248,16 @@ int main(int argc, char** argv) {
       service_options.retriever = serve::RetrieverKind::kIvf;
       service_options.nlist = nlist;
       if (nprobe > 0) service_options.nprobe = nprobe;
-      std::printf("IVF index: %lld lists, probing %lld per request\n",
+      service_options.quantized = quantized;
+      service_options.rerank_k = rerank_k;
+      std::printf("IVF index: %lld lists, probing %lld per request%s\n",
                   static_cast<long long>(artifact.ivf->nlist()),
                   static_cast<long long>(std::min(
                       nprobe > 0 ? nprobe : tensor::kIvfDefaultNprobe,
-                      artifact.ivf->nlist())));
+                      artifact.ivf->nlist())),
+                  quantized && artifact.ivf->has_codes()
+                      ? ", int8 code scan + exact rerank"
+                      : "");
     }
   }
   if (!save_path.empty()) {
@@ -298,8 +317,9 @@ int main(int argc, char** argv) {
     core::ServingModel next = core::ExportServingModel(trainer->model());
     if (service_options.retriever == serve::RetrieverKind::kIvf) {
       // A kIvf service only accepts snapshots that carry an index; the
-      // fresh export doesn't, so re-cluster the refreshed embeddings.
-      util::Status s = core::BuildIvfIndex(&next, nlist);
+      // fresh export doesn't, so re-cluster the refreshed embeddings
+      // (re-quantizing when the quantized tier is live).
+      util::Status s = core::BuildIvfIndex(&next, nlist, quantized);
       if (!s.ok()) {
         std::fprintf(stderr, "BuildIvfIndex: %s\n", s.ToString().c_str());
         return 1;
@@ -349,6 +369,17 @@ int main(int argc, char** argv) {
                 static_cast<double>(stats.retrieval.scanned_bytes) / 1e6,
                 static_cast<unsigned long long>(
                     stats.retrieval.probed_clusters));
+    if (stats.retrieval.scanned_code_bytes > 0) {
+      std::printf("quantized: %.1f MB of int8 codes streamed (%.1f%% of "
+                  "scan traffic), %llu items reranked exactly\n",
+                  static_cast<double>(stats.retrieval.scanned_code_bytes) /
+                      1e6,
+                  100.0 *
+                      static_cast<double>(stats.retrieval.scanned_code_bytes) /
+                      static_cast<double>(stats.retrieval.scanned_bytes),
+                  static_cast<unsigned long long>(
+                      stats.retrieval.reranked_items));
+    }
   }
   std::printf("\n");
   for (int64_t user = 0; user < std::min<int64_t>(3, snapshot->num_users);

@@ -2,6 +2,7 @@
 
 #include "src/nn/pretrain.h"
 #include "src/tensor/ad_ops.h"
+#include "src/tensor/backend.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/check.h"
 
@@ -123,11 +124,10 @@ float GnmrModel::Score(int64_t user, int64_t item) const {
   int64_t width = inference_cache_.cols();
   const float* u = inference_cache_.data() + user * width;
   const float* v = inference_cache_.data() + (num_users() + item) * width;
-  double acc = 0.0;
-  for (int64_t c = 0; c < width; ++c) {
-    acc += static_cast<double>(u[c]) * v[c];
-  }
-  return static_cast<float>(acc);
+  // Same lane-partial association as ServingModel::Score and the serving
+  // scans (backend.h), so trainer-side and serving-side evaluation stay
+  // bit-identical.
+  return static_cast<float>(tensor::LanePartialDot(u, v, width));
 }
 
 const tensor::Tensor& GnmrModel::inference_cache() const {

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "src/obs/trace.h"
+#include "src/tensor/backend.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/kmeans.h"
+#include "src/tensor/quantize.h"
 #include "src/util/check.h"
 #include "src/util/crc32.h"
 
@@ -19,6 +21,7 @@ namespace {
 constexpr char kMagicV1[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '1'};
 constexpr char kMagicV2[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '2'};
 constexpr char kMagicV3[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '3'};
+constexpr char kMagicV4[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '4'};
 
 // v3 container layout constants. Payload sections start at 64-byte-
 // aligned file offsets so that, under a page-aligned mmap base, every
@@ -32,6 +35,9 @@ constexpr int64_t kSecEmbeddings = 1;
 constexpr int64_t kSecIvfCentroids = 2;
 constexpr int64_t kSecIvfOffsets = 3;
 constexpr int64_t kSecIvfItems = 4;
+// v4 only: the quantized scan tier (posting-list position order).
+constexpr int64_t kSecIvfCodes = 5;
+constexpr int64_t kSecIvfScales = 6;
 
 int64_t AlignUp64(int64_t offset) {
   return (offset + kV3Align - 1) / kV3Align * kV3Align;
@@ -113,10 +119,29 @@ std::string IvfProblem(const IvfIndex& ivf, int64_t num_items,
       }
     }
   }
+  // Quantized tier: codes and scales travel together, sized for one
+  // width-wide code row (plus one scale) per posting-list position.
+  const int64_t num_codes = static_cast<int64_t>(ivf.codes.size());
+  const int64_t num_scales = static_cast<int64_t>(ivf.code_scales.size());
+  if ((num_codes == 0) != (num_scales == 0)) {
+    return "ivf codes and scales must be present together";
+  }
+  if (num_codes != 0) {
+    if (num_codes != num_items * width) return "ivf code size mismatch";
+    if (num_scales != num_items) return "ivf scale count mismatch";
+  }
   return "";
 }
 
-// Parses a v3 container from a contiguous byte range. With
+// True if the first 8 bytes of `data` (size permitting) carry the v3 or
+// v4 container magic — the two formats ParseV3 understands.
+bool HasV3FamilyMagic(const uint8_t* data, int64_t size) {
+  if (size < static_cast<int64_t>(sizeof(kMagicV3))) return false;
+  return std::memcmp(data, kMagicV3, sizeof(kMagicV3)) == 0 ||
+         std::memcmp(data, kMagicV4, sizeof(kMagicV4)) == 0;
+}
+
+// Parses a v3/v4 container from a contiguous byte range. With
 // `copy_into_owned`, tensors are deep-copied into heap storage; otherwise
 // they are constructed as views with `keepalive` (the mapping) anchoring
 // the memory. Structural validation always runs; payload checksums only
@@ -128,7 +153,8 @@ util::Result<ServingModel> ParseV3(
   if (file_size < kV3HeaderBytes) {
     return util::Status::ParseError("truncated v3 header in " + path);
   }
-  GNMR_CHECK(std::memcmp(base, kMagicV3, sizeof(kMagicV3)) == 0);
+  GNMR_CHECK(HasV3FamilyMagic(base, file_size));
+  const bool is_v4 = std::memcmp(base, kMagicV4, sizeof(kMagicV4)) == 0;
   int64_t header[4];
   std::memcpy(header, base + 8, sizeof(header));
   ServingModel model;
@@ -139,8 +165,10 @@ util::Result<ServingModel> ParseV3(
   if (model.num_users <= 0 || model.num_items <= 0 || width <= 0) {
     return util::Status::ParseError("invalid dimensions in v3 header");
   }
-  // Either just embeddings, or embeddings plus the three IVF sections.
-  if (section_count != 1 && section_count != 4) {
+  // v3: just embeddings, or embeddings plus the three IVF sections. v4:
+  // those four plus the two quantized-code sections, always.
+  if (is_v4 ? section_count != 6
+            : (section_count != 1 && section_count != 4)) {
     return util::Status::ParseError("invalid v3 section count");
   }
   const int64_t table_end = kV3HeaderBytes + section_count * kV3EntryBytes;
@@ -179,7 +207,7 @@ util::Result<ServingModel> ParseV3(
     return util::Status::ParseError("v3 embeddings size mismatch");
   }
   int64_t nlist = 0;
-  if (section_count == 4) {
+  if (section_count >= 4) {
     const SectionEntry& off = entries[2];
     if (off.length < 2 * static_cast<int64_t>(sizeof(int64_t)) ||
         off.length % static_cast<int64_t>(sizeof(int64_t)) != 0) {
@@ -196,6 +224,15 @@ util::Result<ServingModel> ParseV3(
     if (entries[3].length !=
         model.num_items * static_cast<int64_t>(sizeof(int64_t))) {
       return util::Status::ParseError("v3 ivf items size mismatch");
+    }
+  }
+  if (section_count == 6) {
+    if (entries[4].length != model.num_items * width) {
+      return util::Status::ParseError("v4 ivf codes size mismatch");
+    }
+    if (entries[5].length !=
+        model.num_items * static_cast<int64_t>(sizeof(float))) {
+      return util::Status::ParseError("v4 ivf scales size mismatch");
     }
   }
 
@@ -229,13 +266,32 @@ util::Result<ServingModel> ParseV3(
     }
     return tensor::Storage<int64_t>::View(p, n, keepalive);
   };
+  const auto i8_view = [&](const SectionEntry& e) {
+    const int8_t* p = reinterpret_cast<const int8_t*>(base + e.offset);
+    if (copy_into_owned) {
+      return tensor::Storage<int8_t>(std::vector<int8_t>(p, p + e.length));
+    }
+    return tensor::Storage<int8_t>::View(p, e.length, keepalive);
+  };
+  const auto f32_view = [&](const SectionEntry& e) {
+    const float* p = reinterpret_cast<const float*>(base + e.offset);
+    const int64_t n = e.length / static_cast<int64_t>(sizeof(float));
+    if (copy_into_owned) {
+      return tensor::Storage<float>(std::vector<float>(p, p + n));
+    }
+    return tensor::Storage<float>::View(p, n, keepalive);
+  };
 
   model.embeddings = float_view(entries[0], {rows, width});
-  if (section_count == 4) {
+  if (section_count >= 4) {
     auto ivf = std::make_shared<IvfIndex>();
     ivf->centroids = float_view(entries[1], {nlist, width});
     ivf->list_offsets = int_view(entries[2]);
     ivf->list_items = int_view(entries[3]);
+    if (section_count == 6) {
+      ivf->codes = i8_view(entries[4]);
+      ivf->code_scales = f32_view(entries[5]);
+    }
     const std::string problem = IvfProblem(*ivf, model.num_items, width);
     if (!problem.empty()) {
       return util::Status::ParseError("corrupt ivf index: " + problem);
@@ -259,11 +315,10 @@ float ServingModel::Score(int64_t user, int64_t item) const {
   int64_t width = embeddings.cols();
   const float* u = embeddings.data() + user * width;
   const float* v = embeddings.data() + (num_users + item) * width;
-  double acc = 0.0;
-  for (int64_t c = 0; c < width; ++c) {
-    acc += static_cast<double>(u[c]) * v[c];
-  }
-  return static_cast<float>(acc);
+  // The lane-partial association (backend.h) — the same contract every
+  // serving scan computes, so single scores match scanned scores
+  // bit-for-bit.
+  return static_cast<float>(tensor::LanePartialDot(u, v, width));
 }
 
 std::unique_ptr<eval::Scorer> ServingModel::MakeScorer() const {
@@ -285,7 +340,8 @@ ServingModel ExportServingModel(const GnmrModel& model) {
   return out;
 }
 
-util::Status BuildIvfIndex(ServingModel* model, int64_t nlist) {
+util::Status BuildIvfIndex(ServingModel* model, int64_t nlist,
+                           bool quantize) {
   GNMR_CHECK(model != nullptr);
   if (model->embeddings.empty() ||
       model->embeddings.rows() != model->num_users + model->num_items) {
@@ -322,6 +378,22 @@ util::Status BuildIvfIndex(ServingModel* model, int64_t nlist) {
   }
   ivf->list_offsets = std::move(list_offsets);
   ivf->list_items = std::move(list_items);
+  if (quantize) {
+    // Codes live in posting-list position order so the serving scan
+    // streams each probed list contiguously: position pos quantizes the
+    // embedding row of item list_items[pos].
+    std::vector<int8_t> codes(
+        static_cast<size_t>(model->num_items * width));
+    std::vector<float> scales(static_cast<size_t>(model->num_items));
+    for (int64_t pos = 0; pos < model->num_items; ++pos) {
+      const int64_t item = ivf->list_items[static_cast<size_t>(pos)];
+      scales[static_cast<size_t>(pos)] = tensor::quant::QuantizeRowI8(
+          item_rows + item * width, width,
+          codes.data() + pos * width);
+    }
+    ivf->codes = std::move(codes);
+    ivf->code_scales = std::move(scales);
+  }
   ivf->CheckConsistent(model->num_items, width);
   model->ivf = std::move(ivf);
   return util::Status::OK();
@@ -329,6 +401,11 @@ util::Status BuildIvfIndex(ServingModel* model, int64_t nlist) {
 
 util::Status SaveServingModel(const ServingModel& model,
                               const std::string& path) {
+  // Quantized codes have no v1/v2 encoding; such models round-trip
+  // through the v4 container (which every loader here accepts).
+  if (model.has_ivf() && model.ivf->has_codes()) {
+    return SaveServingModelV3(model, path);
+  }
   GNMR_TRACE_SPAN("io.save");
   if (model.embeddings.empty() ||
       model.embeddings.rows() != model.num_users + model.num_items) {
@@ -393,7 +470,15 @@ util::Status SaveServingModelV3(const ServingModel& model,
     payloads.push_back(
         {kSecIvfItems, ivf.list_items.data(),
          ivf.list_items.size() * static_cast<int64_t>(sizeof(int64_t))});
+    if (ivf.has_codes()) {
+      payloads.push_back({kSecIvfCodes, ivf.codes.data(),
+                          static_cast<int64_t>(ivf.codes.size())});
+      payloads.push_back(
+          {kSecIvfScales, ivf.code_scales.data(),
+           static_cast<int64_t>(ivf.code_scales.size() * sizeof(float))});
+    }
   }
+  const bool quantized = model.has_ivf() && model.ivf->has_codes();
 
   const int64_t section_count = static_cast<int64_t>(payloads.size());
   std::vector<SectionEntry> entries;
@@ -411,7 +496,7 @@ util::Status SaveServingModelV3(const ServingModel& model,
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return util::Status::IOError("cannot open " + path);
-  out.write(kMagicV3, sizeof(kMagicV3));
+  out.write(quantized ? kMagicV4 : kMagicV3, sizeof(kMagicV3));
   int64_t header[4] = {model.num_users, model.num_items, width,
                        section_count};
   WritePod(out, header, 4);
@@ -437,8 +522,7 @@ util::Result<ServingModel> LoadServingModelMapped(const std::string& path,
   auto mapped = util::MappedFile::Open(path);
   if (!mapped.ok()) return mapped.status();
   std::shared_ptr<const util::MappedFile> file = std::move(mapped).value();
-  if (file->size() < static_cast<int64_t>(sizeof(kMagicV3)) ||
-      std::memcmp(file->data(), kMagicV3, sizeof(kMagicV3)) != 0) {
+  if (!HasV3FamilyMagic(file->data(), file->size())) {
     // Pre-v3 artifacts have no alignment guarantees; load them the
     // classic way into owned storage.
     return LoadServingModel(path);
@@ -456,8 +540,9 @@ util::Result<ServingModel> LoadServingModel(const std::string& path) {
     return util::Status::ParseError("bad magic in " + path);
   }
   bool has_ivf = false;
-  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
-    // v3 is parsed from a contiguous mapping (same parser as the
+  if (HasV3FamilyMagic(reinterpret_cast<const uint8_t*>(magic),
+                       static_cast<int64_t>(sizeof(magic)))) {
+    // v3/v4 is parsed from a contiguous mapping (same parser as the
     // zero-copy path), then deep-copied into owned storage with every
     // section checksum verified.
     in.close();

@@ -22,6 +22,15 @@
 //     LoadServingModelMapped can construct every tensor as a view
 //     straight over the mapping (see tensor/storage.h) with O(1) load
 //     time. Written by SaveServingModelV3.
+//   v4 ("GNMRSM04") — the v3 container with two more sections when the
+//     IVF index carries quantized codes (BuildIvfIndex(..., quantize =
+//     true)): 5 = int8 posting-list codes ([num_items, width], posting-
+//     list position order), 6 = per-row float scales (num_items entries,
+//     same order). Same table layout, alignment, checksum and zero-copy
+//     rules as v3; section_count is exactly 6. Written by
+//     SaveServingModelV3 (which picks the magic from has_codes), and by
+//     SaveServingModel when codes are present (quantized state has no
+//     v1/v2 encoding).
 #ifndef GNMR_CORE_MODEL_IO_H_
 #define GNMR_CORE_MODEL_IO_H_
 
@@ -51,6 +60,15 @@ struct IvfIndex {
   /// Item ids grouped by cluster, ascending within each cluster; every
   /// catalogue item appears exactly once.
   tensor::Storage<int64_t> list_items;
+  /// Optional quantized scan tier (tensor/quantize.h): [num_items, width]
+  /// int8 codes in POSTING-LIST POSITION order — codes[pos * width ..)
+  /// quantizes the embedding row of item list_items[pos] — so the code
+  /// scan streams each probed list contiguously. Empty when the index was
+  /// built without quantization.
+  tensor::Storage<int8_t> codes;
+  /// Per-row dequantization scales, same posting-list position order as
+  /// `codes` (num_items entries). scale 0 marks an all-zero row.
+  tensor::Storage<float> code_scales;
 
   int64_t nlist() const {
     return list_offsets.empty()
@@ -61,6 +79,7 @@ struct IvfIndex {
     return list_offsets[static_cast<size_t>(c) + 1] -
            list_offsets[static_cast<size_t>(c)];
   }
+  bool has_codes() const { return !codes.empty(); }
 
   /// Aborts unless the index is structurally sound for a catalogue of
   /// `num_items` items with `width`-dim embeddings: monotone offsets
@@ -116,16 +135,25 @@ ServingModel ExportServingModel(const GnmrModel& model);
 /// value is clamped to the catalogue size. The model must be consistent
 /// (embeddings covering num_users + num_items rows). Replaces any index
 /// already attached. Offline cost: O(max_iters * num_items * nlist * width).
-util::Status BuildIvfIndex(ServingModel* model, int64_t nlist);
+///
+/// quantize = true additionally stores symmetric per-row int8 codes of the
+/// posting-list item rows (tensor/quantize.h) so IvfRetriever can run its
+/// two-phase quantized scan. Always quantizes when asked — the
+/// tensor::kIvfQuantizeMinItems threshold is deployment policy applied by
+/// the serving frontends, not by this builder.
+util::Status BuildIvfIndex(ServingModel* model, int64_t nlist,
+                           bool quantize = false);
 
 /// Binary format: see the version notes at the top of this header. Writes
 /// v1 when `model` has no IVF index (bit-compatible with old readers) and
-/// v2 when it has one.
+/// v2 when it has one. Quantized codes have no v1/v2 encoding, so a model
+/// whose index carries codes delegates to the v3/v4 container writer.
 util::Status SaveServingModel(const ServingModel& model,
                               const std::string& path);
 
 /// Writes the v3 zero-copy container (see the version notes above), with
-/// a CRC32 checksum per section. Readers of every version accept it via
+/// a CRC32 checksum per section — v4 magic and the two code sections when
+/// the index is quantized. Readers of every version accept it via
 /// LoadServingModel; LoadServingModelMapped serves it without copying.
 util::Status SaveServingModelV3(const ServingModel& model,
                                 const std::string& path);

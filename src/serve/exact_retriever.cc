@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/trace.h"
+#include "src/tensor/backend.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/shard_plan.h"
 #include "src/tensor/shard_pool.h"
@@ -43,6 +44,7 @@ void ExactRetriever::RetrieveBlock(const int64_t* users, int64_t count,
   const float* emb = model_->embeddings.data();
   const float* item_base = emb + num_users * width;
   const SeenItems* seen = seen_.get();
+  const tensor::KernelBackend& backend = tensor::GetBackend();
 
   // Worst-on-top bounded heaps: with BetterThan as the "less" comparator
   // the std heap front is the entry no other beats, i.e. the current worst.
@@ -55,24 +57,16 @@ void ExactRetriever::RetrieveBlock(const int64_t* users, int64_t count,
   float scores[kUserBlock * kItemBlock];
   for (int64_t i0 = item_begin; i0 < item_end; i0 += kItemBlock) {
     const int64_t tile = std::min(kItemBlock, item_end - i0);
-    // Blocked matmul tile: `count` user rows x `tile` item rows. Scoring
-    // every user in the block against the same item tile keeps the tile
-    // resident in cache; the shared scan primitives (retriever.h) make
-    // every score bit-identical to the per-item path and independent of
-    // where the item range starts — which is what makes shard outputs
-    // mergeable.
+    // Blocked matmul tile: `count` user rows x `tile` item rows, scored
+    // through the active backend's QueryDot. Scoring every user in the
+    // block against the same item tile keeps the tile resident in cache;
+    // the backend contract (one lane-partial sum per output element) makes
+    // every score bit-identical to DotScore and independent of where the
+    // item range starts — which is what makes shard outputs mergeable.
     for (int64_t u = 0; u < count; ++u) {
       const float* urow = emb + users[u] * width;
-      float* srow = scores + u * kItemBlock;
-      int64_t j = 0;
-      for (; j + 4 <= tile; j += 4) {
-        const float* v0 = item_base + (i0 + j) * width;
-        QuadDotScores(urow, v0, v0 + width, v0 + 2 * width, v0 + 3 * width,
-                      width, srow + j);
-      }
-      for (; j < tile; ++j) {
-        srow[j] = DotScore(urow, item_base + (i0 + j) * width, width);
-      }
+      backend.QueryDot(urow, item_base + i0 * width, scores + u * kItemBlock,
+                       tile, width);
     }
     for (int64_t u = 0; u < count; ++u) {
       std::vector<RecEntry>& heap = heaps[u];

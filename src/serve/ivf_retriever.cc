@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/obs/trace.h"
+#include "src/tensor/backend.h"
 #include "src/tensor/kernel_tunables.h"
+#include "src/tensor/quantize.h"
 #include "src/tensor/shard_plan.h"
 #include "src/tensor/shard_pool.h"
 #include "src/util/check.h"
@@ -11,9 +13,18 @@
 namespace gnmr {
 namespace serve {
 
+namespace {
+// Scattered candidate rows (and code rows) are scored through the backend
+// in fixed-size blocks: one dispatch per block amortises the indirect
+// call, and the stack score buffer stays cache-resident. Block boundaries
+// cannot change results — every output element is an independent dot.
+constexpr int64_t kScanBlock = 256;
+}  // namespace
+
 IvfRetriever::IvfRetriever(std::shared_ptr<const core::ServingModel> model,
                            std::shared_ptr<const SeenItems> seen,
-                           int64_t nprobe, ItemShardMode shard_mode)
+                           int64_t nprobe, ItemShardMode shard_mode,
+                           bool quantized, int64_t rerank_k)
     : model_(std::move(model)),
       seen_(std::move(seen)),
       shard_mode_(shard_mode) {
@@ -43,6 +54,11 @@ IvfRetriever::IvfRetriever(std::shared_ptr<const core::ServingModel> model,
   }
   if (nprobe <= 0) nprobe = tensor::kIvfDefaultNprobe;
   nprobe_ = std::min(nprobe, ivf_->nlist());
+  // The quantized scan needs codes; without them the request degrades to
+  // the float scan (quantized() exposes the effective state).
+  quantized_ = quantized && ivf_->has_codes();
+  if (rerank_k <= 0) rerank_k = tensor::kIvfDefaultRerankK;
+  rerank_k_ = std::min(rerank_k, model_->num_items);
 }
 
 std::vector<int64_t> IvfRetriever::ProbeClusters(int64_t user) const {
@@ -51,17 +67,15 @@ std::vector<int64_t> IvfRetriever::ProbeClusters(int64_t user) const {
   const float* urow = model_->embeddings.data() + user * width;
   const float* centroids = ivf_->centroids.data();
   const int64_t nlist = ivf_->nlist();
-  // Inner-product centroid scores in double (same accumulation discipline
-  // as item scoring); selection is a pure function of them, so the probe
-  // set is deterministic across backends and worker counts.
+  // Inner-product centroid scores through the backend's QueryDot (the same
+  // lane-partial accumulation as item scoring); selection is a pure
+  // function of them, so the probe set is deterministic across backends
+  // and worker counts.
+  std::vector<float> scores(static_cast<size_t>(nlist));
+  tensor::GetBackend().QueryDot(urow, centroids, scores.data(), nlist, width);
   std::vector<std::pair<float, int64_t>> ranked(static_cast<size_t>(nlist));
   for (int64_t c = 0; c < nlist; ++c) {
-    const float* crow = centroids + c * width;
-    double acc = 0.0;
-    for (int64_t j = 0; j < width; ++j) {
-      acc += static_cast<double>(urow[j]) * crow[j];
-    }
-    ranked[static_cast<size_t>(c)] = {static_cast<float>(acc), c};
+    ranked[static_cast<size_t>(c)] = {scores[static_cast<size_t>(c)], c};
   }
   // Only the first nprobe_ winners matter: partial_sort under the same
   // (score desc, id asc) strict weak ordering yields the identical probe
@@ -93,41 +107,123 @@ void IvfRetriever::ScanCandidates(int64_t user, const int64_t* candidates,
   const float* urow = emb + user * width;
   const SeenItems* seen = seen_.get();
 
-  // The shared scan primitives (retriever.h) score and rank candidates
-  // exactly as the exact scan does; the kept set is the range's top-k
-  // under the BetterThan total order, so it does not depend on the
-  // candidate traversal order — which is what makes posting-list shards
-  // mergeable and nprobe == nlist bit-identical to the full catalogue
-  // scan. Only the item indirection differs from RetrieveBlock: candidate
-  // rows are scattered, not a contiguous tile.
+  // The backend's QueryDotIndexed scores candidates exactly as the exact
+  // scan's QueryDot does (one lane-partial sum per row); the kept set is
+  // the range's top-k under the BetterThan total order, so it does not
+  // depend on the candidate traversal order — which is what makes
+  // posting-list shards mergeable and nprobe == nlist bit-identical to
+  // the full catalogue scan. Only the item indirection differs from
+  // RetrieveBlock: candidate rows are scattered, not a contiguous tile.
   heap->reserve(static_cast<size_t>(k) + 1);
-  float scores[4];
-  int64_t p = 0;
-  while (p < count) {
-    const int64_t quad = std::min<int64_t>(4, count - p);
-    if (quad == 4) {
-      QuadDotScores(urow, item_base + candidates[p] * width,
-                    item_base + candidates[p + 1] * width,
-                    item_base + candidates[p + 2] * width,
-                    item_base + candidates[p + 3] * width, width, scores);
-    } else {
-      for (int64_t q = 0; q < quad; ++q) {
-        scores[q] =
-            DotScore(urow, item_base + candidates[p + q] * width, width);
-      }
-    }
-    for (int64_t q = 0; q < quad; ++q) {
+  const tensor::KernelBackend& backend = tensor::GetBackend();
+  float scores[kScanBlock];
+  for (int64_t p = 0; p < count; p += kScanBlock) {
+    const int64_t block = std::min(kScanBlock, count - p);
+    backend.QueryDotIndexed(urow, item_base, candidates + p, scores, block,
+                            width);
+    for (int64_t q = 0; q < block; ++q) {
       OfferToBoundedHeap(heap, k, RecEntry{candidates[p + q], scores[q]},
                          seen, user);
     }
-    p += quad;
   }
+}
+
+std::vector<RecEntry> IvfRetriever::RetrieveOneQuantized(
+    int64_t user, int64_t k, const std::vector<int64_t>& probes) const {
+  GNMR_TRACE_SPAN("ivf.qscan");
+  const int64_t width = model_->embeddings.cols();
+  const float* emb = model_->embeddings.data();
+  const float* item_base = emb + model_->num_users * width;
+  const float* urow = emb + user * width;
+  const SeenItems* seen = seen_.get();
+  const tensor::KernelBackend& backend = tensor::GetBackend();
+
+  int64_t total = 0;
+  for (int64_t c : probes) total += ivf_->ListSize(c);
+
+  // Phase 1: scan the probed lists' int8 codes into a bounded pool of the
+  // best approximate candidates. The integer dots are exact on every
+  // backend and the dequantization is one fixed float expression
+  // (quant::I8DotScore's multiply order), so the pool — a top-pool_k set
+  // under the BetterThan total order — is deterministic across backends
+  // and traversal-order independent. Codes sit in posting-list position
+  // order, so each probed list streams contiguously.
+  const tensor::quant::QuantizedQuery q =
+      tensor::quant::QuantizeQueryI8(urow, width);
+  const int64_t pool_k = std::max(rerank_k_, k);
+  std::vector<RecEntry> pool;
+  pool.reserve(static_cast<size_t>(pool_k) + 1);
+  int32_t dots[kScanBlock];
+  for (int64_t c : probes) {
+    const int64_t begin = ivf_->list_offsets[static_cast<size_t>(c)];
+    const int64_t size = ivf_->ListSize(c);
+    const int8_t* codes = ivf_->codes.data() + begin * width;
+    const float* scales = ivf_->code_scales.data() + begin;
+    const int64_t* items = ivf_->list_items.data() + begin;
+    for (int64_t p = 0; p < size; p += kScanBlock) {
+      const int64_t block = std::min(kScanBlock, size - p);
+      backend.I8QueryDot(q.codes.data(), codes + p * width, dots, block,
+                         width);
+      for (int64_t j = 0; j < block; ++j) {
+        const float approx =
+            static_cast<float>(dots[j]) * (q.scale * scales[p + j]);
+        OfferToBoundedHeap(&pool, pool_k, RecEntry{items[p + j], approx},
+                           seen, user);
+      }
+    }
+  }
+
+  // Phase 2: exact float rerank of the survivors — the same lane-partial
+  // scores and BetterThan order as the float scan, so quantization can
+  // only affect which items reached the pool, never how survivors rank.
+  const int64_t reranked = static_cast<int64_t>(pool.size());
+  std::vector<RecEntry> out;
+  if (reranked > 0) {
+    std::vector<int64_t> ids(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) ids[i] = pool[i].item;
+    std::vector<float> exact(pool.size());
+    for (int64_t p = 0; p < reranked; p += kScanBlock) {
+      const int64_t block = std::min(kScanBlock, reranked - p);
+      backend.QueryDotIndexed(urow, item_base, ids.data() + p,
+                              exact.data() + p, block, width);
+    }
+    out.reserve(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      out.push_back(RecEntry{ids[i], exact[i]});
+    }
+    std::sort(out.begin(), out.end(), BetterThan);
+    if (static_cast<int64_t>(out.size()) > k) {
+      out.resize(static_cast<size_t>(k));
+    }
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  probed_clusters_.fetch_add(static_cast<uint64_t>(probes.size()),
+                             std::memory_order_relaxed);
+  scanned_items_.fetch_add(static_cast<uint64_t>(total),
+                           std::memory_order_relaxed);
+  // Bandwidth: all nlist centroid rows (the probe), then width code bytes
+  // + one float scale per scanned item, then a full float row per
+  // reranked survivor. The code phase's share is also tracked on its own
+  // so the ~4x cut is observable directly.
+  const uint64_t code_bytes = static_cast<uint64_t>(total) *
+                              (static_cast<uint64_t>(width) + sizeof(float));
+  scanned_code_bytes_.fetch_add(code_bytes, std::memory_order_relaxed);
+  reranked_items_.fetch_add(static_cast<uint64_t>(reranked),
+                            std::memory_order_relaxed);
+  scanned_bytes_.fetch_add(
+      static_cast<uint64_t>(ivf_->nlist() * width) * sizeof(float) +
+          code_bytes +
+          static_cast<uint64_t>(reranked * width) * sizeof(float),
+      std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<RecEntry> IvfRetriever::RetrieveOne(int64_t user, int64_t k,
                                                 bool allow_shard) const {
   GNMR_CHECK(user >= 0 && user < model_->num_users);
   const std::vector<int64_t> probes = ProbeClusters(user);
+  if (quantized_) return RetrieveOneQuantized(user, k, probes);
 
   int64_t total = 0;
   for (int64_t c : probes) total += ivf_->ListSize(c);
@@ -246,6 +342,9 @@ RetrieverStats IvfRetriever::Stats() const {
   out.scanned_items = scanned_items_.load(std::memory_order_relaxed);
   out.scanned_bytes = scanned_bytes_.load(std::memory_order_relaxed);
   out.probed_clusters = probed_clusters_.load(std::memory_order_relaxed);
+  out.scanned_code_bytes =
+      scanned_code_bytes_.load(std::memory_order_relaxed);
+  out.reranked_items = reranked_items_.load(std::memory_order_relaxed);
   return out;
 }
 

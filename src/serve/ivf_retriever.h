@@ -19,6 +19,21 @@
 // ShardPool in contiguous candidate ranges, each with its own bounded
 // heap, merged by the shared (score, item) total order — output unchanged
 // at any worker count.
+//
+// Quantized tier: when the index carries int8 codes (BuildIvfIndex with
+// quantize = true) and the retriever is constructed with quantized = true,
+// retrieval runs two phases. Phase 1 scans the probed lists' int8 codes
+// (KernelBackend::I8QueryDot — exact integer dots, dequantized by one
+// fixed float expression) into a bounded pool of the rerank_k best
+// approximate candidates, streaming ~width bytes per item instead of
+// 4*width. Phase 2 re-scores only the pool with the exact float path and
+// ranks under the same BetterThan order, so the final ordering semantics
+// are unchanged — the quantization can only affect WHICH items reach the
+// rerank pool, a recall effect measured by eval::RetrievalRecallAtK, not
+// an ordering effect. With rerank_k covering every scanned candidate the
+// output is bit-identical to the float IVF scan at the same nprobe. The
+// code scan always runs inline (unsharded): it streams ~4x fewer bytes,
+// so the shard fan-out's merge overhead outweighs its win here.
 #ifndef GNMR_SERVE_IVF_RETRIEVER_H_
 #define GNMR_SERVE_IVF_RETRIEVER_H_
 
@@ -38,11 +53,16 @@ class IvfRetriever : public Retriever {
  public:
   /// `model` must be non-null, consistent, and carry an IVF index
   /// (model->has_ivf()). `nprobe` is clamped to [1, nlist]; nprobe <= 0
-  /// picks tensor::kIvfDefaultNprobe.
+  /// picks tensor::kIvfDefaultNprobe. `quantized` requests the two-phase
+  /// code scan — honoured only when the index actually carries codes
+  /// (check quantized() for the effective state). `rerank_k` bounds the
+  /// exact-rerank candidate pool; <= 0 picks tensor::kIvfDefaultRerankK,
+  /// and the pool never drops below the request's k.
   explicit IvfRetriever(std::shared_ptr<const core::ServingModel> model,
                         std::shared_ptr<const SeenItems> seen = nullptr,
                         int64_t nprobe = 0,
-                        ItemShardMode shard_mode = ItemShardMode::kAuto);
+                        ItemShardMode shard_mode = ItemShardMode::kAuto,
+                        bool quantized = false, int64_t rerank_k = 0);
 
   const char* name() const override { return "ivf"; }
 
@@ -75,6 +95,11 @@ class IvfRetriever : public Retriever {
   /// Effective probe count (post clamping).
   int64_t nprobe() const { return nprobe_; }
   int64_t nlist() const { return ivf_->nlist(); }
+  /// True when the two-phase quantized scan is active (requested AND the
+  /// index carries codes).
+  bool quantized() const { return quantized_; }
+  /// Effective rerank pool bound (post defaulting/clamping).
+  int64_t rerank_k() const { return rerank_k_; }
 
   /// Users per parallel work unit in RetrieveBatch.
   static constexpr int64_t kUserBlock = 8;
@@ -99,15 +124,24 @@ class IvfRetriever : public Retriever {
   std::vector<RecEntry> RetrieveOne(int64_t user, int64_t k,
                                     bool allow_shard) const;
 
+  /// The two-phase quantized retrieval (code scan -> exact rerank) for the
+  /// already-selected probe set; does its own stat accounting.
+  std::vector<RecEntry> RetrieveOneQuantized(
+      int64_t user, int64_t k, const std::vector<int64_t>& probes) const;
+
   std::shared_ptr<const core::ServingModel> model_;
   std::shared_ptr<const SeenItems> seen_;
   std::shared_ptr<const core::IvfIndex> ivf_;
   int64_t nprobe_ = 0;
   ItemShardMode shard_mode_ = ItemShardMode::kAuto;
+  bool quantized_ = false;
+  int64_t rerank_k_ = 0;
   mutable std::atomic<uint64_t> requests_{0};
   mutable std::atomic<uint64_t> scanned_items_{0};
   mutable std::atomic<uint64_t> scanned_bytes_{0};
   mutable std::atomic<uint64_t> probed_clusters_{0};
+  mutable std::atomic<uint64_t> scanned_code_bytes_{0};
+  mutable std::atomic<uint64_t> reranked_items_{0};
 };
 
 }  // namespace serve

@@ -46,6 +46,8 @@ void AddInto(RetrieverStats* into, const RetrieverStats& s) {
   into->scanned_items += s.scanned_items;
   into->scanned_bytes += s.scanned_bytes;
   into->probed_clusters += s.probed_clusters;
+  into->scanned_code_bytes += s.scanned_code_bytes;
+  into->reranked_items += s.reranked_items;
 }
 
 }  // namespace
@@ -73,7 +75,8 @@ RecService::RecService(std::shared_ptr<const core::ServingModel> model,
         << "RetrieverKind::kIvf needs a model with an IVF index "
            "(core::BuildIvfIndex)";
     retriever_ = std::make_shared<const IvfRetriever>(
-        std::move(model), std::move(seen), options_.nprobe);
+        std::move(model), std::move(seen), options_.nprobe,
+        ItemShardMode::kAuto, options_.quantized, options_.rerank_k);
   } else {
     retriever_ = exact_;
   }
@@ -389,7 +392,8 @@ void RecService::InstallLocked(
     GNMR_CHECK(next->has_ivf())
         << "swapping a model without an IVF index into a kIvf service";
     retriever_ = std::make_shared<const IvfRetriever>(
-        std::move(next), std::move(seen), options_.nprobe);
+        std::move(next), std::move(seen), options_.nprobe,
+        ItemShardMode::kAuto, options_.quantized, options_.rerank_k);
   } else {
     retriever_ = exact_;
   }
@@ -434,7 +438,12 @@ util::Status RecService::LoadAndSwap(const std::string& path) {
     // v1 artifact on an IVF service: build the index here (offline work,
     // off the swap lock) so the swap below installs a complete snapshot.
     GNMR_TRACE_SPAN("serve.build_ivf");
-    util::Status built = core::BuildIvfIndex(&next, options_.nlist);
+    // Quantization policy: only catalogues past the deployment threshold
+    // pay for the code tier (the mechanism itself has no minimum).
+    const bool quantize =
+        options_.quantized &&
+        next.num_items >= tensor::kIvfQuantizeMinItems;
+    util::Status built = core::BuildIvfIndex(&next, options_.nlist, quantize);
     if (!built.ok()) return built;
   }
   auto model = std::make_shared<const core::ServingModel>(std::move(next));

@@ -101,6 +101,17 @@ class RecService {
     /// kIvf: cluster count used when LoadAndSwap must build an index for
     /// an artifact that lacks one (<= 0 picks the default).
     int64_t nlist = 0;
+    /// kIvf: serve the two-phase quantized scan (int8 code scan + exact
+    /// rerank) when the snapshot's index carries codes. When LoadAndSwap
+    /// builds an index for a codeless artifact it also quantizes —
+    /// provided the catalogue clears tensor::kIvfQuantizeMinItems (below
+    /// that the code tier's fixed overheads outweigh the bandwidth win).
+    /// A snapshot whose index lacks codes silently serves the float scan
+    /// (IvfRetriever::quantized() exposes the effective state).
+    bool quantized = false;
+    /// kIvf + quantized: exact-rerank pool size per request (<= 0 picks
+    /// tensor::kIvfDefaultRerankK).
+    int64_t rerank_k = 0;
     /// LoadAndSwap opens v3 artifacts zero-copy (LoadServingModelMapped):
     /// the snapshot serves straight out of the page cache and load time is
     /// O(1) in the table size. Pre-v3 artifacts silently fall back to the

@@ -8,9 +8,11 @@
 // based) drop in behind the same three calls.
 //
 // Contract every strategy honours:
-//   - scores are the dot product of ServingModel::Score, accumulated in
-//     double in ascending column order, so an item scanned by any strategy
-//     gets the bit-identical score;
+//   - scores are the dot product of ServingModel::Score — the lane-partial
+//     double association of tensor::LanePartialDot (backend.h), which every
+//     KernelBackend's QueryDot/QueryDotIndexed computes bit-identically —
+//     so an item scanned by any strategy, through any backend, gets the
+//     bit-identical score;
 //   - output is sorted by BetterThan (score desc, ties by ascending item
 //     id) and excludes the user's seen items;
 //   - all methods are const and thread-safe; implementations share
@@ -25,6 +27,7 @@
 
 #include "src/core/model_io.h"
 #include "src/serve/seen_items.h"
+#include "src/tensor/backend.h"
 
 namespace gnmr {
 namespace serve {
@@ -46,39 +49,17 @@ inline bool BetterThan(const RecEntry& a, const RecEntry& b) {
 }
 
 // ---- Shared scan primitives -------------------------------------------------
-// Every strategy scores and ranks with THESE loops, so "an item scanned by
-// any strategy gets the bit-identical score and tie order" is enforced
-// structurally instead of by keeping per-strategy copies in sync.
+// Every strategy scores and ranks with the same primitives — DotScore for
+// single rows, the active KernelBackend's QueryDot/QueryDotIndexed for
+// bulk scans — so "an item scanned by any strategy gets the bit-identical
+// score and tie order" is enforced structurally instead of by keeping
+// per-strategy copies in sync.
 
-/// Dot product of `urow` and `vrow` in double, ascending column order —
-/// exactly ServingModel::Score.
+/// Dot product of `urow` and `vrow`: the lane-partial double association
+/// of backend.h — exactly ServingModel::Score and one output element of
+/// KernelBackend::QueryDot.
 inline float DotScore(const float* urow, const float* vrow, int64_t width) {
-  double acc = 0.0;
-  for (int64_t c = 0; c < width; ++c) {
-    acc += static_cast<double>(urow[c]) * vrow[c];
-  }
-  return static_cast<float>(acc);
-}
-
-/// Scores four embedding rows against `urow` at once so the four
-/// accumulation chains pipeline; each row's sum still runs over c in
-/// ascending order in double, so every output is bit-identical to
-/// DotScore on that row — which is what makes partial scans mergeable.
-inline void QuadDotScores(const float* urow, const float* v0,
-                          const float* v1, const float* v2, const float* v3,
-                          int64_t width, float out[4]) {
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  for (int64_t c = 0; c < width; ++c) {
-    const double uc = static_cast<double>(urow[c]);
-    a0 += uc * v0[c];
-    a1 += uc * v1[c];
-    a2 += uc * v2[c];
-    a3 += uc * v3[c];
-  }
-  out[0] = static_cast<float>(a0);
-  out[1] = static_cast<float>(a1);
-  out[2] = static_cast<float>(a2);
-  out[3] = static_cast<float>(a3);
+  return static_cast<float>(tensor::LanePartialDot(urow, vrow, width));
 }
 
 /// Offers `e` to a worst-on-top bounded heap of capacity `k`: with
@@ -136,6 +117,12 @@ struct RetrieverStats {
   uint64_t scanned_bytes = 0;
   /// IVF only: posting lists visited across all requests (0 for exact).
   uint64_t probed_clusters = 0;
+  /// Quantized IVF only: bytes of int8 codes + per-row scales streamed by
+  /// the approximate phase (a subset of scanned_bytes, which also counts
+  /// centroid probes and the float rows the exact rerank re-reads).
+  uint64_t scanned_code_bytes = 0;
+  /// Quantized IVF only: candidates re-scored by the exact float rerank.
+  uint64_t reranked_items = 0;
 };
 
 /// Read-only top-K retrieval strategy over a ServingModel snapshot.

@@ -11,6 +11,7 @@
 #include "src/tensor/backend_simd.h"
 #include "src/tensor/element_ops.h"
 #include "src/tensor/kernel_tunables.h"
+#include "src/tensor/quantize.h"
 #include "src/tensor/shard_plan.h"
 #include "src/tensor/shard_pool.h"
 #include "src/util/check.h"
@@ -671,6 +672,36 @@ const KernelBackend* DefaultBackend() {
 }
 
 }  // namespace
+
+// ---- Serving scan ops: serial base implementations --------------------------
+// Non-pure with reference bodies so only backends that accelerate these
+// override them (today: the simd backend); everyone else — including the
+// bench-only blas backend, which cross-backend probe-determinism tests
+// iterate — inherits the exact reference. Per-output-element results, no
+// cross-row accumulation, so any override is bit-identical by construction
+// as long as it keeps the lane-partial (float) / plain-int32 (code) dot.
+
+void KernelBackend::QueryDot(const float* q, const float* rows, float* out,
+                             int64_t n, int64_t m) const {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(LanePartialDot(q, rows + i * m, m));
+  }
+}
+
+void KernelBackend::QueryDotIndexed(const float* q, const float* base,
+                                    const int64_t* idx, float* out, int64_t n,
+                                    int64_t m) const {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(LanePartialDot(q, base + idx[i] * m, m));
+  }
+}
+
+void KernelBackend::I8QueryDot(const int8_t* q, const int8_t* codes,
+                               int32_t* out, int64_t n, int64_t m) const {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = quant::I8Dot(q, codes + i * m, m);
+  }
+}
 
 #ifdef GNMR_HAVE_BLAS
 // Defined in backend_blas.cc, compiled only when -DGNMR_BLAS=ON finds a

@@ -3,8 +3,11 @@
 // GatherRows, ScatterAddRows, RowDot, elementwise map/zip and the scalar
 // reduction — through the active KernelBackend, so swapping the execution
 // strategy (serial reference, OpenMP fan-out, cache-blocked) never touches
-// the call sites. This is the cut point the ROADMAP names for future BLAS,
-// SIMD and sharded implementations.
+// the call sites. The serving read path dispatches here too: QueryDot /
+// QueryDotIndexed are the one-query-against-many-rows scans behind
+// ExactRetriever and IvfRetriever, and I8QueryDot is the int8 code scan of
+// the quantized IVF tier (tensor/quantize.h). This is the cut point the
+// ROADMAP names for future BLAS, SIMD and sharded implementations.
 //
 // Registered backends:
 //   "serial"  — straight-line loops; the bit-exact reference.
@@ -21,8 +24,9 @@
 //               SetShardWorkers).
 //   "simd"    — hand-vectorized AVX2/FMA micro-kernels (backend_simd.cc):
 //               register-tiled MatMul, column-paneled SpMM, lane-partial
-//               RowDot/ReduceSum, AVX2-compiled eltwise twins — all
-//               keeping serial's per-element accumulation order with
+//               RowDot/ReduceSum/query scans, a maddubs int8 code scan,
+//               AVX2-compiled eltwise twins — all keeping serial's
+//               per-element accumulation order with
 //               unfused mul+add, so still bit-identical. On hosts without
 //               AVX2+FMA (runtime cpuid, util/cpu_features.h) the name
 //               resolves to a serial fallback that logs one warning.
@@ -49,10 +53,38 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/kernel_tunables.h"
 #include "src/tensor/sparse.h"
 
 namespace gnmr {
 namespace tensor {
+
+/// Portable scalar reference of the fixed lane-partial dot product — THE
+/// serving-score contract: lane l accumulates elements j with
+/// j % kReduceLanes == l in double, lanes combine in ascending order. The
+/// lane shape (not plain left-to-right accumulation) is exactly the
+/// association a vector unit computes with the row cut into
+/// kReduceLanes-wide groups, so the simd backend can vectorize query scans
+/// while every backend — and every scalar score call site
+/// (ServingModel::Score, serve::DotScore) — produces bit-identical floats.
+/// backend_simd.cc must NOT odr-use this function (see the ODR rules in
+/// backend_simd.h); its internal-linkage LaneDot computes the identical
+/// association with two 4-wide double vectors.
+inline double LanePartialDot(const float* a, const float* b, int64_t m) {
+  double lane[kReduceLanes] = {0.0};
+  int64_t j = 0;
+  for (; j + kReduceLanes <= m; j += kReduceLanes) {
+    for (int64_t l = 0; l < kReduceLanes; ++l) {
+      lane[l] += static_cast<double>(a[j + l]) * b[j + l];
+    }
+  }
+  for (int64_t l = 0; j + l < m; ++l) {
+    lane[l] += static_cast<double>(a[j + l]) * b[j + l];
+  }
+  double acc = 0.0;
+  for (int64_t l = 0; l < kReduceLanes; ++l) acc += lane[l];
+  return acc;
+}
 
 /// Strategy interface over the raw hot-path kernels.
 class KernelBackend {
@@ -114,6 +146,33 @@ class KernelBackend {
   /// Sum of all elements via fixed-chunk double partials (kReduceSumChunk);
   /// bit-identical across backends and thread counts.
   virtual double ReduceSum(const float* in, int64_t n) const = 0;
+
+  // ---- Serving scan ops -----------------------------------------------------
+  // One query row against many embedding rows — the shape of a top-N
+  // retrieval scan, which RowDot (pairwise rows) does not cover. These have
+  // serial base implementations (the lane-partial / integer references), so
+  // a backend only overrides what it accelerates; every implementation must
+  // stay bit-identical to the base (per-element output, no cross-row
+  // accumulation to reorder).
+
+  /// out[i] = float(LanePartialDot(q, rows + i*m, m)) for i in [0, n):
+  /// `q` against n CONTIGUOUS rows.
+  virtual void QueryDot(const float* q, const float* rows, float* out,
+                        int64_t n, int64_t m) const;
+
+  /// Gather flavour: out[i] = float(LanePartialDot(q, base + idx[i]*m, m)).
+  /// Row indices are pre-validated by the caller.
+  virtual void QueryDotIndexed(const float* q, const float* base,
+                               const int64_t* idx, float* out, int64_t n,
+                               int64_t m) const;
+
+  /// Quantized code scan: out[i] = quant::I8Dot(q, codes + i*m, m) for i in
+  /// [0, n) — pure int32 arithmetic, exact on every backend. Callers
+  /// dequantize with quant::I8DotScore's multiply order. Precondition: all
+  /// codes were produced by quant::QuantizeRowI8 (clamped to [-127, 127]);
+  /// a -128 code would saturate the simd backend's pairwise maddubs sums.
+  virtual void I8QueryDot(const int8_t* q, const int8_t* codes, int32_t* out,
+                          int64_t n, int64_t m) const;
 };
 
 // ---- Range-kernel instantiation helpers -------------------------------------

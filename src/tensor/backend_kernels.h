@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/tensor/backend.h"
 #include "src/tensor/kernel_tunables.h"
 #include "src/tensor/sparse.h"
 
@@ -92,19 +93,9 @@ inline void GatherRowRange(const float* a, int64_t m, const int64_t* idx,
 // the SIMD backend can vectorize RowDot while every backend (this scalar
 // body included) produces bit-identical sums.
 inline double RowDotOne(const float* a_row, const float* b_row, int64_t m) {
-  double lane[kReduceLanes] = {0.0};
-  int64_t j = 0;
-  for (; j + kReduceLanes <= m; j += kReduceLanes) {
-    for (int64_t l = 0; l < kReduceLanes; ++l) {
-      lane[l] += static_cast<double>(a_row[j + l]) * b_row[j + l];
-    }
-  }
-  for (int64_t l = 0; j + l < m; ++l) {
-    lane[l] += static_cast<double>(a_row[j + l]) * b_row[j + l];
-  }
-  double acc = 0.0;
-  for (int64_t l = 0; l < kReduceLanes; ++l) acc += lane[l];
-  return acc;
+  // The lane-partial reference moved to backend.h (LanePartialDot) when
+  // the serving scans adopted the same contract; this is the same body.
+  return LanePartialDot(a_row, b_row, m);
 }
 
 // Double partial over one fixed-width chunk (the unit of ReduceSum's

@@ -134,6 +134,31 @@ inline constexpr int64_t kIvfMinItemsForIndex = 1024;
 /// Lloyd iteration cap of the offline k-means behind BuildIvfIndex.
 inline constexpr int64_t kIvfKMeansMaxIters = 25;
 
+// ---- Quantized IVF scan (tensor/quantize.h, serve::IvfRetriever) ------------
+
+/// Largest code magnitude of the symmetric per-row int8 quantizer: codes
+/// live in [-127, 127] (the -128 slot is unused, keeping negation exact and
+/// the AVX2 maddubs pair sums inside int16 range: 2 * 127 * 127 < 32767).
+/// Scale policy: scale = maxabs(row) / kI8QuantMaxCode, code =
+/// clamp(lrintf(x / scale)); an all-zero row gets scale 0 and zero codes.
+inline constexpr int64_t kI8QuantMaxCode = 127;
+
+/// Default size of the exact-rerank candidate pool of the quantized IVF
+/// scan when the caller passes rerank_k <= 0. The int8 code scan keeps the
+/// best rerank_k candidates by approximate score, then the float path
+/// rescores exactly those; ~10x a typical top-10 request keeps measured
+/// recall at the float-scan level while the rerank stays a rounding error
+/// next to the code scan.
+inline constexpr int64_t kIvfDefaultRerankK = 128;
+
+/// Deployment guidance threshold: below this many items the float posting
+/// lists fit in cache and the code-scan indirection buys nothing, so
+/// serving frontends (gnmr_serve, RecService auto-building on swap-in)
+/// skip quantization. BuildIvfIndex(..., quantize=true) itself quantizes
+/// any catalogue — tests and offline tooling legitimately compress small
+/// ones.
+inline constexpr int64_t kIvfQuantizeMinItems = 2048;
+
 }  // namespace tensor
 }  // namespace gnmr
 

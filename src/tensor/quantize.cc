@@ -1,0 +1,49 @@
+#include "src/tensor/quantize.h"
+
+#include <cmath>
+
+namespace gnmr {
+namespace tensor {
+namespace quant {
+
+float QuantizeRowI8(const float* row, int64_t m, int8_t* codes) {
+  float maxabs = 0.0f;
+  for (int64_t j = 0; j < m; ++j) {
+    const float a = std::fabs(row[j]);
+    if (a > maxabs) maxabs = a;
+  }
+  if (maxabs == 0.0f) {
+    for (int64_t j = 0; j < m; ++j) codes[j] = 0;
+    return 0.0f;
+  }
+  const float scale = maxabs / static_cast<float>(kI8QuantMaxCode);
+  const float inv = 1.0f / scale;
+  for (int64_t j = 0; j < m; ++j) {
+    // lrintf honours the default round-to-nearest-even mode; the clamp
+    // keeps -128 (and NaN's unspecified lrintf result) out of the code
+    // space so the signed dot is saturation-free on every kernel.
+    long code = std::lrintf(row[j] * inv);
+    if (code > kI8QuantMaxCode) code = kI8QuantMaxCode;
+    if (code < -kI8QuantMaxCode) code = -kI8QuantMaxCode;
+    codes[j] = static_cast<int8_t>(code);
+  }
+  return scale;
+}
+
+void QuantizeRowsI8(const float* rows, int64_t n, int64_t m, int8_t* codes,
+                    float* scales) {
+  for (int64_t i = 0; i < n; ++i) {
+    scales[i] = QuantizeRowI8(rows + i * m, m, codes + i * m);
+  }
+}
+
+QuantizedQuery QuantizeQueryI8(const float* row, int64_t m) {
+  QuantizedQuery q;
+  q.codes.resize(static_cast<size_t>(m));
+  q.scale = QuantizeRowI8(row, m, q.codes.data());
+  return q;
+}
+
+}  // namespace quant
+}  // namespace tensor
+}  // namespace gnmr

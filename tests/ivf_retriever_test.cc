@@ -21,7 +21,9 @@
 #include "src/serve/ivf_retriever.h"
 #include "src/serve/rec_service.h"
 #include "src/tensor/backend.h"
+#include "src/tensor/kernel_tunables.h"
 #include "src/tensor/kmeans.h"
+#include "src/tensor/quantize.h"
 #include "src/util/rng.h"
 
 namespace gnmr {
@@ -495,6 +497,174 @@ TEST(IvfRetrieverTest, ProbeSelectionDeterministicAcrossBackends) {
     for (int64_t u = 0; u < model->num_users; ++u) {
       ExpectExactlyEqual(ivf.RetrieveTopN(u, 10),
                          want[static_cast<size_t>(u)]);
+    }
+  }
+}
+
+// ------------------------------------------------------ the quantized tier --
+
+TEST(IvfQuantizedTest, BuildAttachesCodesInPostingOrder) {
+  core::ServingModel m = ClusteredModel(8, 256, 8, 4, 73);
+  ASSERT_TRUE(core::BuildIvfIndex(&m, 4, /*quantize=*/true).ok());
+  ASSERT_TRUE(m.ivf->has_codes());
+  const int64_t width = m.embeddings.cols();
+  ASSERT_EQ(static_cast<int64_t>(m.ivf->codes.size()), m.num_items * width);
+  ASSERT_EQ(static_cast<int64_t>(m.ivf->code_scales.size()), m.num_items);
+  // The codes at posting position p quantize item list_items[p]'s row —
+  // NOT item p's row — so each probed list streams contiguously.
+  const float* item_base = m.embeddings.data() + m.num_users * width;
+  for (int64_t pos : {int64_t{0}, int64_t{100}, m.num_items - 1}) {
+    const int64_t item = m.ivf->list_items[static_cast<size_t>(pos)];
+    std::vector<int8_t> want(static_cast<size_t>(width));
+    const float scale = tensor::quant::QuantizeRowI8(
+        item_base + item * width, width, want.data());
+    EXPECT_EQ(scale, m.ivf->code_scales.data()[pos]) << "pos " << pos;
+    for (int64_t j = 0; j < width; ++j) {
+      EXPECT_EQ(want[static_cast<size_t>(j)],
+                m.ivf->codes.data()[pos * width + j])
+          << "pos " << pos << " lane " << j;
+    }
+  }
+  // BuildIvfIndex without the flag attaches no codes.
+  core::ServingModel plain = ClusteredModel(8, 256, 8, 4, 73);
+  ASSERT_TRUE(core::BuildIvfIndex(&plain, 4).ok());
+  EXPECT_FALSE(plain.ivf->has_codes());
+}
+
+TEST(IvfQuantizedTest, MatchesFloatWhenRerankCoversScan) {
+  // With rerank_k >= every scanned candidate, phase 2 re-scores the whole
+  // probed set exactly — so the output must be BITWISE identical to the
+  // float IVF scan at the same nprobe: quantization only decides who
+  // reaches the pool, and here everybody does.
+  core::ServingModel m = ClusteredModel(24, 512, 8, 8, 79);
+  ASSERT_TRUE(core::BuildIvfIndex(&m, 8, /*quantize=*/true).ok());
+  auto model = std::make_shared<const core::ServingModel>(std::move(m));
+  auto seen = std::make_shared<const serve::SeenItems>(
+      MakeSeen(model->num_users, model->num_items));
+  IvfRetriever floaty(model, seen, /*nprobe=*/3, ItemShardMode::kOff);
+  IvfRetriever quant(model, seen, /*nprobe=*/3, ItemShardMode::kOff,
+                     /*quantized=*/true, /*rerank_k=*/512);
+  ASSERT_TRUE(quant.quantized());
+  EXPECT_EQ(quant.rerank_k(), 512);
+  for (int64_t user = 0; user < model->num_users; ++user) {
+    ExpectExactlyEqual(quant.RetrieveTopN(user, 10),
+                       floaty.RetrieveTopN(user, 10));
+  }
+}
+
+TEST(IvfQuantizedTest, QuantizedDegradesToFloatWithoutCodes) {
+  // quantized = true against a codeless index serves the float path (the
+  // effective state is exposed, nothing aborts).
+  int64_t tied_lo = 0, tied_hi = 0;
+  auto model = TiedIvfModel(&tied_lo, &tied_hi);  // built without codes
+  IvfRetriever quant(model, nullptr, /*nprobe=*/3, ItemShardMode::kOff,
+                     /*quantized=*/true);
+  EXPECT_FALSE(quant.quantized());
+  EXPECT_EQ(quant.rerank_k(), tensor::kIvfDefaultRerankK);
+  IvfRetriever floaty(model, nullptr, /*nprobe=*/3, ItemShardMode::kOff);
+  ExpectExactlyEqual(quant.RetrieveTopN(0, 10), floaty.RetrieveTopN(0, 10));
+  EXPECT_EQ(quant.Stats().scanned_code_bytes, 0u);
+}
+
+TEST(IvfQuantizedTest, RecallAndBandwidthGateAtPinnedConfig) {
+  // The acceptance bar for the quantized tier, at its pinned config:
+  // 8192 items x width 32, nlist 64, nprobe 16, rerank_k 64, k 10. The
+  // two-phase scan must keep recall@10 >= 0.95 against the EXACT scan
+  // while streaming <= 0.35x the bytes of the float IVF scan on the same
+  // queries (int8 codes + scales + the small rerank, vs full float rows).
+  core::ServingModel m = ClusteredModel(64, 8192, 32, 64, 83);
+  ASSERT_TRUE(core::BuildIvfIndex(&m, 64, /*quantize=*/true).ok());
+  auto model = std::make_shared<const core::ServingModel>(std::move(m));
+  ExactRetriever exact(model, nullptr, ItemShardMode::kOff);
+  IvfRetriever floaty(model, nullptr, /*nprobe=*/16, ItemShardMode::kOff);
+  IvfRetriever quant(model, nullptr, /*nprobe=*/16, ItemShardMode::kOff,
+                     /*quantized=*/true, /*rerank_k=*/64);
+  ASSERT_TRUE(quant.quantized());
+
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < model->num_users; ++u) users.push_back(u);
+  const double recall = eval::RetrievalRecallAtK(exact, quant, users, 10);
+  EXPECT_GE(recall, 0.95) << "quantized recall@10 collapsed";
+
+  for (int64_t u : users) floaty.RetrieveTopN(u, 10);
+  serve::RetrieverStats qs = quant.Stats();
+  serve::RetrieverStats fs = floaty.Stats();
+  // Identical probe sets (same ProbeClusters) -> identical coverage; the
+  // win is pure bytes-per-scanned-item.
+  EXPECT_EQ(qs.scanned_items, fs.scanned_items);
+  ASSERT_GT(fs.scanned_bytes, 0u);
+  const double ratio = static_cast<double>(qs.scanned_bytes) /
+                       static_cast<double>(fs.scanned_bytes);
+  EXPECT_LE(ratio, 0.35) << "quantized scan streams too many bytes";
+  EXPECT_GT(qs.scanned_code_bytes, 0u);
+  EXPECT_LT(qs.scanned_code_bytes, qs.scanned_bytes);
+}
+
+TEST(IvfQuantizedTest, QuantizedStatsFormulas) {
+  // scanned_bytes decomposes exactly: nlist centroid rows per request
+  // (the probe) + (width code bytes + one float scale) per scanned item
+  // + a full float row per reranked survivor; scanned_code_bytes is the
+  // middle term alone.
+  core::ServingModel m = ClusteredModel(16, 512, 8, 8, 87);
+  ASSERT_TRUE(core::BuildIvfIndex(&m, 8, /*quantize=*/true).ok());
+  auto model = std::make_shared<const core::ServingModel>(std::move(m));
+  const uint64_t width = static_cast<uint64_t>(model->embeddings.cols());
+  const int64_t rerank_k = 32;
+  IvfRetriever quant(model, nullptr, /*nprobe=*/2, ItemShardMode::kOff,
+                     /*quantized=*/true, rerank_k);
+  const std::vector<int64_t> users = {0, 1, 2, 3};
+  for (int64_t u : users) quant.RetrieveTopN(u, 10);
+  serve::RetrieverStats s = quant.Stats();
+  EXPECT_EQ(s.requests, users.size());
+  EXPECT_EQ(s.probed_clusters, users.size() * 2);
+  EXPECT_GT(s.scanned_items, 0u);
+  EXPECT_EQ(s.scanned_code_bytes,
+            s.scanned_items * (width + sizeof(float)));
+  EXPECT_EQ(s.scanned_bytes,
+            s.requests * static_cast<uint64_t>(quant.nlist()) * width *
+                    sizeof(float) +
+                s.scanned_code_bytes +
+                s.reranked_items * width * sizeof(float));
+  EXPECT_LE(s.reranked_items,
+            s.requests * static_cast<uint64_t>(rerank_k));
+  EXPECT_GE(s.reranked_items, s.requests * 10u);  // pool never below k
+}
+
+TEST(IvfQuantizedTest, DeterministicAcrossBackendsAndShardModes) {
+  // Integer dots are exact everywhere, the dequantization is one pinned
+  // float expression, the pool is a total-order top set, and the rerank
+  // is the lane-partial contract — so EVERY registered backend (the
+  // non-bit-exact blas backend included: it inherits the serial scan
+  // ops), at every shard mode, must reproduce the reference bitwise.
+  core::ServingModel m = ClusteredModel(24, 512, 8, 8, 89);
+  ASSERT_TRUE(core::BuildIvfIndex(&m, 8, /*quantize=*/true).ok());
+  auto model = std::make_shared<const core::ServingModel>(std::move(m));
+  auto seen = std::make_shared<const serve::SeenItems>(
+      MakeSeen(model->num_users, model->num_items));
+  IvfRetriever reference(model, seen, /*nprobe=*/3, ItemShardMode::kOff,
+                         /*quantized=*/true);
+  ASSERT_TRUE(reference.quantized());
+  std::vector<std::vector<RecEntry>> want;
+  std::vector<int64_t> all_users;
+  for (int64_t u = 0; u < model->num_users; ++u) {
+    want.push_back(reference.RetrieveTopN(u, 10));
+    all_users.push_back(u);
+  }
+  for (const tensor::KernelBackend* backend : tensor::AllBackends()) {
+    tensor::ScopedBackend scoped(backend->name());
+    for (ItemShardMode mode : {ItemShardMode::kOff, ItemShardMode::kOn}) {
+      IvfRetriever quant(model, seen, /*nprobe=*/3, mode,
+                         /*quantized=*/true);
+      for (int64_t u = 0; u < model->num_users; ++u) {
+        ExpectExactlyEqual(quant.RetrieveTopN(u, 10),
+                           want[static_cast<size_t>(u)]);
+      }
+      // Batch fan-out must not change per-user results either.
+      std::vector<std::vector<RecEntry>> batch =
+          quant.RetrieveBatch(all_users, 10);
+      for (size_t u = 0; u < batch.size(); ++u) {
+        ExpectExactlyEqual(batch[u], want[u]);
+      }
     }
   }
 }

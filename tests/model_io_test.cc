@@ -145,6 +145,17 @@ void ExpectSameModel(const ServingModel& a, const ServingModel& b) {
     for (int64_t i = 0; i < ai.centroids.numel(); ++i) EXPECT_EQ(ac[i], bc[i]);
     EXPECT_EQ(ai.list_offsets, bi.list_offsets);
     EXPECT_EQ(ai.list_items, bi.list_items);
+    ASSERT_EQ(ai.has_codes(), bi.has_codes());
+    if (ai.has_codes()) {
+      ASSERT_EQ(ai.codes.size(), bi.codes.size());
+      for (int64_t i = 0; i < ai.codes.size(); ++i) {
+        EXPECT_EQ(ai.codes.data()[i], bi.codes.data()[i]);
+      }
+      ASSERT_EQ(ai.code_scales.size(), bi.code_scales.size());
+      for (int64_t i = 0; i < ai.code_scales.size(); ++i) {
+        EXPECT_EQ(ai.code_scales.data()[i], bi.code_scales.data()[i]);
+      }
+    }
   }
 }
 
@@ -202,6 +213,8 @@ TEST(ModelIoV3Test, CrossVersionRoundTripMatrix) {
   ServingModel plain = ExportServingModel(trainer.model());
   ServingModel indexed = ExportServingModel(trainer.model());
   ASSERT_TRUE(BuildIvfIndex(&indexed, 8).ok());
+  ServingModel quantized = ExportServingModel(trainer.model());
+  ASSERT_TRUE(BuildIvfIndex(&quantized, 8, /*quantize=*/true).ok());
 
   struct Case {
     const char* name;
@@ -214,6 +227,11 @@ TEST(ModelIoV3Test, CrossVersionRoundTripMatrix) {
       {"v2-heap", &indexed, false, false},
       {"v3-heap", &plain, true, true},
       {"v3-ivf", &indexed, true, true},
+      // A model carrying codes always lands in the v4 container: the
+      // explicit v3 writer picks the magic from has_codes, and the
+      // classic SaveServingModel delegates to it.
+      {"v4-quant", &quantized, true, true},
+      {"v4-quant-delegated", &quantized, false, true},
   };
   for (const Case& c : cases) {
     SCOPED_TRACE(c.name);
@@ -285,6 +303,128 @@ TEST(ModelIoV3Test, RejectsStructuralDamage) {
   ASSERT_TRUE(util::WriteStringToFile(path, bad_offset).ok());
   EXPECT_FALSE(LoadServingModel(path).ok());
   EXPECT_FALSE(LoadServingModelMapped(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---- v4 container: int8 posting-list codes --------------------------------
+
+ServingModel TinyQuantModel() {
+  ServingModel m = TinyModel();
+  GNMR_CHECK(BuildIvfIndex(&m, 2, /*quantize=*/true).ok());
+  GNMR_CHECK(m.ivf->has_codes());
+  return m;
+}
+
+TEST(ModelIoV4Test, V4LayoutMagicAndSections) {
+  ServingModel m = TinyQuantModel();
+  std::string path = testing::TempDir() + "/gnmr_v4_layout.bin";
+  ASSERT_TRUE(SaveServingModelV3(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  const std::string& bytes = blob.value();
+  ASSERT_EQ(bytes.substr(0, 8), "GNMRSM04");
+  int64_t header[4];
+  std::memcpy(header, bytes.data() + 8, sizeof(header));
+  EXPECT_EQ(header[0], m.num_users);
+  EXPECT_EQ(header[1], m.num_items);
+  EXPECT_EQ(header[2], m.embeddings.cols());
+  ASSERT_EQ(header[3], 6);  // embeddings + 3 index sections + codes + scales
+  for (int64_t e = 0; e < 6; ++e) {
+    int64_t entry[4];  // {id, offset, length, crc}
+    std::memcpy(entry, bytes.data() + 8 + sizeof(header) + e * sizeof(entry),
+                sizeof(entry));
+    EXPECT_EQ(entry[0], e + 1) << "section ids are 1..6 in order";
+    EXPECT_EQ(entry[1] % 64, 0) << "payload " << e << " not 64-byte aligned";
+    if (entry[0] == 5) {
+      EXPECT_EQ(entry[2], m.num_items * m.embeddings.cols());  // int8 codes
+    }
+    if (entry[0] == 6) {
+      EXPECT_EQ(entry[2],
+                m.num_items * static_cast<int64_t>(sizeof(float)));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV4Test, RejectsCorruptOrTruncatedCodeSection) {
+  ServingModel m = TinyQuantModel();
+  std::string path = testing::TempDir() + "/gnmr_v4_corrupt.bin";
+  ASSERT_TRUE(SaveServingModelV3(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  const std::string& good = blob.value();
+
+  // Flip one bit inside the codes payload (section id 5): the CRC must
+  // catch it in the heap loader and the verifying mapped loader; the lazy
+  // mapped loader stays structural-only by design.
+  int64_t codes_entry[4];
+  std::memcpy(codes_entry, good.data() + 8 + 4 * 8 + 4 * 4 * 8,
+              sizeof(codes_entry));
+  ASSERT_EQ(codes_entry[0], 5);
+  std::string corrupt = good;
+  corrupt[static_cast<size_t>(codes_entry[1])] ^= 0x20;
+  ASSERT_TRUE(util::WriteStringToFile(path, corrupt).ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path, /*verify_checksums=*/true).ok());
+  EXPECT_TRUE(LoadServingModelMapped(path, /*verify_checksums=*/false).ok());
+
+  // Truncation inside the scales payload, the codes payload, and the
+  // section table.
+  for (size_t keep :
+       {good.size() - 3, static_cast<size_t>(codes_entry[1]) + 2,
+        size_t{8 + 4 * 8 + 5 * 4 * 8}}) {
+    ASSERT_TRUE(util::WriteStringToFile(path, good.substr(0, keep)).ok());
+    EXPECT_FALSE(LoadServingModel(path).ok()) << "keep=" << keep;
+    EXPECT_FALSE(LoadServingModelMapped(path).ok()) << "keep=" << keep;
+  }
+
+  // A v4 magic on a codeless container is structurally invalid: the v4
+  // section count is pinned to exactly 6.
+  ServingModel codeless = TinyModel();
+  ASSERT_TRUE(SaveServingModelV3(codeless, path).ok());
+  auto v3_blob = util::ReadFileToString(path);
+  ASSERT_TRUE(v3_blob.ok());
+  std::string relabeled = v3_blob.value();
+  relabeled[7] = '4';  // GNMRSM03 -> GNMRSM04
+  ASSERT_TRUE(util::WriteStringToFile(path, relabeled).ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV4Test, QuantizedRoundTripServesIdentically) {
+  // End to end: build quantized, save (the classic entry point delegates
+  // to the v4 writer), reload both ways, and serve — the two-phase scan
+  // must produce bitwise-identical output from heap and mapped copies.
+  GnmrTrainer trainer = TrainedTrainer();
+  trainer.model().RefreshInferenceCache();
+  ServingModel original = ExportServingModel(trainer.model());
+  ASSERT_TRUE(BuildIvfIndex(&original, 8, /*quantize=*/true).ok());
+  std::string path = testing::TempDir() + "/gnmr_v4_serve.bin";
+  ASSERT_TRUE(SaveServingModel(original, path).ok());
+
+  auto heap_loaded = LoadServingModel(path);
+  auto mapped_loaded = LoadServingModelMapped(path);
+  ASSERT_TRUE(heap_loaded.ok()) << heap_loaded.status().ToString();
+  ASSERT_TRUE(mapped_loaded.ok()) << mapped_loaded.status().ToString();
+  ASSERT_TRUE(mapped_loaded.value().is_mapped());
+  ExpectSameModel(original, heap_loaded.value());
+  ExpectSameModel(original, mapped_loaded.value());
+  auto heap = std::make_shared<const ServingModel>(
+      std::move(heap_loaded).value());
+  auto mapped = std::make_shared<const ServingModel>(
+      std::move(mapped_loaded).value());
+  serve::IvfRetriever q_heap(heap, nullptr, /*nprobe=*/4,
+                             serve::ItemShardMode::kAuto,
+                             /*quantized=*/true);
+  serve::IvfRetriever q_mapped(mapped, nullptr, /*nprobe=*/4,
+                               serve::ItemShardMode::kAuto,
+                               /*quantized=*/true);
+  ASSERT_TRUE(q_heap.quantized());
+  ASSERT_TRUE(q_mapped.quantized());
+  for (int64_t u : {0, 1, 5, 9}) {
+    EXPECT_EQ(q_heap.RetrieveTopN(u, 10), q_mapped.RetrieveTopN(u, 10));
+  }
   std::remove(path.c_str());
 }
 

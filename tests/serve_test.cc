@@ -21,6 +21,8 @@
 #include "src/serve/rec_service.h"
 #include "src/serve/seen_items.h"
 #include "src/serve/exact_retriever.h"
+#include "src/serve/ivf_retriever.h"
+#include "src/tensor/kernel_tunables.h"
 
 namespace gnmr {
 namespace serve {
@@ -500,6 +502,118 @@ TEST(RecServiceTest, LoadAndSwapFromArtifact) {
   ExpectExactlyEqual(service.Recommend(2, 4), BruteForceTopN(*model_b, 2, 4));
   std::remove(bad.c_str());
   EXPECT_FALSE(service.LoadAndSwap("/nonexistent/model.bin").ok());
+}
+
+// ------------------------------------------------------ quantized routing ----
+
+TEST(RecServiceQuantizedTest, QuantizedOptionsRouteThroughCodeScan) {
+  core::ServingModel m = *RandomModel(8, 256, 8, 611);
+  ASSERT_TRUE(core::BuildIvfIndex(&m, 8, /*quantize=*/true).ok());
+  auto model = std::make_shared<const core::ServingModel>(std::move(m));
+  RecService::Options options;
+  options.retriever = RetrieverKind::kIvf;
+  options.nprobe = 3;
+  options.quantized = true;
+  options.rerank_k = 16;
+  RecService service(model, nullptr, options);
+  EXPECT_STREQ(service.retriever()->name(), "ivf");
+  auto ivf =
+      std::dynamic_pointer_cast<const IvfRetriever>(service.retriever());
+  ASSERT_NE(ivf, nullptr);
+  EXPECT_TRUE(ivf->quantized());
+  EXPECT_EQ(ivf->rerank_k(), 16);
+  // Responses come from the two-phase scan, bitwise.
+  IvfRetriever want(model, nullptr, /*nprobe=*/3, ItemShardMode::kAuto,
+                    /*quantized=*/true, /*rerank_k=*/16);
+  for (int64_t u = 0; u < 8; ++u) {
+    ExpectExactlyEqual(service.Recommend(u, 10), want.RetrieveTopN(u, 10));
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_GT(stats.retrieval.scanned_code_bytes, 0u);
+  EXPECT_GT(stats.retrieval.reranked_items, 0u);
+  EXPECT_GT(stats.retrieval.scanned_bytes,
+            stats.retrieval.scanned_code_bytes);
+}
+
+TEST(RecServiceQuantizedTest, HotSwapKeepsQuantizedTier) {
+  core::ServingModel a = *RandomModel(8, 256, 8, 613);
+  ASSERT_TRUE(core::BuildIvfIndex(&a, 8, /*quantize=*/true).ok());
+  core::ServingModel b = *RandomModel(8, 256, 8, 617);
+  ASSERT_TRUE(core::BuildIvfIndex(&b, 8, /*quantize=*/true).ok());
+  auto model_a = std::make_shared<const core::ServingModel>(std::move(a));
+  auto model_b = std::make_shared<const core::ServingModel>(std::move(b));
+  RecService::Options options;
+  options.retriever = RetrieverKind::kIvf;
+  options.nprobe = 3;
+  options.quantized = true;
+  RecService service(model_a, nullptr, options);
+  service.Recommend(2, 10);
+  service.SwapModel(model_b);
+  EXPECT_EQ(service.model_version(), 1u);
+  auto ivf =
+      std::dynamic_pointer_cast<const IvfRetriever>(service.retriever());
+  ASSERT_NE(ivf, nullptr);
+  EXPECT_TRUE(ivf->quantized()) << "swap must keep the code-scan tier";
+  IvfRetriever want(model_b, nullptr, /*nprobe=*/3, ItemShardMode::kAuto,
+                    /*quantized=*/true);
+  ExpectExactlyEqual(service.Recommend(2, 10), want.RetrieveTopN(2, 10));
+
+  // A codeless-index snapshot on a quantized service degrades to the
+  // float scan silently — serving never stops.
+  core::ServingModel c = *RandomModel(8, 256, 8, 619);
+  ASSERT_TRUE(core::BuildIvfIndex(&c, 8).ok());
+  service.SwapModel(std::make_shared<const core::ServingModel>(std::move(c)));
+  auto degraded =
+      std::dynamic_pointer_cast<const IvfRetriever>(service.retriever());
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_FALSE(degraded->quantized());
+  EXPECT_FALSE(service.Recommend(2, 10).empty());
+}
+
+TEST(RecServiceQuantizedTest, LoadAndSwapAutoQuantizesAtThreshold) {
+  // A v1 artifact at the deployment threshold: LoadAndSwap builds the
+  // index AND the codes, so the swapped-in snapshot keeps serving the
+  // quantized tier.
+  const int64_t big_items = tensor::kIvfQuantizeMinItems;
+  auto big = RandomModel(4, big_items, 8, 701);
+  std::string path = testing::TempDir() + "/serve_quant_v1.bin";
+  ASSERT_TRUE(core::SaveServingModel(*big, path).ok());  // v1: no index
+  core::ServingModel first = *big;
+  ASSERT_TRUE(core::BuildIvfIndex(&first, 8, /*quantize=*/true).ok());
+  RecService::Options options;
+  options.retriever = RetrieverKind::kIvf;
+  options.nlist = 8;
+  options.nprobe = 2;
+  options.quantized = true;
+  RecService service(
+      std::make_shared<const core::ServingModel>(std::move(first)), nullptr,
+      options);
+  ASSERT_TRUE(service.LoadAndSwap(path).ok());
+  auto ivf =
+      std::dynamic_pointer_cast<const IvfRetriever>(service.retriever());
+  ASSERT_NE(ivf, nullptr);
+  EXPECT_TRUE(ivf->quantized())
+      << "catalogue at kIvfQuantizeMinItems must auto-quantize on reload";
+  EXPECT_FALSE(service.Recommend(1, 10).empty());
+  std::remove(path.c_str());
+
+  // Below the threshold the rebuilt index carries no codes: the quantized
+  // option is deployment policy, not a hard requirement.
+  auto small = RandomModel(4, 256, 8, 703);
+  std::string small_path = testing::TempDir() + "/serve_quant_small_v1.bin";
+  ASSERT_TRUE(core::SaveServingModel(*small, small_path).ok());
+  core::ServingModel sfirst = *small;
+  ASSERT_TRUE(core::BuildIvfIndex(&sfirst, 8, /*quantize=*/true).ok());
+  RecService sservice(
+      std::make_shared<const core::ServingModel>(std::move(sfirst)), nullptr,
+      options);
+  ASSERT_TRUE(sservice.LoadAndSwap(small_path).ok());
+  auto sivf =
+      std::dynamic_pointer_cast<const IvfRetriever>(sservice.retriever());
+  ASSERT_NE(sivf, nullptr);
+  EXPECT_FALSE(sivf->quantized());
+  EXPECT_FALSE(sservice.Recommend(1, 10).empty());
+  std::remove(small_path.c_str());
 }
 
 TEST(RecServiceTest, ConcurrentRecommendUnderSwaps) {
