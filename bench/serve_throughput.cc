@@ -47,6 +47,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serve/exact_retriever.h"
+#include "src/serve/hnsw_retriever.h"
 #include "src/serve/ivf_retriever.h"
 #include "src/serve/rec_service.h"
 #include "src/serve/zipf_stream.h"
@@ -307,6 +308,87 @@ BENCHMARK(BM_IvfQuantizedTopN)
     ->Args({8, 128})
     ->Args({16, 64})
     ->Args({16, 128});
+
+// GlobalIvfModel's embeddings with the HNSW graph attached alongside the
+// IVF index (each strategy reads its own): identical geometry, so the
+// graph-walk timings compare directly against the float and quantized
+// IVF scans above.
+std::shared_ptr<const core::ServingModel> GlobalHnswModel() {
+  static std::shared_ptr<const core::ServingModel> model = [] {
+    core::ServingModel m = *GlobalIvfModel();
+    GNMR_CHECK(core::BuildHnswIndex(&m, /*m=*/16, /*ef_construction=*/128)
+                   .ok());
+    return std::make_shared<const core::ServingModel>(std::move(m));
+  }();
+  return model;
+}
+
+// Recall@k of the graph walk vs the exact scan at one ef_search, cached
+// like the IVF recalls (same 256-user sample, so the counters line up
+// across strategies).
+double MeasuredHnswRecall(int64_t ef_search, int64_t k) {
+  static std::map<std::pair<int64_t, int64_t>, double> cache;
+  const auto key = std::make_pair(ef_search, k);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  serve::ExactRetriever exact(GlobalHnswModel(), nullptr,
+                              serve::ItemShardMode::kOff);
+  serve::HnswRetriever hnsw(GlobalHnswModel(), nullptr, ef_search);
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 256; ++u) users.push_back((u * 131) % kUsers);
+  const double recall = eval::RetrievalRecallAtK(exact, hnsw, users, k);
+  cache[key] = recall;
+  return recall;
+}
+
+// The graph tier at k = 10: greedy descent + level-0 beam instead of a
+// posting-list scan. eval_frac is the per-query distance-evaluation share
+// of the catalogue (the sub-linearity ratio — compare against the IVF
+// scanned_frac at matched recall_at_10), hops_per_q the nodes expanded.
+void BM_HnswTopN(benchmark::State& state) {
+  const int64_t k = 10;
+  const int64_t ef_search = state.range(0);
+  serve::HnswRetriever retriever(GlobalHnswModel(), nullptr, ef_search);
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveTopN(user, k));
+    user = (user + 1) % kUsers;
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+  serve::RetrieverStats stats = retriever.Stats();
+  state.counters["ef_search"] = static_cast<double>(ef_search);
+  state.counters["recall_at_10"] = MeasuredHnswRecall(ef_search, k);
+  state.counters["eval_frac"] =
+      stats.requests == 0
+          ? 0.0
+          : static_cast<double>(stats.scanned_items) /
+                (static_cast<double>(stats.requests) *
+                 static_cast<double>(kItems));
+  state.counters["hops_per_q"] =
+      stats.requests == 0 ? 0.0
+                          : static_cast<double>(stats.hops) /
+                                static_cast<double>(stats.requests);
+}
+BENCHMARK(BM_HnswTopN)->Arg(32)->Arg(64)->Arg(128);
+
+// Batched HNSW retrieval: sequential per-user walks fanned across user
+// blocks, the graph analogue of BM_IvfBatchRetrieval.
+void BM_HnswBatchRetrieval(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const int64_t ef_search = 64;
+  serve::HnswRetriever retriever(GlobalHnswModel(), nullptr, ef_search);
+  std::vector<int64_t> users(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    users[static_cast<size_t>(i)] = (i * 131) % kUsers;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retriever.RetrieveBatch(users, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);  // users/sec
+  state.counters["ef_search"] = static_cast<double>(ef_search);
+  state.counters["recall_at_10"] = MeasuredHnswRecall(ef_search, 10);
+}
+BENCHMARK(BM_HnswBatchRetrieval)->Arg(64)->Arg(256);
 
 // Batched IVF retrieval: per-user probe + scan fanned across user blocks
 // (the approximate analogue of BM_BatchRetrieval).

@@ -9,8 +9,9 @@
 //                               [--save=path] [--save_v3=path]
 //                               [--backend=serial|omp|blocked|sharded|simd]
 //                               [--shard_workers=N]
-//                               [--retriever=exact|ivf] [--nlist=N]
+//                               [--retriever=exact|ivf|hnsw] [--nlist=N]
 //                               [--nprobe=N] [--quantized] [--rerank_k=N]
+//                               [--hnsw_m=N] [--ef_search=N]
 //                               [--metrics_json=path] [--trace]
 //                               [--trace_json=path] [--trace_sample=N]
 //
@@ -42,6 +43,17 @@
 // container; an artifact loaded without codes serves float silently.
 // --rerank_k= bounds the exact-rerank pool (0 =
 // tensor::kIvfDefaultRerankK).
+//
+// --retriever=hnsw serves through the layered small-world graph walk
+// (approximate, sub-linear per query; see src/serve/hnsw_retriever.h):
+// --hnsw_m= sets the neighbor cap used when the graph must be built here
+// (0 = tensor::kHnswDefaultM), --ef_search= the level-0 beam width per
+// request (0 = tensor::kHnswDefaultEfSearch). An artifact loaded with
+// --model= reuses its embedded graph when it has one; --save= then writes
+// the v5 container carrying it. Catalogues smaller than
+// tensor::kHnswMinItemsForIndex fall back to the exact scan. The final
+// report adds hops and distance evaluations per query next to the MB
+// streamed.
 //
 // Observability (src/obs/): --metrics_json= dumps the process metrics
 // registry (service counters as gauges + the per-phase latency
@@ -164,6 +176,8 @@ int main(int argc, char** argv) {
   int64_t nprobe = flags.GetInt("nprobe", 0);
   bool quantized = flags.GetBool("quantized", false);
   int64_t rerank_k = flags.GetInt("rerank_k", 0);
+  int64_t hnsw_m = flags.GetInt("hnsw_m", 0);
+  int64_t ef_search = flags.GetInt("ef_search", 0);
   std::string metrics_json = flags.GetString("metrics_json", "");
   std::string trace_json = flags.GetString("trace_json", "");
   int64_t trace_sample = flags.GetInt("trace_sample", 16);
@@ -175,8 +189,9 @@ int main(int argc, char** argv) {
   if (flags.Has("backend")) {
     tensor::SetBackend(flags.GetString("backend", ""));
   }
-  if (retriever_name != "exact" && retriever_name != "ivf") {
-    std::fprintf(stderr, "unknown --retriever=%s (exact|ivf)\n",
+  if (retriever_name != "exact" && retriever_name != "ivf" &&
+      retriever_name != "hnsw") {
+    std::fprintf(stderr, "unknown --retriever=%s (exact|ivf|hnsw)\n",
                  retriever_name.c_str());
     return 1;
   }
@@ -200,11 +215,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     artifact = std::move(loaded).value();
-    std::printf("loaded snapshot %s (%lld users x %lld items%s%s)\n",
+    std::printf("loaded snapshot %s (%lld users x %lld items%s%s%s)\n",
                 model_path.c_str(),
                 static_cast<long long>(artifact.num_users),
                 static_cast<long long>(artifact.num_items),
                 artifact.has_ivf() ? ", with IVF index" : "",
+                artifact.has_hnsw() ? ", with HNSW graph" : "",
                 artifact.is_mapped() ? ", mmap zero-copy" : "");
   } else {
     trainer = std::make_unique<core::GnmrTrainer>(config, split.train);
@@ -260,9 +276,39 @@ int main(int argc, char** argv) {
                       : "");
     }
   }
+  if (retriever_name == "hnsw") {
+    if (artifact.num_items < tensor::kHnswMinItemsForIndex) {
+      std::printf("catalogue of %lld items is below "
+                  "kHnswMinItemsForIndex=%lld; serving exact instead\n",
+                  static_cast<long long>(artifact.num_items),
+                  static_cast<long long>(tensor::kHnswMinItemsForIndex));
+    } else {
+      // Rebuild when the artifact has no graph or --hnsw_m overrides the
+      // neighbor cap it was built with.
+      if (!artifact.has_hnsw() || flags.Has("hnsw_m")) {
+        util::Status s =
+            core::BuildHnswIndex(&artifact, hnsw_m, /*ef_construction=*/0);
+        if (!s.ok()) {
+          std::fprintf(stderr, "BuildHnswIndex: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+      service_options.retriever = serve::RetrieverKind::kHnsw;
+      service_options.hnsw_m = hnsw_m;
+      service_options.ef_search = ef_search;
+      std::printf(
+          "HNSW graph: %lld levels, m=%lld, ef_construction=%lld, "
+          "ef_search=%lld per request\n",
+          static_cast<long long>(artifact.hnsw->num_levels),
+          static_cast<long long>(artifact.hnsw->m),
+          static_cast<long long>(artifact.hnsw->ef_construction),
+          static_cast<long long>(
+              ef_search > 0 ? ef_search : tensor::kHnswDefaultEfSearch));
+    }
+  }
   if (!save_path.empty()) {
-    // v1 without an index, v2 with one — so --retriever=ivf --save=
-    // upgrades an artifact in place.
+    // v1 without an index, v2 with one, v5 with an HNSW graph — so
+    // --retriever=ivf (or =hnsw) --save= upgrades an artifact in place.
     util::Status s = core::SaveServingModel(artifact, save_path);
     std::printf("saved artifact to %s: %s\n", save_path.c_str(),
                 s.ToString().c_str());
@@ -325,14 +371,25 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    if (service_options.retriever == serve::RetrieverKind::kHnsw) {
+      // Same for kHnsw: re-walk the refreshed embeddings into a new graph.
+      util::Status s =
+          core::BuildHnswIndex(&next, hnsw_m, /*ef_construction=*/0);
+      if (!s.ok()) {
+        std::fprintf(stderr, "BuildHnswIndex: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
     service.SwapModel(
         std::make_shared<const core::ServingModel>(std::move(next)));
-  } else if (service_options.retriever == serve::RetrieverKind::kIvf &&
-             flags.Has("nlist")) {
-    // --nlist forced a rebuild of the loaded artifact's index at startup;
-    // LoadAndSwap would re-read the disk artifact and quietly revert to
-    // its embedded cluster count, so swap the in-memory snapshot (which
-    // carries the rebuilt index) instead.
+  } else if ((service_options.retriever == serve::RetrieverKind::kIvf &&
+              flags.Has("nlist")) ||
+             (service_options.retriever == serve::RetrieverKind::kHnsw &&
+              flags.Has("hnsw_m"))) {
+    // --nlist (or --hnsw_m) forced a rebuild of the loaded artifact's
+    // index at startup; LoadAndSwap would re-read the disk artifact and
+    // quietly revert to its embedded parameters, so swap the in-memory
+    // snapshot (which carries the rebuilt index) instead.
     service.SwapModel(snapshot);
   } else {
     util::Status s = service.LoadAndSwap(model_path);
@@ -369,6 +426,17 @@ int main(int argc, char** argv) {
                 static_cast<double>(stats.retrieval.scanned_bytes) / 1e6,
                 static_cast<unsigned long long>(
                     stats.retrieval.probed_clusters));
+    if (stats.retrieval.hops > 0) {
+      std::printf("hnsw: %.1f hops/query, %.1f distance evals/query "
+                  "(%.2f%% of catalogue per query)\n",
+                  static_cast<double>(stats.retrieval.hops) /
+                      static_cast<double>(stats.retrieval.requests),
+                  static_cast<double>(stats.retrieval.scanned_items) /
+                      static_cast<double>(stats.retrieval.requests),
+                  100.0 * static_cast<double>(stats.retrieval.scanned_items) /
+                      (static_cast<double>(stats.retrieval.requests) *
+                       static_cast<double>(snapshot->num_items)));
+    }
     if (stats.retrieval.scanned_code_bytes > 0) {
       std::printf("quantized: %.1f MB of int8 codes streamed (%.1f%% of "
                   "scan traffic), %llu items reranked exactly\n",

@@ -1,8 +1,10 @@
 #include "src/core/model_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <queue>
 #include <utility>
 
 #include "src/obs/trace.h"
@@ -22,6 +24,7 @@ constexpr char kMagicV1[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '1'};
 constexpr char kMagicV2[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '2'};
 constexpr char kMagicV3[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '3'};
 constexpr char kMagicV4[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '4'};
+constexpr char kMagicV5[8] = {'G', 'N', 'M', 'R', 'S', 'M', '0', '5'};
 
 // v3 container layout constants. Payload sections start at 64-byte-
 // aligned file offsets so that, under a page-aligned mmap base, every
@@ -38,6 +41,14 @@ constexpr int64_t kSecIvfItems = 4;
 // v4 only: the quantized scan tier (posting-list position order).
 constexpr int64_t kSecIvfCodes = 5;
 constexpr int64_t kSecIvfScales = 6;
+// v5 only: the HNSW graph tier (meta, per-level CSR offsets, neighbors).
+constexpr int64_t kSecHnswMeta = 7;
+constexpr int64_t kSecHnswOffsets = 8;
+constexpr int64_t kSecHnswNeighbors = 9;
+constexpr int64_t kSecMaxId = 9;
+// The meta section's int64 payload: {m, ef_construction, entry_point,
+// num_levels}.
+constexpr int64_t kHnswMetaFields = 4;
 
 int64_t AlignUp64(int64_t offset) {
   return (offset + kV3Align - 1) / kV3Align * kV3Align;
@@ -133,12 +144,71 @@ std::string IvfProblem(const IvfIndex& ivf, int64_t num_items,
   return "";
 }
 
-// True if the first 8 bytes of `data` (size permitting) carry the v3 or
-// v4 container magic — the two formats ParseV3 understands.
+// Structural validation of the HNSW graph, mirroring IvfProblem: returns
+// a message ("" = sound) so the loader can surface a ParseError for a
+// corrupt neighbor section instead of aborting.
+std::string HnswProblem(const HnswIndex& hnsw, int64_t num_items) {
+  if (hnsw.m < 1) return "hnsw m invalid";
+  if (hnsw.ef_construction < 1) return "hnsw ef_construction invalid";
+  if (hnsw.num_levels < 1 ||
+      hnsw.num_levels > tensor::kHnswMaxLevel + 1) {
+    return "hnsw level count out of range";
+  }
+  if (hnsw.entry_point < 0 || hnsw.entry_point >= num_items) {
+    return "hnsw entry point out of range";
+  }
+  const int64_t stride = num_items + 1;
+  if (static_cast<int64_t>(hnsw.neighbor_offsets.size()) !=
+      hnsw.num_levels * stride) {
+    return "hnsw offset table size mismatch";
+  }
+  if (hnsw.neighbor_offsets.front() != 0 ||
+      hnsw.neighbor_offsets.back() !=
+          static_cast<int64_t>(hnsw.neighbors.size())) {
+    return "hnsw offsets do not span the neighbor array";
+  }
+  const int64_t num_edges = static_cast<int64_t>(hnsw.neighbors.size());
+  for (int64_t l = 0; l < hnsw.num_levels; ++l) {
+    // Level 0 keeps up to 2*m neighbors per node, upper levels m.
+    const int64_t cap = l == 0 ? 2 * hnsw.m : hnsw.m;
+    const int64_t base = l * stride;
+    // Levels must tile the neighbor array back to back: a gap between one
+    // level's end and the next level's start would leave edges no offset
+    // references (and monotonicity alone would not catch it).
+    if (l > 0 && hnsw.neighbor_offsets[static_cast<size_t>(base)] !=
+                     hnsw.neighbor_offsets[static_cast<size_t>(base - 1)]) {
+      return "hnsw levels not contiguous";
+    }
+    for (int64_t i = 0; i < num_items; ++i) {
+      const int64_t begin =
+          hnsw.neighbor_offsets[static_cast<size_t>(base + i)];
+      const int64_t end =
+          hnsw.neighbor_offsets[static_cast<size_t>(base + i) + 1];
+      if (begin > end) return "hnsw offsets not monotone";
+      // Bound every offset BEFORE walking the slice (same over-read guard
+      // as the IVF lists).
+      if (begin < 0 || end > num_edges) return "hnsw offset out of range";
+      if (end - begin > cap) return "hnsw degree over cap";
+      for (int64_t p = begin; p < end; ++p) {
+        const int64_t nb = hnsw.neighbors[static_cast<size_t>(p)];
+        if (nb < 0 || nb >= num_items) return "hnsw neighbor out of range";
+        if (nb == i) return "hnsw self edge";
+        if (p > begin && hnsw.neighbors[static_cast<size_t>(p) - 1] >= nb) {
+          return "hnsw neighbor list not ascending";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+// True if the first 8 bytes of `data` (size permitting) carry the v3, v4
+// or v5 container magic — the formats ParseV3 understands.
 bool HasV3FamilyMagic(const uint8_t* data, int64_t size) {
   if (size < static_cast<int64_t>(sizeof(kMagicV3))) return false;
   return std::memcmp(data, kMagicV3, sizeof(kMagicV3)) == 0 ||
-         std::memcmp(data, kMagicV4, sizeof(kMagicV4)) == 0;
+         std::memcmp(data, kMagicV4, sizeof(kMagicV4)) == 0 ||
+         std::memcmp(data, kMagicV5, sizeof(kMagicV5)) == 0;
 }
 
 // Parses a v3/v4 container from a contiguous byte range. With
@@ -155,6 +225,7 @@ util::Result<ServingModel> ParseV3(
   }
   GNMR_CHECK(HasV3FamilyMagic(base, file_size));
   const bool is_v4 = std::memcmp(base, kMagicV4, sizeof(kMagicV4)) == 0;
+  const bool is_v5 = std::memcmp(base, kMagicV5, sizeof(kMagicV5)) == 0;
   int64_t header[4];
   std::memcpy(header, base + 8, sizeof(header));
   ServingModel model;
@@ -165,10 +236,7 @@ util::Result<ServingModel> ParseV3(
   if (model.num_users <= 0 || model.num_items <= 0 || width <= 0) {
     return util::Status::ParseError("invalid dimensions in v3 header");
   }
-  // v3: just embeddings, or embeddings plus the three IVF sections. v4:
-  // those four plus the two quantized-code sections, always.
-  if (is_v4 ? section_count != 6
-            : (section_count != 1 && section_count != 4)) {
+  if (section_count < 1 || section_count > kSecMaxId) {
     return util::Status::ParseError("invalid v3 section count");
   }
   const int64_t table_end = kV3HeaderBytes + section_count * kV3EntryBytes;
@@ -180,14 +248,19 @@ util::Result<ServingModel> ParseV3(
               static_cast<size_t>(section_count * kV3EntryBytes));
 
   // The writer lays sections out back-to-back at the next 64-byte-aligned
-  // offset, in fixed id order, with nothing after the last one; enforce
-  // exactly that, which also rejects trailing bytes.
+  // offset, in ascending id order, with nothing after the last one;
+  // enforce exactly that, which also rejects trailing bytes. `sec` maps
+  // each known id to its entry (null = absent) for the checks below.
+  const SectionEntry* sec[kSecMaxId + 1] = {nullptr};
   int64_t expected_offset = AlignUp64(table_end);
+  int64_t prev_id = 0;
   for (int64_t i = 0; i < section_count; ++i) {
     const SectionEntry& e = entries[static_cast<size_t>(i)];
-    if (e.id != i + 1) {
+    if (e.id <= prev_id || e.id > kSecMaxId) {
       return util::Status::ParseError("unexpected v3 section id");
     }
+    prev_id = e.id;
+    sec[e.id] = &e;
     if (e.length < 0 || e.offset != expected_offset ||
         e.offset > file_size - e.length) {
       return util::Status::ParseError("v3 section out of bounds");
@@ -202,13 +275,36 @@ util::Result<ServingModel> ParseV3(
     return util::Status::ParseError("trailing bytes in " + path);
   }
 
+  // Tier presence: IVF travels as all three sections or none, codes as
+  // both or neither (and only on top of IVF), HNSW as all three or none —
+  // and the magic must match the content. v3: embeddings, optionally IVF.
+  // v4: exactly the six IVF + code sections. v5: an HNSW graph on top of
+  // any v3/v4 combination.
+  const bool has_ivf_secs = sec[kSecIvfCentroids] != nullptr;
+  const bool has_code_secs = sec[kSecIvfCodes] != nullptr;
+  const bool has_hnsw_secs = sec[kSecHnswMeta] != nullptr;
+  if (sec[kSecEmbeddings] == nullptr ||
+      has_ivf_secs != (sec[kSecIvfOffsets] != nullptr) ||
+      has_ivf_secs != (sec[kSecIvfItems] != nullptr) ||
+      has_code_secs != (sec[kSecIvfScales] != nullptr) ||
+      (has_code_secs && !has_ivf_secs) ||
+      has_hnsw_secs != (sec[kSecHnswOffsets] != nullptr) ||
+      has_hnsw_secs != (sec[kSecHnswNeighbors] != nullptr)) {
+    return util::Status::ParseError("incomplete v3 section set");
+  }
+  if (is_v5 ? !has_hnsw_secs
+            : (has_hnsw_secs || (is_v4 != has_code_secs))) {
+    return util::Status::ParseError("v3 magic does not match sections");
+  }
+
   const int64_t rows = model.num_users + model.num_items;
-  if (entries[0].length != rows * width * static_cast<int64_t>(sizeof(float))) {
+  if (sec[kSecEmbeddings]->length !=
+      rows * width * static_cast<int64_t>(sizeof(float))) {
     return util::Status::ParseError("v3 embeddings size mismatch");
   }
   int64_t nlist = 0;
-  if (section_count >= 4) {
-    const SectionEntry& off = entries[2];
+  if (has_ivf_secs) {
+    const SectionEntry& off = *sec[kSecIvfOffsets];
     if (off.length < 2 * static_cast<int64_t>(sizeof(int64_t)) ||
         off.length % static_cast<int64_t>(sizeof(int64_t)) != 0) {
       return util::Status::ParseError("v3 ivf offsets size mismatch");
@@ -217,22 +313,45 @@ util::Result<ServingModel> ParseV3(
     if (nlist < 1 || nlist > model.num_items) {
       return util::Status::ParseError("invalid v3 ivf nlist");
     }
-    if (entries[1].length !=
+    if (sec[kSecIvfCentroids]->length !=
         nlist * width * static_cast<int64_t>(sizeof(float))) {
       return util::Status::ParseError("v3 ivf centroids size mismatch");
     }
-    if (entries[3].length !=
+    if (sec[kSecIvfItems]->length !=
         model.num_items * static_cast<int64_t>(sizeof(int64_t))) {
       return util::Status::ParseError("v3 ivf items size mismatch");
     }
   }
-  if (section_count == 6) {
-    if (entries[4].length != model.num_items * width) {
+  if (has_code_secs) {
+    if (sec[kSecIvfCodes]->length != model.num_items * width) {
       return util::Status::ParseError("v4 ivf codes size mismatch");
     }
-    if (entries[5].length !=
+    if (sec[kSecIvfScales]->length !=
         model.num_items * static_cast<int64_t>(sizeof(float))) {
       return util::Status::ParseError("v4 ivf scales size mismatch");
+    }
+  }
+  int64_t hnsw_meta[kHnswMetaFields] = {0, 0, 0, 0};
+  if (has_hnsw_secs) {
+    if (sec[kSecHnswMeta]->length !=
+        kHnswMetaFields * static_cast<int64_t>(sizeof(int64_t))) {
+      return util::Status::ParseError("v5 hnsw meta size mismatch");
+    }
+    std::memcpy(hnsw_meta, base + sec[kSecHnswMeta]->offset,
+                sizeof(hnsw_meta));
+    const int64_t num_levels = hnsw_meta[3];
+    if (num_levels < 1 || num_levels > tensor::kHnswMaxLevel + 1) {
+      return util::Status::ParseError("invalid v5 hnsw level count");
+    }
+    if (sec[kSecHnswOffsets]->length !=
+        num_levels * (model.num_items + 1) *
+            static_cast<int64_t>(sizeof(int64_t))) {
+      return util::Status::ParseError("v5 hnsw offsets size mismatch");
+    }
+    if (sec[kSecHnswNeighbors]->length %
+            static_cast<int64_t>(sizeof(int64_t)) !=
+        0) {
+      return util::Status::ParseError("v5 hnsw neighbors size mismatch");
     }
   }
 
@@ -282,21 +401,35 @@ util::Result<ServingModel> ParseV3(
     return tensor::Storage<float>::View(p, n, keepalive);
   };
 
-  model.embeddings = float_view(entries[0], {rows, width});
-  if (section_count >= 4) {
+  model.embeddings = float_view(*sec[kSecEmbeddings], {rows, width});
+  if (has_ivf_secs) {
     auto ivf = std::make_shared<IvfIndex>();
-    ivf->centroids = float_view(entries[1], {nlist, width});
-    ivf->list_offsets = int_view(entries[2]);
-    ivf->list_items = int_view(entries[3]);
-    if (section_count == 6) {
-      ivf->codes = i8_view(entries[4]);
-      ivf->code_scales = f32_view(entries[5]);
+    ivf->centroids = float_view(*sec[kSecIvfCentroids], {nlist, width});
+    ivf->list_offsets = int_view(*sec[kSecIvfOffsets]);
+    ivf->list_items = int_view(*sec[kSecIvfItems]);
+    if (has_code_secs) {
+      ivf->codes = i8_view(*sec[kSecIvfCodes]);
+      ivf->code_scales = f32_view(*sec[kSecIvfScales]);
     }
     const std::string problem = IvfProblem(*ivf, model.num_items, width);
     if (!problem.empty()) {
       return util::Status::ParseError("corrupt ivf index: " + problem);
     }
     model.ivf = std::move(ivf);
+  }
+  if (has_hnsw_secs) {
+    auto hnsw = std::make_shared<HnswIndex>();
+    hnsw->m = hnsw_meta[0];
+    hnsw->ef_construction = hnsw_meta[1];
+    hnsw->entry_point = hnsw_meta[2];
+    hnsw->num_levels = hnsw_meta[3];
+    hnsw->neighbor_offsets = int_view(*sec[kSecHnswOffsets]);
+    hnsw->neighbors = int_view(*sec[kSecHnswNeighbors]);
+    const std::string problem = HnswProblem(*hnsw, model.num_items);
+    if (!problem.empty()) {
+      return util::Status::ParseError("corrupt hnsw graph: " + problem);
+    }
+    model.hnsw = std::move(hnsw);
   }
   if (!copy_into_owned) model.storage_file = std::move(keepalive);
   return model;
@@ -306,6 +439,11 @@ util::Result<ServingModel> ParseV3(
 
 void IvfIndex::CheckConsistent(int64_t num_items, int64_t width) const {
   const std::string problem = IvfProblem(*this, num_items, width);
+  GNMR_CHECK(problem.empty()) << problem;
+}
+
+void HnswIndex::CheckConsistent(int64_t num_items) const {
+  const std::string problem = HnswProblem(*this, num_items);
   GNMR_CHECK(problem.empty()) << problem;
 }
 
@@ -399,11 +537,366 @@ util::Status BuildIvfIndex(ServingModel* model, int64_t nlist,
   return util::Status::OK();
 }
 
+namespace {
+
+// A scored graph-build candidate under the serving total order (score
+// desc, ties by ascending item id) — the same contract as
+// serve::BetterThan, restated here because core cannot depend on serve.
+struct HnswCand {
+  int64_t id = 0;
+  float score = 0.0f;
+};
+
+bool HnswBetter(const HnswCand& a, const HnswCand& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+// splitmix64 of (item, kHnswLevelSeed): the level draw must be a pure
+// per-item function — independent of insertion order, backend and every
+// runtime knob — so the layer structure is reproducible by construction.
+uint64_t HnswItemHash(int64_t item) {
+  uint64_t z = static_cast<uint64_t>(item) + tensor::kHnswLevelSeed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Geometric level assignment: floor(-ln(u) / ln(m)) with u uniform in
+// (0, 1] from the item hash — each level keeps ~1/m of the one below.
+int64_t HnswLevelForItem(int64_t item, double inv_log_m) {
+  const uint64_t bits = HnswItemHash(item) >> 11;  // top 53 bits
+  const double u =
+      (static_cast<double>(bits) + 1.0) * (1.0 / 9007199254740992.0);
+  const double level = -std::log(u) * inv_log_m;
+  return std::min(static_cast<int64_t>(level), tensor::kHnswMaxLevel);
+}
+
+// Offline HNSW construction state. Every distance is an inner-product
+// score through KernelBackend::QueryDotIndexed (single dots via
+// tensor::LanePartialDot — the identical accumulation), ranked under the
+// HnswBetter total order, so the finished graph is bit-identical on every
+// backend.
+class HnswBuilder {
+ public:
+  HnswBuilder(const float* item_rows, int64_t n, int64_t width, int64_t m,
+              int64_t ef_construction)
+      : rows_(item_rows),
+        n_(n),
+        width_(width),
+        m_(m),
+        ef_(ef_construction),
+        levels_(static_cast<size_t>(n)),
+        visited_(static_cast<size_t>(n), 0) {
+    const double inv_log_m = 1.0 / std::log(static_cast<double>(m_));
+    int64_t max_level = 0;
+    for (int64_t i = 0; i < n_; ++i) {
+      levels_[static_cast<size_t>(i)] = HnswLevelForItem(i, inv_log_m);
+      max_level = std::max(max_level, levels_[static_cast<size_t>(i)]);
+    }
+    adj_.resize(static_cast<size_t>(max_level) + 1);
+    for (auto& level : adj_) level.resize(static_cast<size_t>(n));
+  }
+
+  void InsertAll() {
+    // Hash-shuffled insertion order (a second splitmix64 pass over the
+    // level hash, ties by id): catalogues often lay correlated items out
+    // contiguously — think one category's items in one id range — and
+    // inserting them in id order starts every such region with no graph
+    // structure near it, fragmenting the region into components the
+    // search cannot cross. Shuffling makes every insertion prefix a
+    // uniform sample of the catalogue. Still a pure function of the item
+    // ids, so the graph stays reproducible by construction.
+    std::vector<int64_t> order(static_cast<size_t>(n_));
+    for (int64_t i = 0; i < n_; ++i) order[static_cast<size_t>(i)] = i;
+    std::vector<uint64_t> keys(static_cast<size_t>(n_));
+    for (int64_t i = 0; i < n_; ++i) {
+      uint64_t z = HnswItemHash(i) + 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      keys[static_cast<size_t>(i)] = z ^ (z >> 31);
+    }
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      const uint64_t ka = keys[static_cast<size_t>(a)];
+      const uint64_t kb = keys[static_cast<size_t>(b)];
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+    for (int64_t q : order) Insert(q);
+  }
+
+  int64_t entry_point() const { return entry_; }
+  int64_t num_levels() const { return static_cast<int64_t>(adj_.size()); }
+
+  /// Flattens the adjacency into the persisted CSR form: per-level rows of
+  /// ascending neighbor ids, levels tiled back to back.
+  void Flatten(std::vector<int64_t>* offsets,
+               std::vector<int64_t>* neighbors) const {
+    const int64_t stride = n_ + 1;
+    offsets->assign(static_cast<size_t>(num_levels() * stride), 0);
+    size_t total = 0;
+    for (const auto& level : adj_) {
+      for (const auto& list : level) total += list.size();
+    }
+    neighbors->clear();
+    neighbors->reserve(total);
+    int64_t pos = 0;
+    for (int64_t l = 0; l < num_levels(); ++l) {
+      for (int64_t i = 0; i < n_; ++i) {
+        (*offsets)[static_cast<size_t>(l * stride + i)] = pos;
+        std::vector<int64_t> sorted = adj_[static_cast<size_t>(l)]
+                                          [static_cast<size_t>(i)];
+        std::sort(sorted.begin(), sorted.end());
+        neighbors->insert(neighbors->end(), sorted.begin(), sorted.end());
+        pos += static_cast<int64_t>(sorted.size());
+      }
+      (*offsets)[static_cast<size_t>(l * stride + n_)] = pos;
+    }
+  }
+
+ private:
+  const float* Row(int64_t item) const { return rows_ + item * width_; }
+
+  HnswCand ScoreOne(const float* qrow, int64_t item) const {
+    return {item,
+            static_cast<float>(tensor::LanePartialDot(qrow, Row(item),
+                                                      width_))};
+  }
+
+  void Insert(int64_t q) {
+    GNMR_TRACE_SPAN("hnsw.insert");
+    const int64_t q_level = levels_[static_cast<size_t>(q)];
+    if (entry_ < 0) {  // the first node seeds every layer it occupies
+      entry_ = q;
+      max_level_ = q_level;
+      return;
+    }
+    const float* qrow = Row(q);
+    std::vector<HnswCand> eps = {ScoreOne(qrow, entry_)};
+    // Greedy descent through the layers above q: ef = 1 keeps only the
+    // closest node per layer, the classic zoom-in phase.
+    for (int64_t l = max_level_; l > q_level; --l) {
+      eps = SearchLayer(qrow, eps, 1, l);
+    }
+    for (int64_t l = std::min(q_level, max_level_); l >= 0; --l) {
+      std::vector<HnswCand> found = SearchLayer(qrow, eps, ef_, l);
+      const int64_t cap = l == 0 ? 2 * m_ : m_;
+      const std::vector<HnswCand> chosen =
+          SelectNeighbors(found, m_, Row(q));
+      std::vector<int64_t>& q_list =
+          adj_[static_cast<size_t>(l)][static_cast<size_t>(q)];
+      for (const HnswCand& s : chosen) {
+        q_list.push_back(s.id);
+        LinkBack(l, s.id, q, cap);
+      }
+      eps = std::move(found);
+    }
+    if (q_level > max_level_) {
+      entry_ = q;
+      max_level_ = q_level;
+    }
+  }
+
+  /// Best-first beam search over one layer: expands the closest frontier
+  /// node until the best unexpanded candidate cannot improve the
+  /// ef-bounded result set. Returns the results sorted best first.
+  std::vector<HnswCand> SearchLayer(const float* qrow,
+                                    const std::vector<HnswCand>& entries,
+                                    int64_t ef, int64_t level) {
+    ++epoch_;
+    const auto worse = [](const HnswCand& a, const HnswCand& b) {
+      return HnswBetter(b, a);
+    };
+    std::priority_queue<HnswCand, std::vector<HnswCand>, decltype(worse)>
+        frontier(worse);
+    std::vector<HnswCand> best;  // worst-on-top bounded heap of size ef
+    best.reserve(static_cast<size_t>(ef) + 1);
+    for (const HnswCand& e : entries) {
+      if (visited_[static_cast<size_t>(e.id)] == epoch_) continue;
+      visited_[static_cast<size_t>(e.id)] = epoch_;
+      frontier.push(e);
+      OfferBounded(&best, ef, e);
+    }
+    const auto& level_adj = adj_[static_cast<size_t>(level)];
+    std::vector<int64_t> fresh;
+    std::vector<float> scores;
+    while (!frontier.empty()) {
+      const HnswCand c = frontier.top();
+      frontier.pop();
+      if (static_cast<int64_t>(best.size()) == ef &&
+          !HnswBetter(c, best.front())) {
+        break;
+      }
+      fresh.clear();
+      for (int64_t nb : level_adj[static_cast<size_t>(c.id)]) {
+        if (visited_[static_cast<size_t>(nb)] == epoch_) continue;
+        visited_[static_cast<size_t>(nb)] = epoch_;
+        fresh.push_back(nb);
+      }
+      if (fresh.empty()) continue;
+      scores.resize(fresh.size());
+      tensor::GetBackend().QueryDotIndexed(
+          qrow, rows_, fresh.data(), scores.data(),
+          static_cast<int64_t>(fresh.size()), width_);
+      for (size_t i = 0; i < fresh.size(); ++i) {
+        const HnswCand cand{fresh[i], scores[i]};
+        frontier.push(cand);
+        OfferBounded(&best, ef, cand);
+      }
+    }
+    std::sort(best.begin(), best.end(), HnswBetter);
+    return best;
+  }
+
+  /// serve::OfferToBoundedHeap restated for build candidates (no seen
+  /// filtering): worst-on-top heap, kept set independent of offer order.
+  static void OfferBounded(std::vector<HnswCand>* heap, int64_t k,
+                           const HnswCand& e) {
+    if (static_cast<int64_t>(heap->size()) == k &&
+        !HnswBetter(e, heap->front())) {
+      return;
+    }
+    if (static_cast<int64_t>(heap->size()) < k) {
+      heap->push_back(e);
+      std::push_heap(heap->begin(), heap->end(), HnswBetter);
+    } else {
+      std::pop_heap(heap->begin(), heap->end(), HnswBetter);
+      heap->back() = e;
+      std::push_heap(heap->begin(), heap->end(), HnswBetter);
+    }
+  }
+
+  /// The heuristic prune (Malkov & Yashunin, Algorithm 4) in inner-product
+  /// form: walking candidates best first, keep c only when no
+  /// already-selected s is closer to c than the new node is (dot(c, s) <=
+  /// dot(c, q)) — selected neighbors spread across directions instead of
+  /// crowding one cluster. Dominated candidates backfill remaining slots
+  /// (keep-pruned-connections), preserving degree for connectivity.
+  std::vector<HnswCand> SelectNeighbors(const std::vector<HnswCand>& cands,
+                                        int64_t cap,
+                                        const float* qrow) const {
+    (void)qrow;
+    std::vector<HnswCand> selected;
+    selected.reserve(static_cast<size_t>(cap));
+    for (const HnswCand& c : cands) {
+      if (static_cast<int64_t>(selected.size()) == cap) break;
+      const float* crow = Row(c.id);
+      bool keep = true;
+      for (const HnswCand& s : selected) {
+        const float cs = static_cast<float>(
+            tensor::LanePartialDot(crow, Row(s.id), width_));
+        if (cs > c.score) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) selected.push_back(c);
+    }
+    if (static_cast<int64_t>(selected.size()) < cap) {
+      for (const HnswCand& c : cands) {
+        if (static_cast<int64_t>(selected.size()) == cap) break;
+        bool present = false;
+        for (const HnswCand& s : selected) {
+          if (s.id == c.id) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) selected.push_back(c);
+      }
+    }
+    return selected;
+  }
+
+  /// Adds the back edge s -> q, re-pruning s's list when it exceeds the
+  /// level cap (scored against s, same heuristic as the forward edges).
+  void LinkBack(int64_t level, int64_t s, int64_t q, int64_t cap) {
+    std::vector<int64_t>& list =
+        adj_[static_cast<size_t>(level)][static_cast<size_t>(s)];
+    list.push_back(q);
+    if (static_cast<int64_t>(list.size()) <= cap) return;
+    const float* srow = Row(s);
+    std::vector<float> scores(list.size());
+    tensor::GetBackend().QueryDotIndexed(srow, rows_, list.data(),
+                                         scores.data(),
+                                         static_cast<int64_t>(list.size()),
+                                         width_);
+    std::vector<HnswCand> cands(list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      cands[i] = {list[i], scores[i]};
+    }
+    std::sort(cands.begin(), cands.end(), HnswBetter);
+    const std::vector<HnswCand> kept = SelectNeighbors(cands, cap, srow);
+    list.clear();
+    for (const HnswCand& c : kept) list.push_back(c.id);
+  }
+
+  const float* rows_;
+  const int64_t n_;
+  const int64_t width_;
+  const int64_t m_;
+  const int64_t ef_;
+  std::vector<int64_t> levels_;
+  /// adj_[level][item] = current neighbor ids (unordered during build).
+  std::vector<std::vector<std::vector<int64_t>>> adj_;
+  /// Epoch-stamped visited set: one int64 compare per lookup, no O(n)
+  /// clear between the ~n * levels SearchLayer calls of a build.
+  std::vector<int64_t> visited_;
+  int64_t epoch_ = 0;
+  int64_t entry_ = -1;
+  int64_t max_level_ = 0;
+};
+
+}  // namespace
+
+util::Status BuildHnswIndex(ServingModel* model, int64_t m,
+                            int64_t ef_construction) {
+  GNMR_CHECK(model != nullptr);
+  if (model->embeddings.empty() ||
+      model->embeddings.rows() != model->num_users + model->num_items) {
+    return util::Status::InvalidArgument("inconsistent serving model");
+  }
+  GNMR_TRACE_SPAN("hnsw.build");
+  if (m <= 0) m = tensor::kHnswDefaultM;
+  // m = 1 would make the level draw degenerate (ln 1 = 0) and the graph a
+  // chain; two neighbors is the meaningful floor.
+  m = std::max<int64_t>(m, 2);
+  if (ef_construction <= 0) {
+    ef_construction = tensor::kHnswDefaultEfConstruction;
+  }
+  // The beam must at least cover one full neighbor selection.
+  ef_construction = std::max(ef_construction, m);
+
+  const int64_t width = model->embeddings.cols();
+  // Read through const data(): the model may be view-backed (mmap), in
+  // which case the mutable accessor would abort.
+  const float* item_rows =
+      std::as_const(model->embeddings).data() + model->num_users * width;
+  HnswBuilder builder(item_rows, model->num_items, width, m,
+                      ef_construction);
+  builder.InsertAll();
+
+  auto hnsw = std::make_shared<HnswIndex>();
+  hnsw->m = m;
+  hnsw->ef_construction = ef_construction;
+  hnsw->entry_point = builder.entry_point();
+  hnsw->num_levels = builder.num_levels();
+  std::vector<int64_t> offsets;
+  std::vector<int64_t> neighbors;
+  builder.Flatten(&offsets, &neighbors);
+  hnsw->neighbor_offsets = std::move(offsets);
+  hnsw->neighbors = std::move(neighbors);
+  hnsw->CheckConsistent(model->num_items);
+  model->hnsw = std::move(hnsw);
+  return util::Status::OK();
+}
+
 util::Status SaveServingModel(const ServingModel& model,
                               const std::string& path) {
-  // Quantized codes have no v1/v2 encoding; such models round-trip
-  // through the v4 container (which every loader here accepts).
-  if (model.has_ivf() && model.ivf->has_codes()) {
+  // Quantized codes and HNSW graphs have no v1/v2 encoding; such models
+  // round-trip through the v4/v5 container (which every loader here
+  // accepts).
+  if ((model.has_ivf() && model.ivf->has_codes()) || model.has_hnsw()) {
     return SaveServingModelV3(model, path);
   }
   GNMR_TRACE_SPAN("io.save");
@@ -449,6 +942,7 @@ util::Status SaveServingModelV3(const ServingModel& model,
   }
   const int64_t width = model.embeddings.cols();
   if (model.has_ivf()) model.ivf->CheckConsistent(model.num_items, width);
+  if (model.has_hnsw()) model.hnsw->CheckConsistent(model.num_items);
 
   struct Payload {
     int64_t id;
@@ -478,6 +972,25 @@ util::Status SaveServingModelV3(const ServingModel& model,
            static_cast<int64_t>(ivf.code_scales.size() * sizeof(float))});
     }
   }
+  // The meta buffer must outlive the write loop below, so it sits outside
+  // the has_hnsw() branch.
+  int64_t hnsw_meta[kHnswMetaFields] = {0, 0, 0, 0};
+  if (model.has_hnsw()) {
+    const HnswIndex& hnsw = *model.hnsw;
+    hnsw_meta[0] = hnsw.m;
+    hnsw_meta[1] = hnsw.ef_construction;
+    hnsw_meta[2] = hnsw.entry_point;
+    hnsw_meta[3] = hnsw.num_levels;
+    payloads.push_back({kSecHnswMeta, hnsw_meta,
+                        kHnswMetaFields *
+                            static_cast<int64_t>(sizeof(int64_t))});
+    payloads.push_back({kSecHnswOffsets, hnsw.neighbor_offsets.data(),
+                        static_cast<int64_t>(hnsw.neighbor_offsets.size() *
+                                             sizeof(int64_t))});
+    payloads.push_back({kSecHnswNeighbors, hnsw.neighbors.data(),
+                        static_cast<int64_t>(hnsw.neighbors.size() *
+                                             sizeof(int64_t))});
+  }
   const bool quantized = model.has_ivf() && model.ivf->has_codes();
 
   const int64_t section_count = static_cast<int64_t>(payloads.size());
@@ -496,7 +1009,8 @@ util::Status SaveServingModelV3(const ServingModel& model,
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return util::Status::IOError("cannot open " + path);
-  out.write(quantized ? kMagicV4 : kMagicV3, sizeof(kMagicV3));
+  out.write(model.has_hnsw() ? kMagicV5 : (quantized ? kMagicV4 : kMagicV3),
+            sizeof(kMagicV3));
   int64_t header[4] = {model.num_users, model.num_items, width,
                        section_count};
   WritePod(out, header, 4);

@@ -31,6 +31,18 @@
 //     SaveServingModelV3 (which picks the magic from has_codes), and by
 //     SaveServingModel when codes are present (quantized state has no
 //     v1/v2 encoding).
+//   v5 ("GNMRSM05") — the v3/v4 container with three more sections when
+//     the model carries an HNSW graph (BuildHnswIndex): 7 = graph metadata
+//     (int64[4]: m, ef_construction, entry_point, num_levels), 8 = the
+//     per-level CSR neighbor offsets (num_levels * (num_items + 1) int64
+//     entries; level l's row for item i sits at l * (num_items + 1) + i,
+//     and offsets are monotone across the whole array), 9 = the
+//     concatenated neighbor item ids those offsets index. The IVF/code
+//     sections 2-6 remain optional and keep their v3/v4 rules, so a v5
+//     file holds sections {1,7,8,9}, {1..4,7,8,9} or {1..6,7,8,9}, always
+//     in ascending id order. Same alignment, checksum and zero-copy rules;
+//     written by SaveServingModelV3 (magic from has_hnsw/has_codes) and by
+//     SaveServingModel when a graph is present (no v1/v2 encoding).
 #ifndef GNMR_CORE_MODEL_IO_H_
 #define GNMR_CORE_MODEL_IO_H_
 
@@ -88,6 +100,45 @@ struct IvfIndex {
   void CheckConsistent(int64_t num_items, int64_t width) const;
 };
 
+/// Hierarchical navigable-small-world graph over the item embedding rows
+/// (serve::HnswRetriever walks it greedily instead of scanning posting
+/// lists). Levels are assigned per item by a fixed-seed hash
+/// (tensor::kHnswLevelSeed), so the same catalogue always produces the
+/// same layer structure; neighbors are selected by the heuristic prune
+/// with all distances computed through the backend scan ops, making the
+/// whole graph bit-identical on every backend. Immutable once attached.
+struct HnswIndex {
+  /// Max neighbors per node on levels >= 1; level 0 keeps up to 2*m.
+  int64_t m = 0;
+  /// Construction beam width the graph was built with (provenance only —
+  /// search quality is set per request by ef_search).
+  int64_t ef_construction = 0;
+  /// Item id the layered descent starts from (a node of the top level).
+  int64_t entry_point = 0;
+  /// Number of graph layers; level 0 holds every item.
+  int64_t num_levels = 0;
+  /// Per-level CSR offsets into `neighbors`, num_levels * (num_items + 1)
+  /// entries: level l's slice for item i is neighbors[o .. o') with
+  /// o = neighbor_offsets[l * (num_items + 1) + i]. Offsets are monotone
+  /// across the whole array (level l's last offset equals level l+1's
+  /// first), items absent from a level simply have an empty slice.
+  /// Storage so a mapped artifact can expose the graph as views.
+  tensor::Storage<int64_t> neighbor_offsets;
+  /// Concatenated neighbor item ids, ascending within each node's slice.
+  tensor::Storage<int64_t> neighbors;
+
+  /// Begin offset of item `i`'s neighbor slice at `level`.
+  int64_t SliceBegin(int64_t level, int64_t num_items, int64_t i) const {
+    return neighbor_offsets[static_cast<size_t>(level * (num_items + 1) + i)];
+  }
+
+  /// Aborts unless the graph is structurally sound for a catalogue of
+  /// `num_items` items: positive m/num_levels, entry point in range,
+  /// monotone offsets covering `neighbors` exactly, in-range ascending
+  /// neighbor ids with no self-edges, per-level degree caps respected.
+  void CheckConsistent(int64_t num_items) const;
+};
+
 /// The deployable scoring artifact: multi-order embeddings + shape info,
 /// optionally carrying an IVF index for approximate retrieval.
 struct ServingModel {
@@ -98,6 +149,9 @@ struct ServingModel {
   /// Optional IVF index over the item rows; null = exact retrieval only.
   /// Shared so snapshot copies (hot-swap double buffering) stay O(1).
   std::shared_ptr<const IvfIndex> ivf;
+  /// Optional HNSW graph over the item rows (core::BuildHnswIndex); may
+  /// coexist with the IVF index — each retrieval strategy reads its own.
+  std::shared_ptr<const HnswIndex> hnsw;
   /// Non-null when the model was opened via LoadServingModelMapped: the
   /// tensors above are views over this mapping. Each view also holds the
   /// mapping as its keepalive, so the memory stays valid for as long as
@@ -106,6 +160,7 @@ struct ServingModel {
   std::shared_ptr<const util::MappedFile> storage_file;
 
   bool has_ivf() const { return ivf != nullptr; }
+  bool has_hnsw() const { return hnsw != nullptr; }
   bool is_mapped() const { return storage_file != nullptr; }
 
   /// Dot-product score; user/item must be in range.
@@ -143,6 +198,22 @@ ServingModel ExportServingModel(const GnmrModel& model);
 /// the serving frontends, not by this builder.
 util::Status BuildIvfIndex(ServingModel* model, int64_t nlist,
                            bool quantize = false);
+
+/// Builds the HNSW graph over the item embedding rows and attaches it to
+/// `model` (replacing any graph already attached; an IVF index on the same
+/// model is untouched). m <= 0 picks tensor::kHnswDefaultM,
+/// ef_construction <= 0 tensor::kHnswDefaultEfConstruction (both floored
+/// at 1 / m respectively after defaulting). The model must be consistent.
+///
+/// Deterministic by construction: levels come from the fixed-seed per-item
+/// hash, items are inserted in ascending id order, every candidate
+/// distance is a KernelBackend::QueryDotIndexed score (bit-identical on
+/// all backends) ranked under the serving (score desc, id asc) total
+/// order, and the heuristic prune breaks its ties the same way — so the
+/// same embeddings yield the byte-identical graph on every backend, run
+/// to run. Offline cost: O(num_items * ef_construction * m * width).
+util::Status BuildHnswIndex(ServingModel* model, int64_t m,
+                            int64_t ef_construction);
 
 /// Binary format: see the version notes at the top of this header. Writes
 /// v1 when `model` has no IVF index (bit-compatible with old readers) and

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/obs/trace.h"
+#include "src/serve/hnsw_retriever.h"
 #include "src/serve/ivf_retriever.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
@@ -48,6 +49,7 @@ void AddInto(RetrieverStats* into, const RetrieverStats& s) {
   into->probed_clusters += s.probed_clusters;
   into->scanned_code_bytes += s.scanned_code_bytes;
   into->reranked_items += s.reranked_items;
+  into->hops += s.hops;
 }
 
 }  // namespace
@@ -77,6 +79,12 @@ RecService::RecService(std::shared_ptr<const core::ServingModel> model,
     retriever_ = std::make_shared<const IvfRetriever>(
         std::move(model), std::move(seen), options_.nprobe,
         ItemShardMode::kAuto, options_.quantized, options_.rerank_k);
+  } else if (options_.retriever == RetrieverKind::kHnsw) {
+    GNMR_CHECK(model->has_hnsw())
+        << "RetrieverKind::kHnsw needs a model with an HNSW graph "
+           "(core::BuildHnswIndex)";
+    retriever_ = std::make_shared<const HnswRetriever>(
+        std::move(model), std::move(seen), options_.ef_search);
   } else {
     retriever_ = exact_;
   }
@@ -394,6 +402,11 @@ void RecService::InstallLocked(
     retriever_ = std::make_shared<const IvfRetriever>(
         std::move(next), std::move(seen), options_.nprobe,
         ItemShardMode::kAuto, options_.quantized, options_.rerank_k);
+  } else if (options_.retriever == RetrieverKind::kHnsw) {
+    GNMR_CHECK(next->has_hnsw())
+        << "swapping a model without an HNSW graph into a kHnsw service";
+    retriever_ = std::make_shared<const HnswRetriever>(
+        std::move(next), std::move(seen), options_.ef_search);
   } else {
     retriever_ = exact_;
   }
@@ -444,6 +457,14 @@ util::Status RecService::LoadAndSwap(const std::string& path) {
         options_.quantized &&
         next.num_items >= tensor::kIvfQuantizeMinItems;
     util::Status built = core::BuildIvfIndex(&next, options_.nlist, quantize);
+    if (!built.ok()) return built;
+  }
+  if (options_.retriever == RetrieverKind::kHnsw && !next.has_hnsw()) {
+    // Graph-less artifact on an HNSW service: same policy as the IVF
+    // branch — build offline here, install a complete snapshot below.
+    GNMR_TRACE_SPAN("serve.build_hnsw");
+    util::Status built = core::BuildHnswIndex(
+        &next, options_.hnsw_m, /*ef_construction=*/0);
     if (!built.ok()) return built;
   }
   auto model = std::make_shared<const core::ServingModel>(std::move(next));

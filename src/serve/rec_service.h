@@ -2,16 +2,16 @@
 //
 // RecService owns the online read path end to end: requests are answered
 // from the RecCache when possible, otherwise from the current Retriever
-// snapshot (exact full-catalogue scan or IVF approximate retrieval —
-// Options::retriever picks the strategy, and the service never touches a
-// concrete scan type beyond constructing it). Model hot-swaps are
+// snapshot (exact full-catalogue scan, IVF approximate retrieval, or the
+// HNSW graph walk — Options::retriever picks the strategy, and the
+// service never touches a concrete scan type beyond constructing it). Model hot-swaps are
 // zero-downtime — the next snapshot is built (or loaded from disk) while
 // the current one keeps serving, then an atomic pointer swap + O(1) cache
 // invalidation cut traffic over; in-flight requests finish on the snapshot
 // they started with (shared_ptr pinning).
 //
-// Exact fallback: an IVF-backed service also keeps an ExactRetriever over
-// the same snapshot; Recommend/RecommendBatch take a per-request
+// Exact fallback: an approximate-backed (IVF or HNSW) service also keeps
+// an ExactRetriever over the same snapshot; Recommend/RecommendBatch take a per-request
 // `exact` knob that bypasses the approximate index (and the cache, whose
 // entries are strategy-shaped) for callers that need the guaranteed
 // full-catalogue answer — e.g. spot-checking recall in production.
@@ -44,6 +44,11 @@ enum class RetrieverKind {
   /// carry an IVF index (core::BuildIvfIndex); LoadAndSwap builds one on
   /// the fly for artifacts that lack it.
   kIvf,
+  /// HnswRetriever: graph-walk approximate retrieval, sub-linear per
+  /// query. The serving model must carry an HNSW graph
+  /// (core::BuildHnswIndex); LoadAndSwap builds one on the fly for
+  /// artifacts that lack it.
+  kHnsw,
 };
 
 /// Service-level counters. Latency covers Recommend/RecommendBatch
@@ -112,6 +117,13 @@ class RecService {
     /// kIvf + quantized: exact-rerank pool size per request (<= 0 picks
     /// tensor::kIvfDefaultRerankK).
     int64_t rerank_k = 0;
+    /// kHnsw: level-0 beam width per request (<= 0 picks
+    /// tensor::kHnswDefaultEfSearch; a request's k can still raise the
+    /// effective beam per call).
+    int64_t ef_search = 0;
+    /// kHnsw: neighbor cap used when LoadAndSwap must build a graph for an
+    /// artifact that lacks one (<= 0 picks tensor::kHnswDefaultM).
+    int64_t hnsw_m = 0;
     /// LoadAndSwap opens v3 artifacts zero-copy (LoadServingModelMapped):
     /// the snapshot serves straight out of the page cache and load time is
     /// O(1) in the table size. Pre-v3 artifacts silently fall back to the
@@ -137,7 +149,7 @@ class RecService {
   /// Serves from `model` (non-null), filtering each user's `seen` items
   /// when provided. `seen` is shared across swaps: LoadAndSwap keeps it,
   /// SwapModel may replace it. With Options::retriever == kIvf the model
-  /// must carry an IVF index.
+  /// must carry an IVF index; with kHnsw, an HNSW graph.
   RecService(std::shared_ptr<const core::ServingModel> model,
              std::shared_ptr<const SeenItems> seen, Options options);
   explicit RecService(std::shared_ptr<const core::ServingModel> model,
@@ -164,7 +176,8 @@ class RecService {
 
   /// Hot-swaps the served snapshot and invalidates the cache atomically.
   /// Pass `seen` to replace the filter sets (nullptr keeps the current
-  /// ones). On a kIvf service the new model must carry an IVF index.
+  /// ones). On a kIvf service the new model must carry an IVF index; on a
+  /// kHnsw service, an HNSW graph.
   /// Concurrent Recommend calls never block on retrieval: they either
   /// finish on the old snapshot or start on the new one.
   void SwapModel(std::shared_ptr<const core::ServingModel> next,
@@ -173,8 +186,9 @@ class RecService {
   /// Loads a ServingModel artifact (SaveServingModel format, v1 or v2) and
   /// swaps it in; the current snapshot serves until the load completes.
   /// Keeps the current seen sets. On a kIvf service an artifact without an
-  /// index gets one built (Options::nlist) before the swap. On error the
-  /// service is untouched.
+  /// index gets one built (Options::nlist) before the swap; on a kHnsw
+  /// service an artifact without a graph gets one built (Options::hnsw_m).
+  /// On error the service is untouched.
   util::Status LoadAndSwap(const std::string& path);
 
   /// The retrieval strategy currently serving (pin it by holding the

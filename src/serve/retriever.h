@@ -4,8 +4,9 @@
 // ServingModel snapshot) programs against this interface instead of a
 // concrete scan: ExactRetriever (exact_retriever.h) is the full-catalogue
 // blocked scan, IvfRetriever (ivf_retriever.h) probes a clustered index
-// and scans a fraction of the catalogue. Future index types (LSH, graph
-// based) drop in behind the same three calls.
+// and scans a fraction of the catalogue, HnswRetriever (hnsw_retriever.h)
+// walks a navigable-small-world graph and evaluates a sub-linear slice.
+// Future index types (LSH, disk-resident) drop in behind the same calls.
 //
 // Contract every strategy honours:
 //   - scores are the dot product of ServingModel::Score — the lane-partial
@@ -123,6 +124,11 @@ struct RetrieverStats {
   uint64_t scanned_code_bytes = 0;
   /// Quantized IVF only: candidates re-scored by the exact float rerank.
   uint64_t reranked_items = 0;
+  /// HNSW only: graph nodes expanded (neighbor lists walked) across all
+  /// requests — the pointer-chasing depth of the search, next to
+  /// scanned_items which counts the distance evaluations those hops
+  /// triggered (0 for the scan strategies).
+  uint64_t hops = 0;
 };
 
 /// Read-only top-K retrieval strategy over a ServingModel snapshot.

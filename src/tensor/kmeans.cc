@@ -38,6 +38,66 @@ int64_t AssignRows(const float* cross, const float* cnorm, int64_t n,
   return changed;
 }
 
+// k-means++ D^2 seeding. Distances compose in double from the backend's
+// float RowDot norms and QueryDot cross terms — both bit-identical on
+// every backend — and the draws come from the caller's fixed-seed Rng, so
+// the seed set is a pure function of (data, seed) like the uniform draw.
+std::vector<int64_t> PlusPlusSeeds(const KernelBackend& backend,
+                                   const float* rows, int64_t n, int64_t d,
+                                   int64_t k, util::Rng* rng) {
+  std::vector<float> norms(static_cast<size_t>(n));
+  backend.RowDot(rows, rows, norms.data(), n, d);
+  std::vector<float> dots(static_cast<size_t>(n));
+  // Squared distance to the nearest chosen center so far; doubles as the
+  // unnormalised D^2 weight vector (chosen rows pin to exactly 0).
+  std::vector<double> best_d2(static_cast<size_t>(n));
+  std::vector<char> chosen(static_cast<size_t>(n), 0);
+  std::vector<int64_t> seeds;
+  seeds.reserve(static_cast<size_t>(k));
+  seeds.push_back(rng->UniformInt(0, n - 1));
+  chosen[static_cast<size_t>(seeds.back())] = 1;
+  double total = 0.0;
+  while (true) {
+    // Fold the latest center into the nearest-center distances:
+    // ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, clamped against the float
+    // cancellation that could push a tiny true distance below zero.
+    const int64_t c = seeds.back();
+    backend.QueryDot(rows + c * d, rows, dots.data(), n, d);
+    const double cnorm = static_cast<double>(norms[static_cast<size_t>(c)]);
+    total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      double dist = chosen[si]
+                        ? 0.0
+                        : static_cast<double>(norms[si]) -
+                              2.0 * static_cast<double>(dots[si]) + cnorm;
+      if (dist < 0.0) dist = 0.0;
+      if (seeds.size() > 1) dist = std::min(dist, best_d2[si]);
+      best_d2[si] = dist;
+      total += dist;
+    }
+    if (static_cast<int64_t>(seeds.size()) == k) break;
+    int64_t next = -1;
+    if (total > 0.0) {
+      next = static_cast<int64_t>(rng->Categorical(best_d2));
+    }
+    if (next < 0 || chosen[static_cast<size_t>(next)]) {
+      // Every remaining row coincides with a center (total == 0), or the
+      // draw landed on a zero-weight bucket at the numerical edge: take
+      // the lowest unchosen row — deterministic either way.
+      for (int64_t i = 0; i < n; ++i) {
+        if (!chosen[static_cast<size_t>(i)]) {
+          next = i;
+          break;
+        }
+      }
+    }
+    seeds.push_back(next);
+    chosen[static_cast<size_t>(next)] = 1;
+  }
+  return seeds;
+}
+
 }  // namespace
 
 KMeansResult KMeansRows(const float* rows, int64_t n, int64_t d, int64_t k,
@@ -55,10 +115,14 @@ KMeansResult KMeansRows(const float* rows, int64_t n, int64_t d, int64_t k,
   result.assignments.assign(static_cast<size_t>(n), -1);
   result.sizes.assign(static_cast<size_t>(k), 0);
 
-  // Initial centroids: k distinct input rows, drawn by the fixed seed and
-  // sorted so centroid ids are independent of the draw order.
+  // Initial centroids: k distinct input rows, drawn by the fixed seed
+  // (uniformly or by D^2 sampling) and sorted so centroid ids are
+  // independent of the draw order.
   util::Rng rng(options.seed);
-  std::vector<int64_t> seeds = rng.SampleWithoutReplacement(n, k);
+  std::vector<int64_t> seeds =
+      options.plusplus_init
+          ? PlusPlusSeeds(backend, rows, n, d, k, &rng)
+          : rng.SampleWithoutReplacement(n, k);
   std::sort(seeds.begin(), seeds.end());
   backend.GatherRows(rows, d, seeds.data(), k, result.centroids.data());
 

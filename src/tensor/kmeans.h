@@ -17,7 +17,9 @@
 // every backend at any thread or worker count.
 //
 // Determinism: initial centroids are `k` distinct input rows drawn by a
-// fixed-seed util::Rng and sorted ascending by row index, empty clusters
+// fixed-seed util::Rng (uniformly, or by k-means++ D^2 sampling when
+// KMeansOptions::plusplus_init is set) and sorted ascending by row index,
+// empty clusters
 // deterministically keep their previous centroid, and iteration stops on
 // the first assign pass that changes nothing (or at max_iters). Same data,
 // same options -> the same result, run to run and backend to backend.
@@ -37,6 +39,17 @@ struct KMeansOptions {
   int64_t max_iters = 25;
   /// Seed of the initial-centroid draw; the only stochastic step.
   uint64_t seed = 1021;
+  /// k-means++ (D^2) seeding instead of the uniform draw: the first
+  /// center is uniform, each next is drawn with probability proportional
+  /// to the row's squared distance to its nearest chosen center (Arthur &
+  /// Vassilvitskii 2007) — spread-out seeds that cut Lloyd iterations and
+  /// within-cluster variance on skewed catalogues. Same determinism
+  /// contract as the default: distances flow through the backend's
+  /// QueryDot/RowDot kernels (bit-identical everywhere) and the draws
+  /// through the fixed-seed Rng, so same data + same options -> the same
+  /// seeds on every backend. Off by default — flipping it changes every
+  /// persisted IVF index built from the same seed.
+  bool plusplus_init = false;
 };
 
 struct KMeansResult {

@@ -180,6 +180,98 @@ TEST(KMeansTest, ParityAcrossAllBackends) {
   }
 }
 
+TEST(KMeansTest, PlusPlusSeedingDeterministicAndDistinct) {
+  core::ServingModel m = ClusteredModel(4, 384, 12, 8, 53);
+  const float* items = m.embeddings.data() + m.num_users * 12;
+  tensor::KMeansOptions options;
+  options.plusplus_init = true;
+  tensor::KMeansResult a = tensor::KMeansRows(items, 384, 12, 8, options);
+  tensor::KMeansResult b = tensor::KMeansRows(items, 384, 12, 8, options);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (int64_t i = 0; i < a.centroids.numel(); ++i) {
+    EXPECT_EQ(a.centroids.data()[i], b.centroids.data()[i]);  // bitwise
+  }
+  // The flag is opt-in: leaving it off must reproduce the historical
+  // uniform draw bit-for-bit (persisted IVF indexes depend on it).
+  tensor::KMeansResult legacy_a = tensor::KMeansRows(items, 384, 12, 8);
+  tensor::KMeansOptions off;
+  off.plusplus_init = false;
+  tensor::KMeansResult legacy_b = tensor::KMeansRows(items, 384, 12, 8, off);
+  EXPECT_EQ(legacy_a.assignments, legacy_b.assignments);
+  for (int64_t i = 0; i < legacy_a.centroids.numel(); ++i) {
+    EXPECT_EQ(legacy_a.centroids.data()[i], legacy_b.centroids.data()[i]);
+  }
+}
+
+TEST(KMeansTest, PlusPlusParityAcrossBitExactBackends) {
+  // D^2 seeding composes distances from RowDot norms and QueryDot cross
+  // terms; both are bit-identical everywhere, so the chosen seeds — and
+  // therefore the whole clustering — must match serial on every
+  // bit-exact backend.
+  core::ServingModel m = ClusteredModel(4, 384, 12, 8, 37);
+  const float* items = m.embeddings.data() + m.num_users * 12;
+  tensor::KMeansOptions options;
+  options.plusplus_init = true;
+  tensor::KMeansResult reference;
+  {
+    tensor::ScopedBackend scoped("serial");
+    reference = tensor::KMeansRows(items, 384, 12, 8, options);
+  }
+  for (const tensor::KernelBackend* backend : tensor::AllBackends()) {
+    if (!backend->bit_exact()) continue;
+    tensor::ScopedBackend scoped(backend->name());
+    tensor::KMeansResult got = tensor::KMeansRows(items, 384, 12, 8, options);
+    EXPECT_EQ(got.assignments, reference.assignments) << backend->name();
+    EXPECT_EQ(got.iterations, reference.iterations) << backend->name();
+    for (int64_t i = 0; i < reference.centroids.numel(); ++i) {
+      EXPECT_EQ(got.centroids.data()[i], reference.centroids.data()[i])
+          << backend->name() << " element " << i;
+    }
+  }
+}
+
+TEST(KMeansTest, PlusPlusSpreadsSeedsAcrossSeparatedClusters) {
+  // On well-separated clusters D^2 sampling should land its k seeds in k
+  // distinct true clusters (a uniform draw frequently doubles up), which
+  // is the whole point of the init: Lloyd starts near the answer. Assert
+  // the within-cluster cost is no worse than the uniform init's — and
+  // that on this fixture the seeds cover every true cluster.
+  const int64_t n = 512, d = 8, k = 8;
+  core::ServingModel m = ClusteredModel(4, n, d, k, 101);
+  const float* items = m.embeddings.data() + m.num_users * d;
+  auto cost = [&](const tensor::KMeansResult& r) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = r.assignments[static_cast<size_t>(i)];
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff =
+            static_cast<double>(items[i * d + j]) -
+            static_cast<double>(r.centroids.data()[c * d + j]);
+        total += diff * diff;
+      }
+    }
+    return total;
+  };
+  tensor::KMeansOptions uniform;
+  tensor::KMeansOptions plusplus;
+  plusplus.plusplus_init = true;
+  tensor::KMeansResult u = tensor::KMeansRows(items, n, d, k, uniform);
+  tensor::KMeansResult p = tensor::KMeansRows(items, n, d, k, plusplus);
+  EXPECT_LE(cost(p), cost(u) * (1.0 + 1e-9));
+  // Items fill true clusters contiguously (ClusteredModel), so an
+  // assignment that separates all k of them maps each true cluster onto
+  // its own centroid — check the k++ run found every cluster.
+  std::vector<char> hit(static_cast<size_t>(k), 0);
+  for (int64_t c = 0; c < k; ++c) {
+    hit[static_cast<size_t>(
+        p.assignments[static_cast<size_t>(c * n / k)])] = 1;
+  }
+  int64_t distinct = 0;
+  for (char h : hit) distinct += h;
+  EXPECT_EQ(distinct, k) << "k-means++ seeds missed a true cluster";
+}
+
 // ---------------------------------------------------------- the artifact ----
 
 TEST(IvfArtifactTest, BuildIvfIndexStructure) {

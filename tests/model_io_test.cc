@@ -14,6 +14,7 @@
 #include "src/data/synthetic.h"
 #include "src/eval/evaluator.h"
 #include "src/serve/exact_retriever.h"
+#include "src/serve/hnsw_retriever.h"
 #include "src/serve/ivf_retriever.h"
 #include "src/tensor/backend.h"
 #include "src/util/csv.h"
@@ -157,6 +158,23 @@ void ExpectSameModel(const ServingModel& a, const ServingModel& b) {
       }
     }
   }
+  ASSERT_EQ(a.has_hnsw(), b.has_hnsw());
+  if (a.has_hnsw()) {
+    const HnswIndex& ah = *a.hnsw;
+    const HnswIndex& bh = *b.hnsw;
+    EXPECT_EQ(ah.m, bh.m);
+    EXPECT_EQ(ah.ef_construction, bh.ef_construction);
+    EXPECT_EQ(ah.entry_point, bh.entry_point);
+    ASSERT_EQ(ah.num_levels, bh.num_levels);
+    ASSERT_EQ(ah.neighbor_offsets.size(), bh.neighbor_offsets.size());
+    for (int64_t i = 0; i < ah.neighbor_offsets.size(); ++i) {
+      EXPECT_EQ(ah.neighbor_offsets.data()[i], bh.neighbor_offsets.data()[i]);
+    }
+    ASSERT_EQ(ah.neighbors.size(), bh.neighbors.size());
+    for (int64_t i = 0; i < ah.neighbors.size(); ++i) {
+      EXPECT_EQ(ah.neighbors.data()[i], bh.neighbors.data()[i]);
+    }
+  }
 }
 
 // The storage refactor must not change a single byte the v1 writer emits:
@@ -215,6 +233,11 @@ TEST(ModelIoV3Test, CrossVersionRoundTripMatrix) {
   ASSERT_TRUE(BuildIvfIndex(&indexed, 8).ok());
   ServingModel quantized = ExportServingModel(trainer.model());
   ASSERT_TRUE(BuildIvfIndex(&quantized, 8, /*quantize=*/true).ok());
+  ServingModel graphed = ExportServingModel(trainer.model());
+  ASSERT_TRUE(BuildHnswIndex(&graphed, 4, 16).ok());
+  ServingModel full = ExportServingModel(trainer.model());
+  ASSERT_TRUE(BuildIvfIndex(&full, 8, /*quantize=*/true).ok());
+  ASSERT_TRUE(BuildHnswIndex(&full, 4, 16).ok());
 
   struct Case {
     const char* name;
@@ -232,6 +255,11 @@ TEST(ModelIoV3Test, CrossVersionRoundTripMatrix) {
       // classic SaveServingModel delegates to it.
       {"v4-quant", &quantized, true, true},
       {"v4-quant-delegated", &quantized, false, true},
+      // A model carrying an HNSW graph lands in the v5 container the same
+      // way — with or without the IVF/code tiers alongside.
+      {"v5-hnsw", &graphed, true, true},
+      {"v5-hnsw-delegated", &graphed, false, true},
+      {"v5-all-tiers", &full, true, true},
   };
   for (const Case& c : cases) {
     SCOPED_TRACE(c.name);
@@ -428,6 +456,111 @@ TEST(ModelIoV4Test, QuantizedRoundTripServesIdentically) {
   std::remove(path.c_str());
 }
 
+// ---- v5 container: HNSW graph sections --------------------------------------
+
+ServingModel TinyHnswModel() {
+  ServingModel m = TinyModel();
+  GNMR_CHECK(BuildHnswIndex(&m, 2, 8).ok());
+  GNMR_CHECK(m.has_hnsw());
+  return m;
+}
+
+TEST(ModelIoV5Test, V5LayoutMagicAndSections) {
+  ServingModel m = TinyHnswModel();
+  std::string path = testing::TempDir() + "/gnmr_v5_layout.bin";
+  ASSERT_TRUE(SaveServingModelV3(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  const std::string& bytes = blob.value();
+  ASSERT_EQ(bytes.substr(0, 8), "GNMRSM05");
+  int64_t header[4];
+  std::memcpy(header, bytes.data() + 8, sizeof(header));
+  EXPECT_EQ(header[0], m.num_users);
+  EXPECT_EQ(header[1], m.num_items);
+  EXPECT_EQ(header[2], m.embeddings.cols());
+  ASSERT_EQ(header[3], 4);  // embeddings + meta + offsets + neighbors
+  const int64_t expected_ids[4] = {1, 7, 8, 9};
+  for (int64_t e = 0; e < 4; ++e) {
+    int64_t entry[4];  // {id, offset, length, crc}
+    std::memcpy(entry, bytes.data() + 8 + sizeof(header) + e * sizeof(entry),
+                sizeof(entry));
+    EXPECT_EQ(entry[0], expected_ids[e]) << "section " << e;
+    EXPECT_EQ(entry[1] % 64, 0) << "payload " << e << " not 64-byte aligned";
+    if (entry[0] == 7) {
+      EXPECT_EQ(entry[2], 4 * static_cast<int64_t>(sizeof(int64_t)));
+    }
+    if (entry[0] == 8) {
+      EXPECT_EQ(entry[2], m.hnsw->num_levels * (m.num_items + 1) *
+                              static_cast<int64_t>(sizeof(int64_t)));
+    }
+    if (entry[0] == 9) {
+      EXPECT_EQ(entry[2], m.hnsw->neighbors.size() *
+                              static_cast<int64_t>(sizeof(int64_t)));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoV5Test, RejectsCorruptOrTruncatedNeighborSection) {
+  ServingModel m = TinyHnswModel();
+  std::string path = testing::TempDir() + "/gnmr_v5_corrupt.bin";
+  ASSERT_TRUE(SaveServingModelV3(m, path).ok());
+  auto blob = util::ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  const std::string& good = blob.value();
+
+  int64_t offsets_entry[4];
+  std::memcpy(offsets_entry, good.data() + 8 + 4 * 8 + 2 * 4 * 8,
+              sizeof(offsets_entry));
+  ASSERT_EQ(offsets_entry[0], 8);
+  int64_t nbr_entry[4];
+  std::memcpy(nbr_entry, good.data() + 8 + 4 * 8 + 3 * 4 * 8,
+              sizeof(nbr_entry));
+  ASSERT_EQ(nbr_entry[0], 9);
+  ASSERT_GE(nbr_entry[2], static_cast<int64_t>(sizeof(int64_t)));
+
+  // Overwrite the first neighbor id with an out-of-range value: the CRC
+  // catches it in the checksumming loaders, and the structural validator
+  // (which always runs, even on the lazy mapped path) catches the
+  // out-of-range id independently.
+  std::string corrupt = good;
+  const int64_t bogus = int64_t{1} << 40;
+  std::memcpy(&corrupt[static_cast<size_t>(nbr_entry[1])], &bogus,
+              sizeof(bogus));
+  ASSERT_TRUE(util::WriteStringToFile(path, corrupt).ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path, /*verify_checksums=*/true).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path, /*verify_checksums=*/false).ok());
+
+  // Truncation inside the neighbors payload, the offsets payload, and the
+  // section table.
+  for (size_t keep :
+       {good.size() - 3, static_cast<size_t>(offsets_entry[1]) + 2,
+        size_t{8 + 4 * 8 + 3 * 4 * 8}}) {
+    ASSERT_TRUE(util::WriteStringToFile(path, good.substr(0, keep)).ok());
+    EXPECT_FALSE(LoadServingModel(path).ok()) << "keep=" << keep;
+    EXPECT_FALSE(LoadServingModelMapped(path).ok()) << "keep=" << keep;
+  }
+
+  // Magic/content mismatches both ways: a v5 magic on a graphless
+  // container, and a v3 magic on a container carrying graph sections.
+  ServingModel graphless = TinyModel();
+  ASSERT_TRUE(SaveServingModelV3(graphless, path).ok());
+  auto v3_blob = util::ReadFileToString(path);
+  ASSERT_TRUE(v3_blob.ok());
+  std::string relabeled = v3_blob.value();
+  relabeled[7] = '5';  // GNMRSM03 -> GNMRSM05
+  ASSERT_TRUE(util::WriteStringToFile(path, relabeled).ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path).ok());
+  std::string downlabeled = good;
+  downlabeled[7] = '3';  // GNMRSM05 -> GNMRSM03
+  ASSERT_TRUE(util::WriteStringToFile(path, downlabeled).ok());
+  EXPECT_FALSE(LoadServingModel(path).ok());
+  EXPECT_FALSE(LoadServingModelMapped(path).ok());
+  std::remove(path.c_str());
+}
+
 // Retrieval must not care where the embedding bytes live: a heap-loaded
 // and an mmap-loaded copy of the same artifact produce bit-identical
 // rankings on every kernel backend, through both strategies.
@@ -436,6 +569,7 @@ TEST(ModelIoV3Test, MmapVsHeapRetrievalBitIdenticalAllBackends) {
   trainer.model().RefreshInferenceCache();
   ServingModel original = ExportServingModel(trainer.model());
   ASSERT_TRUE(BuildIvfIndex(&original, 8).ok());
+  ASSERT_TRUE(BuildHnswIndex(&original, 8, 32).ok());
   std::string path = testing::TempDir() + "/gnmr_v3_parity.bin";
   ASSERT_TRUE(SaveServingModelV3(original, path).ok());
 
@@ -458,17 +592,23 @@ TEST(ModelIoV3Test, MmapVsHeapRetrievalBitIdenticalAllBackends) {
     serve::ExactRetriever exact_heap(heap), exact_mapped(mapped);
     serve::IvfRetriever ivf_heap(heap, nullptr, 4);
     serve::IvfRetriever ivf_mapped(mapped, nullptr, 4);
+    serve::HnswRetriever hnsw_heap(heap, nullptr, 32);
+    serve::HnswRetriever hnsw_mapped(mapped, nullptr, 32);
 
     for (int64_t u : users) {
       EXPECT_EQ(exact_heap.RetrieveTopN(u, kTopK),
                 exact_mapped.RetrieveTopN(u, kTopK));
       EXPECT_EQ(ivf_heap.RetrieveTopN(u, kTopK),
                 ivf_mapped.RetrieveTopN(u, kTopK));
+      EXPECT_EQ(hnsw_heap.RetrieveTopN(u, kTopK),
+                hnsw_mapped.RetrieveTopN(u, kTopK));
     }
     EXPECT_EQ(exact_heap.RetrieveBatch(users, kTopK),
               exact_mapped.RetrieveBatch(users, kTopK));
     EXPECT_EQ(ivf_heap.RetrieveBatch(users, kTopK),
               ivf_mapped.RetrieveBatch(users, kTopK));
+    EXPECT_EQ(hnsw_heap.RetrieveBatch(users, kTopK),
+              hnsw_mapped.RetrieveBatch(users, kTopK));
   }
   std::remove(path.c_str());
 }
